@@ -1,0 +1,17 @@
+"""Pytest fixtures shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit():
+    """Print a block of benchmark output with a blank line around it."""
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+        print()
+
+    return _emit

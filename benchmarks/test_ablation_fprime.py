@@ -1,0 +1,73 @@
+"""Experiment ``ablation_fprime`` — why contenders restrict themselves to F' = min(F, 2t).
+
+Section 6 fixes ``F′ = min(F, 2t)``: spreading contention over more than
+``2t`` channels does not buy extra safety from the adversary (it can never jam
+more than half of ``2t`` channels) but it *does* slow everything down, because
+the final epoch must be long enough for the eventual winner to hit every rival
+on a random channel — a cost of ``Θ(F′²/(F′−t))`` per ``lg N``.  This ablation
+runs the Trapdoor Protocol with the restriction on and off on a wide band with
+a small disruption budget, where the difference is largest.
+"""
+
+from __future__ import annotations
+
+from _bench_helpers import measure, run_once
+from repro.adversary.activation import StaggeredActivation
+from repro.adversary.jammers import RandomJammer
+from repro.experiments.tables import render_table
+from repro.params import ModelParameters
+from repro.protocols.trapdoor.config import TrapdoorConfig
+from repro.protocols.trapdoor.epochs import TrapdoorSchedule
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+# Wide band, light worst-case budget: F' = 4 ≪ F = 32.
+PARAMS = ModelParameters(frequencies=32, disruption_budget=2, participant_bound=64)
+WORKLOAD = StaggeredActivation(count=6, spacing=3)
+
+
+def test_ablation_fprime_band_restriction(benchmark, emit):
+    variants = {
+        "F' = min(F, 2t) (paper)": TrapdoorConfig(use_effective_band=True),
+        "full band F (ablated)": TrapdoorConfig(use_effective_band=False),
+    }
+
+    def run():
+        rows = []
+        for name, config in variants.items():
+            schedule = TrapdoorSchedule(PARAMS, config)
+            summary = measure(
+                PARAMS,
+                TrapdoorProtocol.factory(config),
+                WORKLOAD,
+                RandomJammer(),
+                seeds=4,
+                max_rounds=60_000,
+            )
+            rows.append(
+                {
+                    "variant": name,
+                    "contention_band": schedule.effective_frequencies,
+                    "schedule_rounds": schedule.total_rounds,
+                    "measured_mean_latency": summary.mean_latency,
+                    "liveness": summary.liveness_rate,
+                    "agreement": summary.agreement_rate,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(
+        render_table(
+            rows,
+            title=f"Ablation — contention band restriction ({PARAMS.describe()}, staggered arrivals)",
+            float_digits=2,
+        )
+    )
+    paper = next(row for row in rows if "paper" in row["variant"])
+    ablated = next(row for row in rows if "ablated" in row["variant"])
+    assert paper["liveness"] == 1.0 and ablated["liveness"] == 1.0
+    # The paper's choice yields a much shorter schedule and a faster measured
+    # synchronization, with no loss of safety.
+    assert paper["schedule_rounds"] < ablated["schedule_rounds"] / 1.5
+    assert paper["measured_mean_latency"] < 0.6 * ablated["measured_mean_latency"]
+    assert paper["agreement"] >= ablated["agreement"] - 0.25

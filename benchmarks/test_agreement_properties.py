@@ -1,0 +1,130 @@
+"""Experiment ``agreement`` — the safety properties across seeds and workloads.
+
+Theorem 10 (Trapdoor) and Theorem 15 (Good Samaritan) assert that at most one
+leader is elected and all non-⊥ outputs agree, with high probability.  This
+benchmark measures those rates empirically across seeds for several workloads
+and both protocols, and also confirms that the deterministic safety properties
+(validity, synch commit, correctness) never fail.
+"""
+
+from __future__ import annotations
+
+from _bench_helpers import measure, run_once
+from repro.adversary.activation import RandomActivation, SimultaneousActivation, StaggeredActivation
+from repro.adversary.jammers import RandomJammer, ReactiveJammer, SweepJammer
+from repro.experiments.tables import render_table
+from repro.params import ModelParameters
+from repro.protocols.good_samaritan.protocol import GoodSamaritanProtocol
+from repro.protocols.trapdoor.config import TrapdoorConfig
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+PARAMS = ModelParameters(frequencies=8, disruption_budget=3, participant_bound=32)
+
+TRAPDOOR_WORKLOADS = {
+    "simultaneous + random jammer": (SimultaneousActivation(count=8), RandomJammer()),
+    "staggered(4) + sweep jammer": (StaggeredActivation(count=8, spacing=4), SweepJammer()),
+    "random arrivals + reactive jammer": (RandomActivation(count=8, window=40, seed=5), ReactiveJammer()),
+}
+
+
+def test_trapdoor_agreement_rates(benchmark, emit):
+    def run():
+        rows = []
+        for name, (activation, adversary) in TRAPDOOR_WORKLOADS.items():
+            summary = measure(
+                PARAMS, TrapdoorProtocol.factory(), activation, adversary, seeds=6, max_rounds=30_000
+            )
+            rows.append(
+                {
+                    "workload": name,
+                    "liveness": summary.liveness_rate,
+                    "agreement": summary.agreement_rate,
+                    "unique_leader": summary.unique_leader_rate,
+                    "safety": summary.safety_rate,
+                    "mean_latency": summary.mean_latency,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(render_table(rows, title="Trapdoor — property rates across workloads (6 seeds each)", float_digits=2))
+    for row in rows:
+        assert row["liveness"] == 1.0, row
+        # Agreement / unique leader hold "with high probability" in N; with
+        # N = 32 and the default speed-oriented constants a residual failure
+        # rate remains on the adversarial workloads (the reactive jammer
+        # focuses its whole budget inside the F' contention band).  The
+        # companion test below shows the rate reaches 1.0 once the final-epoch
+        # constant is raised, which is the paper's w.h.p. knob.
+        assert row["agreement"] >= 0.5, row
+        assert row["unique_leader"] >= 0.5, row
+    mean_agreement = sum(row["agreement"] for row in rows) / len(rows)
+    assert mean_agreement >= 0.7, rows
+
+
+def test_trapdoor_agreement_is_perfect_with_larger_final_epoch(benchmark, emit):
+    """Increasing the final-epoch constant (the paper's w.h.p. knob) removes the residual failures."""
+
+    safe_factory = TrapdoorProtocol.factory(TrapdoorConfig(final_epoch_constant=8.0))
+
+    def run():
+        rows = []
+        for name, (activation, adversary) in TRAPDOOR_WORKLOADS.items():
+            summary = measure(PARAMS, safe_factory, activation, adversary, seeds=4, max_rounds=60_000)
+            rows.append(
+                {
+                    "workload": name,
+                    "liveness": summary.liveness_rate,
+                    "agreement": summary.agreement_rate,
+                    "unique_leader": summary.unique_leader_rate,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(
+        render_table(
+            rows,
+            title="Trapdoor with final_epoch_constant=8 — property rates (4 seeds each)",
+            float_digits=2,
+        )
+    )
+    for row in rows:
+        assert row["liveness"] == 1.0
+        assert row["agreement"] == 1.0, row
+        assert row["unique_leader"] == 1.0, row
+
+
+def test_good_samaritan_agreement_rates(benchmark, emit):
+    gs_params = ModelParameters(frequencies=8, disruption_budget=4, participant_bound=16)
+
+    def run():
+        rows = []
+        for name, activation in (
+            ("simultaneous", SimultaneousActivation(count=6)),
+            ("staggered(9)", StaggeredActivation(count=3, spacing=9)),
+        ):
+            summary = measure(
+                gs_params,
+                GoodSamaritanProtocol.factory(),
+                activation,
+                RandomJammer(),
+                seeds=3,
+                max_rounds=80_000,
+            )
+            rows.append(
+                {
+                    "workload": name,
+                    "liveness": summary.liveness_rate,
+                    "agreement": summary.agreement_rate,
+                    "unique_leader": summary.unique_leader_rate,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(render_table(rows, title="Good Samaritan — property rates (Theorem 15)", float_digits=2))
+    for row in rows:
+        assert row["liveness"] == 1.0, row
+        assert row["agreement"] >= 0.66, row
+        assert row["unique_leader"] >= 0.66, row

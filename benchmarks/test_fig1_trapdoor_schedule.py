@@ -1,0 +1,70 @@
+"""Experiment ``fig1`` — regenerate Figure 1 (Trapdoor epoch schedule).
+
+Figure 1 of the paper tabulates, for the Trapdoor Protocol, the length and the
+contender broadcast probability of each of the ``lg N`` epochs: the first
+``lg N − 1`` epochs have length ``Θ(F′/(F′−t)·lg N)`` with probabilities
+``1/N, 2/N, …, 1/4``; the final epoch has length ``Θ(F′²/(F′−t)·lg N)`` and
+probability ``1/2``.  The schedule is deterministic, so this benchmark
+regenerates it exactly for several parameter points and checks its structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_helpers import run_once
+from repro.experiments.tables import render_table
+from repro.params import ModelParameters
+from repro.protocols.trapdoor.epochs import TrapdoorSchedule
+
+PARAMETER_POINTS = [
+    ModelParameters(frequencies=8, disruption_budget=1, participant_bound=256),
+    ModelParameters(frequencies=8, disruption_budget=4, participant_bound=256),
+    ModelParameters(frequencies=16, disruption_budget=8, participant_bound=1024),
+    ModelParameters(frequencies=16, disruption_budget=15, participant_bound=1024),
+]
+
+
+@pytest.mark.parametrize("params", PARAMETER_POINTS, ids=lambda p: p.describe())
+def test_fig1_schedule_structure(benchmark, emit, params):
+    schedule = run_once(benchmark, lambda: TrapdoorSchedule(params))
+    rows = schedule.describe_rows()
+    emit(render_table(rows, title=f"Figure 1 — Trapdoor schedule for {params.describe()}", float_digits=5))
+
+    # Epoch count is lg N.
+    assert len(rows) == params.log_participants
+
+    # Broadcast probabilities follow the 2^e / 2N ladder, ending at 1/2, 1/4.
+    probabilities = [row["broadcast_probability"] for row in rows]
+    expected = [min(0.5, 2**e / (2 * params.participant_bound)) for e in range(1, len(rows) + 1)]
+    assert probabilities == pytest.approx(expected)
+    assert probabilities[-1] == pytest.approx(0.5)
+    if len(probabilities) >= 2:
+        assert probabilities[-2] == pytest.approx(0.25)
+
+    # All regular epochs share one length; the final epoch is longer by ~F'.
+    lengths = [row["length"] for row in rows]
+    assert len(set(lengths[:-1])) == 1
+    f_prime = schedule.effective_frequencies
+    assert lengths[-1] >= lengths[0] * max(1, f_prime // 2)
+
+    # The total is the Theorem 10 shape: F/(F−t)·log²N + Ft/(F−t)·logN (up to constants).
+    assert schedule.total_rounds == sum(lengths)
+    assert schedule.total_rounds <= 8 * schedule.theoretical_round_bound() + 8
+
+
+def test_fig1_schedule_scales_with_disruption(benchmark, emit):
+    def build():
+        return [
+            TrapdoorSchedule(ModelParameters(16, budget, 256)).total_rounds
+            for budget in (1, 4, 8, 12, 15)
+        ]
+
+    totals = run_once(benchmark, build)
+    emit(
+        render_table(
+            [{"t": t, "total_rounds": total} for t, total in zip((1, 4, 8, 12, 15), totals)],
+            title="Figure 1 — total schedule length vs disruption budget (F=16, N=256)",
+        )
+    )
+    assert all(a <= b for a, b in zip(totals, totals[1:])), "schedule must grow with t"

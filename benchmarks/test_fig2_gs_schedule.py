@@ -1,0 +1,97 @@
+"""Experiment ``fig2`` — regenerate Figure 2 (Good Samaritan round structure).
+
+Figure 2 of the paper describes, per super-epoch ``k``: the ``lg N + 2``
+epochs of length ``Θ(2^k·log³N)``, the broadcast probability ladder
+(``1/N, 2/N, …, 1/2, 1/2, 1/2``), and the frequency-selection distributions —
+uniform over the prefix ``[1 .. 2^k]`` mixed with the whole band in regular
+epochs, and the ``d``-then-``[1 .. 2^d]`` special distribution in the last two
+epochs.  The structure is deterministic; this benchmark regenerates it and
+checks every component.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_helpers import run_once
+from repro.experiments.tables import render_table
+from repro.params import ModelParameters
+from repro.protocols.good_samaritan.schedule import GoodSamaritanSchedule
+
+PARAMETER_POINTS = [
+    ModelParameters(frequencies=8, disruption_budget=3, participant_bound=256),
+    ModelParameters(frequencies=16, disruption_budget=8, participant_bound=256),
+    ModelParameters(frequencies=32, disruption_budget=16, participant_bound=1024),
+]
+
+
+@pytest.mark.parametrize("params", PARAMETER_POINTS, ids=lambda p: p.describe())
+def test_fig2_super_epoch_structure(benchmark, emit, params):
+    schedule = run_once(benchmark, lambda: GoodSamaritanSchedule(params))
+    rows = schedule.describe_rows()
+    emit(render_table(rows, title=f"Figure 2 — Good Samaritan structure for {params.describe()}"))
+
+    # lg F super-epochs, each with lg N + 2 epochs.
+    assert len(rows) == params.log_frequencies
+    assert all(row["epochs"] == params.log_participants + 2 for row in rows)
+
+    # Epoch lengths double from super-epoch to super-epoch (the 2^k factor).
+    lengths = [row["epoch_length"] for row in rows]
+    for previous, current in zip(lengths, lengths[1:]):
+        assert current == pytest.approx(2 * previous, rel=0.02)
+
+    # The prefix width is 2^k clamped to the band.
+    assert [row["prefix_width"] for row in rows] == [
+        min(2**k, params.frequencies) for k in range(1, len(rows) + 1)
+    ]
+
+    # The fallback epochs are at least four times the longest optimistic epoch.
+    assert schedule.fallback_epoch_length >= 4 * lengths[-1]
+
+
+@pytest.mark.parametrize("params", PARAMETER_POINTS[:2], ids=lambda p: p.describe())
+def test_fig2_probability_ladder_and_special_distribution(benchmark, emit, params):
+    schedule = run_once(benchmark, lambda: GoodSamaritanSchedule(params))
+
+    ladder = [
+        {"epoch": epoch, "broadcast_probability": schedule.broadcast_probability(epoch)}
+        for epoch in range(1, schedule.epochs_per_super_epoch + 1)
+    ]
+    emit(render_table(ladder, title="Figure 2 — broadcast probability per epoch", float_digits=5))
+    # 2^e / 2N for the first lg N epochs, then 1/2 in the last two.
+    for entry in ladder[: params.log_participants]:
+        expected = min(0.5, 2 ** entry["epoch"] / (2 * params.participant_bound))
+        assert entry["broadcast_probability"] == pytest.approx(expected)
+    assert ladder[-1]["broadcast_probability"] == pytest.approx(0.5)
+    assert ladder[-2]["broadcast_probability"] == pytest.approx(0.5)
+
+    # The special-round frequency distribution of Figure 2: a proper
+    # distribution, concentrated on low frequencies, covering the whole band.
+    for k in range(1, schedule.super_epoch_count + 1):
+        distribution = schedule.special_frequency_distribution(k)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert distribution[1] >= distribution[params.frequencies]
+        assert min(distribution.values()) > 0.0
+
+
+def test_fig2_adaptive_target_super_epoch(benchmark, emit):
+    params = ModelParameters(frequencies=32, disruption_budget=16, participant_bound=256)
+
+    def build():
+        schedule = GoodSamaritanSchedule(params)
+        return schedule, [
+            {
+                "t_prime": t_prime,
+                "target_super_epoch": schedule.expected_adaptive_super_epoch(t_prime),
+                "round_bound": schedule.adaptive_round_bound(t_prime),
+            }
+            for t_prime in (0, 1, 2, 4, 8, 16)
+        ]
+
+    schedule, rows = run_once(benchmark, build)
+    emit(render_table(rows, title="Figure 2 — adaptive target super-epoch lg(2t') and round bound"))
+    targets = [row["target_super_epoch"] for row in rows]
+    bounds = [row["round_bound"] for row in rows]
+    assert targets == sorted(targets)
+    assert bounds == sorted(bounds)
+    assert bounds[-1] <= schedule.optimistic_rounds

@@ -1,0 +1,125 @@
+"""Experiment ``thm10`` — Trapdoor Protocol scaling (Theorem 10).
+
+Theorem 10: the Trapdoor Protocol synchronizes every node within
+``O(F/(F−t)·log²N + F·t/(F−t)·logN)`` rounds, w.h.p.  The benchmark sweeps
+``N`` at fixed ``(F, t)`` and ``t`` at fixed ``(F, N)``, measures the mean
+worst-node latency over several seeds, and checks that the measured curves
+match the theorem's shape (single fitted constant, growing in the right
+direction) while staying within a small constant factor of the formula.
+"""
+
+from __future__ import annotations
+
+from _bench_helpers import measure, run_once
+from repro.adversary.activation import StaggeredActivation
+from repro.adversary.jammers import RandomJammer
+from repro.analysis.bounds import trapdoor_upper_bound
+from repro.analysis.fitting import fit_constant, monotonically_increasing
+from repro.experiments.tables import render_table
+from repro.params import ModelParameters
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+
+def test_thm10_scaling_in_participant_bound(benchmark, emit):
+    frequencies, budget = 8, 3
+    participant_bounds = (16, 64, 256, 1024)
+
+    def run():
+        rows = []
+        for participant_bound in participant_bounds:
+            params = ModelParameters(frequencies, budget, participant_bound)
+            summary = measure(
+                params,
+                TrapdoorProtocol.factory(),
+                StaggeredActivation(count=8, spacing=3),
+                RandomJammer(),
+                seeds=3,
+            )
+            rows.append(
+                {
+                    "N": participant_bound,
+                    "measured_mean_latency": summary.mean_latency,
+                    "theorem10_shape": trapdoor_upper_bound(participant_bound, frequencies, budget),
+                    "agreement": summary.agreement_rate,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(render_table(rows, title="Theorem 10 — Trapdoor latency vs N (F=8, t=3)", float_digits=1))
+
+    measured = [row["measured_mean_latency"] for row in rows]
+    predicted = [row["theorem10_shape"] for row in rows]
+    assert monotonically_increasing(measured, tolerance=0.1), measured
+    fit = fit_constant(measured, predicted)
+    assert fit.is_shape_match(0.85), f"measured N-scaling does not match Theorem 10: {fit}"
+    # The fitted constant should be a small number (the protocol constants),
+    # i.e. the formula is predictive, not just correlated.
+    assert 0.5 <= fit.constant <= 50
+
+
+def test_thm10_scaling_in_disruption_budget(benchmark, emit):
+    frequencies, participant_bound = 8, 64
+    budgets = (1, 3, 5, 6)
+
+    def run():
+        rows = []
+        for budget in budgets:
+            params = ModelParameters(frequencies, budget, participant_bound)
+            summary = measure(
+                params,
+                TrapdoorProtocol.factory(),
+                StaggeredActivation(count=8, spacing=3),
+                RandomJammer(),
+                seeds=3,
+            )
+            rows.append(
+                {
+                    "t": budget,
+                    "measured_mean_latency": summary.mean_latency,
+                    "theorem10_shape": trapdoor_upper_bound(participant_bound, frequencies, budget),
+                    "liveness": summary.liveness_rate,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(render_table(rows, title="Theorem 10 — Trapdoor latency vs t (F=8, N=64)", float_digits=1))
+
+    assert all(row["liveness"] == 1.0 for row in rows)
+    measured = [row["measured_mean_latency"] for row in rows]
+    predicted = [row["theorem10_shape"] for row in rows]
+    assert measured[-1] > measured[0], "heavier jamming budgets must cost more rounds"
+    fit = fit_constant(measured, predicted)
+    assert fit.is_shape_match(0.7), f"measured t-scaling does not match Theorem 10: {fit}"
+
+
+def test_thm10_latency_within_constant_factor_of_formula(benchmark, emit):
+    def run():
+        rows = []
+        for frequencies, budget, participant_bound in ((8, 3, 64), (16, 8, 64), (4, 1, 256)):
+            params = ModelParameters(frequencies, budget, participant_bound)
+            summary = measure(
+                params,
+                TrapdoorProtocol.factory(),
+                StaggeredActivation(count=6, spacing=4),
+                RandomJammer(),
+                seeds=3,
+            )
+            formula = trapdoor_upper_bound(participant_bound, frequencies, budget)
+            rows.append(
+                {
+                    "params": params.describe(),
+                    "measured_max_latency": summary.max_latency,
+                    "theorem10_shape": formula,
+                    "ratio": summary.max_latency / formula,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(render_table(rows, title="Theorem 10 — worst measured latency vs formula (constant factor)", float_digits=2))
+    ratios = [row["ratio"] for row in rows]
+    # One shared constant factor: the spread between parameter points stays small.
+    assert max(ratios) / min(ratios) < 6, ratios
+    assert max(ratios) < 50

@@ -1,0 +1,138 @@
+"""Experiment ``thm1`` — the Theorem 1 lower bound and its proof gadgets.
+
+Theorem 1: any *regular* protocol needs ``Ω(log²N / ((F−t)·loglogN))`` rounds
+against an adversary that simply jams frequencies ``1..t`` forever.  The proof
+rests on two gadgets we implement and check numerically here — Lemma 2 (the
+balls-in-bins bound ``2^{-s}``) and Claim 3 (no broadcast probability is
+"good" for two well-separated population sizes) — and the benchmark also runs
+the Trapdoor Protocol against the theorem's fixed-band adversary to confirm
+the measured synchronization times sit above the bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _bench_helpers import measure, run_once
+from repro.adversary.activation import SimultaneousActivation
+from repro.adversary.jammers import FixedBandJammer
+from repro.analysis.balls_in_bins import lemma2_lower_bound, no_singleton_probability_exact
+from repro.analysis.bounds import theorem1_lower_bound, theorem5_lower_bound
+from repro.analysis.good_probability import (
+    claim3_column_exponents,
+    good_population_exponents,
+)
+from repro.experiments.tables import render_table
+from repro.params import ModelParameters
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+
+def test_thm1_bound_formula_scaling(benchmark, emit):
+    def build():
+        rows = []
+        for log_n in (8, 12, 16, 24, 32):
+            participant_bound = 2**log_n
+            for frequencies, budget in ((8, 4), (16, 8), (16, 14)):
+                rows.append(
+                    {
+                        "N": f"2^{log_n}",
+                        "F": frequencies,
+                        "t": budget,
+                        "thm1_bound": theorem1_lower_bound(participant_bound, frequencies, budget),
+                        "thm5_bound": theorem5_lower_bound(participant_bound, frequencies, budget),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(render_table(rows, title="Theorem 1 / Theorem 5 lower bounds", float_digits=1))
+    # The bound grows with N and shrinks as more frequencies stay clear.
+    same_ft = [row["thm1_bound"] for row in rows if row["F"] == 8]
+    assert same_ft == sorted(same_ft)
+    for log_n in (8, 16):
+        narrow = next(r for r in rows if r["N"] == f"2^{log_n}" and r["F"] == 16 and r["t"] == 14)
+        wide = next(r for r in rows if r["N"] == f"2^{log_n}" and r["F"] == 16 and r["t"] == 8)
+        assert narrow["thm1_bound"] > wide["thm1_bound"]
+
+
+def test_thm1_lemma2_balls_in_bins(benchmark, emit):
+    def build():
+        rng = random.Random(0)
+        rows = []
+        for s in (1, 2, 3, 4):
+            # s "good frequency" bins plus the dominant "stay silent" bin.
+            probabilities = [0.5 / s] * s + [0.5]
+            for balls in (4, 8, 16):
+                exact = no_singleton_probability_exact(balls, probabilities)
+                rows.append(
+                    {
+                        "good_bins_s": s,
+                        "balls_m": balls,
+                        "P[no lone broadcaster]": exact,
+                        "lemma2_bound_2^-s": lemma2_lower_bound(s),
+                        "holds": exact >= lemma2_lower_bound(s),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(render_table(rows, title="Lemma 2 — probability that no frequency has a lone broadcaster", float_digits=4))
+    assert all(row["holds"] for row in rows)
+
+
+def test_thm1_claim3_good_probability_separation(benchmark, emit):
+    participant_bound = 2**128
+
+    def build():
+        exponents = claim3_column_exponents(participant_bound)
+        rows = []
+        for grid_point in range(1, 40):
+            probability = grid_point / 40
+            good = good_population_exponents(probability, exponents, participant_bound)
+            rows.append({"broadcast_probability": probability, "good_for_columns": len(good)})
+        return exponents, rows
+
+    exponents, rows = run_once(benchmark, build)
+    emit(
+        render_table(
+            rows,
+            title=f"Claim 3 — candidate populations 2^m for m in {exponents}: columns each p is good for",
+            float_digits=3,
+        )
+    )
+    assert len(exponents) >= 2
+    assert all(row["good_for_columns"] <= 1 for row in rows)
+
+
+def test_thm1_measured_times_respect_the_bound(benchmark, emit):
+    """Trapdoor against the Theorem 1 adversary: measured time ≥ the lower bound."""
+
+    def run():
+        rows = []
+        for participant_bound in (16, 64, 256):
+            params = ModelParameters(frequencies=8, disruption_budget=4, participant_bound=participant_bound)
+            summary = measure(
+                params,
+                TrapdoorProtocol.factory(),
+                SimultaneousActivation(count=min(8, participant_bound)),
+                FixedBandJammer(),
+                seeds=3,
+            )
+            rows.append(
+                {
+                    "N": participant_bound,
+                    "measured_mean_latency": summary.mean_latency,
+                    "thm1_lower_bound": theorem1_lower_bound(participant_bound, 8, 4),
+                    "thm5_lower_bound": theorem5_lower_bound(participant_bound, 8, 4),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(render_table(rows, title="Theorem 1 — measured Trapdoor latency vs lower bound (fixed-band jammer)", float_digits=1))
+    for row in rows:
+        assert row["measured_mean_latency"] >= row["thm1_lower_bound"]
+    measured = [row["measured_mean_latency"] for row in rows]
+    assert measured == sorted(measured), "latency must grow with N"

@@ -1,0 +1,103 @@
+"""Experiment ``thm4`` — the two-node lower bound (Theorem 4).
+
+Theorem 4: against an adversary that always disrupts the ``t`` frequencies
+with the largest selection-probability products, two nodes need
+``Ω(F·t/(F−t)·log(1/ε))`` rounds to meet on an undisrupted frequency — the
+per-round meeting probability is at most ``(k−t)/k²`` with ``k = min(F, 2t)``.
+This benchmark (a) tabulates the analytic game value and checks the
+``k = min(F, 2t)`` maximizer against brute force, and (b) runs two-node
+Trapdoor executions against the product-targeting jammer and checks that
+measured rendezvous times grow with ``t`` in the predicted shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_helpers import measure, run_once
+from repro.adversary.activation import StaggeredActivation
+from repro.adversary.jammers import TwoNodeProductJammer
+from repro.analysis.fitting import fit_constant
+from repro.analysis.two_node_game import (
+    best_protocol_meeting_probability,
+    best_protocol_meeting_probability_bruteforce,
+    expected_rounds_to_meet,
+    rounds_lower_bound,
+)
+from repro.experiments.tables import render_table
+from repro.params import ModelParameters
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+
+def test_thm4_game_value_table(benchmark, emit):
+    def build():
+        rows = []
+        for frequencies in (8, 16, 32):
+            for budget in (1, 2, frequencies // 4, frequencies // 2, frequencies - 1):
+                value = best_protocol_meeting_probability(frequencies, budget)
+                rows.append(
+                    {
+                        "F": frequencies,
+                        "t": budget,
+                        "meeting_probability": value,
+                        "bruteforce": best_protocol_meeting_probability_bruteforce(frequencies, budget),
+                        "expected_rounds": expected_rounds_to_meet(frequencies, budget),
+                        "rounds_bound_eps_1%": rounds_lower_bound(frequencies, budget, 0.01),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(render_table(rows, title="Theorem 4 — two-node game value (k = min(F, 2t))", float_digits=4))
+    for row in rows:
+        assert row["meeting_probability"] == pytest.approx(row["bruteforce"])
+    # Expected rendezvous time grows with t at fixed F.
+    for frequencies in (8, 16, 32):
+        series = [row["expected_rounds"] for row in rows if row["F"] == frequencies]
+        assert series == sorted(series)
+
+
+def test_thm4_measured_two_node_rendezvous(benchmark, emit):
+    """Two nodes, staggered start, product-targeting jammer: latency grows ~ F·t/(F−t)."""
+
+    frequencies = 8
+    budgets = (1, 2, 3, 4, 6)
+
+    def run():
+        rows = []
+        for budget in budgets:
+            params = ModelParameters(
+                frequencies=frequencies, disruption_budget=budget, participant_bound=16
+            )
+            summary = measure(
+                params,
+                TrapdoorProtocol.factory(),
+                StaggeredActivation(count=2, spacing=5),
+                TwoNodeProductJammer(),
+                seeds=5,
+            )
+            rows.append(
+                {
+                    "t": budget,
+                    "measured_mean_latency": summary.mean_latency,
+                    "theory_shape_Ft/(F-t)": frequencies * budget / (frequencies - budget),
+                    "liveness": summary.liveness_rate,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(
+        render_table(
+            rows,
+            title="Theorem 4 — measured two-node synchronization latency vs F·t/(F−t) shape",
+            float_digits=1,
+        )
+    )
+    assert all(row["liveness"] == 1.0 for row in rows)
+    measured = [row["measured_mean_latency"] for row in rows]
+    # Latency increases from the lightest to the heaviest disruption budget.
+    assert measured[-1] > measured[0]
+    # And the overall shape correlates with F·t/(F−t) once a constant is fitted.
+    fit = fit_constant(measured, [row["theory_shape_Ft/(F-t)"] for row in rows])
+    assert fit.r_squared > 0.5, f"shape mismatch: {fit}"

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Adaptive vs worst-case: when is the Good Samaritan Protocol worth it?
+
+The Trapdoor Protocol sizes its schedule for the worst-case disruption budget
+``t``.  The Good Samaritan Protocol (§7) is optimistic: when all devices start
+together and only ``t' ≪ t`` channels are actually disrupted, it finishes in
+``O(t'·log³N)`` rounds — while still falling back to a Trapdoor-style
+guarantee in bad executions.
+
+This example runs both protocols on identical "good executions" while sweeping
+the *actual* interference level, then shows the flip side: under full-budget
+adaptive jamming the worst-case protocol is the safer bet.
+
+Run it with::
+
+    python examples/adaptive_low_interference.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import (
+    GoodSamaritanProtocol,
+    ModelParameters,
+    NoInterference,
+    ObliviousSchedule,
+    RandomJammer,
+    SimulationConfig,
+    SimultaneousActivation,
+    TrapdoorProtocol,
+    good_samaritan_adaptive_bound,
+    run_trials,
+    trapdoor_upper_bound,
+)
+from repro.experiments.figures import render_bars
+from repro.experiments.tables import render_table
+
+# A wide band with a pessimistic worst-case budget (t = F/2), as in a crowded
+# unlicensed band where "anything up to half the channels might be unusable".
+PARAMS = ModelParameters(frequencies=64, disruption_budget=32, participant_bound=16)
+NODE_COUNT = 5
+SEEDS = 3
+
+
+def summary_for(protocol_factory, actual_disruption: int):
+    """Run good executions in which only ``actual_disruption`` channels are hit."""
+
+    def per_seed(config: SimulationConfig, seed: int) -> SimulationConfig:
+        inner = (
+            RandomJammer(strength=actual_disruption) if actual_disruption else NoInterference()
+        )
+        jammer = ObliviousSchedule.pre_drawn(
+            inner, PARAMS.band, PARAMS.disruption_budget, rounds=60_000, seed=seed * 13 + 5
+        )
+        return replace(config, adversary=jammer)
+
+    config = SimulationConfig(
+        params=PARAMS,
+        protocol_factory=protocol_factory,
+        activation=SimultaneousActivation(count=NODE_COUNT),
+        max_rounds=120_000,
+    )
+    return run_trials(config, seeds=SEEDS, config_for_seed=per_seed)
+
+
+def good_executions() -> None:
+    print(f"Good executions — {PARAMS.describe()}, {NODE_COUNT} devices waking together.")
+    print("The adversary may disrupt up to t=32 channels but actually uses only t'.")
+    print()
+    rows = []
+    for t_prime in (0, 1, 2, 4):
+        trapdoor = summary_for(TrapdoorProtocol.factory(), t_prime)
+        samaritan = summary_for(GoodSamaritanProtocol.factory(), t_prime)
+        rows.append(
+            {
+                "actual disruption t'": t_prime,
+                "trapdoor mean latency": trapdoor.mean_latency,
+                "good samaritan mean latency": samaritan.mean_latency,
+                "speedup": trapdoor.mean_latency / samaritan.mean_latency,
+            }
+        )
+    print(render_table(rows, title="Mean rounds to synchronize (3 seeds each)", float_digits=1))
+    print()
+    print(
+        render_bars(
+            [f"t'={t}" for t in (0, 1, 2, 4)],
+            [row["good samaritan mean latency"] for row in rows],
+            title="Good Samaritan latency grows with the *actual* interference, not the budget",
+            unit=" rounds",
+        )
+    )
+    print()
+    print(f"Theorem 10 shape for the Trapdoor schedule: {trapdoor_upper_bound(16, 64, 32):.0f}")
+    print(f"Theorem 18 adaptive shape at t'=1:          {good_samaritan_adaptive_bound(16, 1):.0f}")
+    print()
+
+
+def worst_case() -> None:
+    print("Worst case — the adversary uses its full budget every round.")
+    rows = []
+    for name, factory in (
+        ("trapdoor", TrapdoorProtocol.factory()),
+        ("good samaritan", GoodSamaritanProtocol.factory()),
+    ):
+        config = SimulationConfig(
+            params=PARAMS,
+            protocol_factory=factory,
+            activation=SimultaneousActivation(count=NODE_COUNT),
+            adversary=RandomJammer(),
+            max_rounds=200_000,
+        )
+        summary = run_trials(config, seeds=2)
+        rows.append(
+            {
+                "protocol": name,
+                "mean latency": summary.mean_latency,
+                "worst latency": summary.max_latency,
+                "liveness": summary.liveness_rate,
+            }
+        )
+    print(render_table(rows, title="Full-budget random jamming (2 seeds each)", float_digits=1))
+    print()
+    print("Under worst-case interference the optimistic protocol pays its extra log N factor;")
+    print("when interference is usually light, the adaptive protocol wins by a wide margin.")
+
+
+def main() -> None:
+    good_executions()
+    worst_case()
+
+
+if __name__ == "__main__":
+    main()

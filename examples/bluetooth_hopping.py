@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Synchronize, then coordinate: frequency hopping, TDMA, and group re-keying.
+
+The paper's introduction argues that a shared round numbering is the building
+block that lets higher-level protocols run in an ad hoc setting: Bluetooth-style
+pseudorandom frequency hopping needs every device to hop to the same channel in
+the same round; TDMA needs a shared slot count; periodic maintenance (group
+re-keying, counting) needs everyone to agree on *when* the maintenance rounds
+are.  This example runs the whole pipeline:
+
+1. synchronize a piconet of devices with the Trapdoor Protocol under jamming;
+2. derive a shared frequency-hopping sequence from the agreed round numbers;
+3. carve the synchronized rounds into TDMA slots using the device uids;
+4. schedule group re-keying epochs on the shared clock;
+5. show what breaks for a device whose clock is off by a few rounds.
+
+Run it with::
+
+    python examples/bluetooth_hopping.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ModelParameters,
+    RandomJammer,
+    SimulationConfig,
+    StaggeredActivation,
+    TrapdoorProtocol,
+    simulate,
+)
+from repro.apps.counting import CountingWindow, recommended_window_length, windows_to_count_all
+from repro.apps.frequency_hopping import FrequencyHopper
+from repro.apps.group_key import GroupKeySchedule
+from repro.apps.leader_election import election_from_result
+from repro.apps.tdma import TdmaSchedule
+from repro.experiments.tables import render_table
+
+
+def synchronize():
+    params = ModelParameters(frequencies=16, disruption_budget=4, participant_bound=64)
+    config = SimulationConfig(
+        params=params,
+        protocol_factory=TrapdoorProtocol.factory(),
+        activation=StaggeredActivation(count=7, spacing=4),
+        adversary=RandomJammer(),
+        seed=99,
+        extra_rounds_after_sync=5,
+    )
+    result = simulate(config)
+    print("Step 1 — synchronization:", result.summary())
+    election = election_from_result(result)
+    print(f"          leader: node {election.leader}, followers: {list(election.followers)}")
+    print()
+    return params, result
+
+
+def main() -> None:
+    params, result = synchronize()
+    trace = result.trace
+
+    # The agreed round number at the end of the execution (all nodes output it).
+    final_record = trace.records[-1]
+    shared_round = next(v for v in final_record.outputs.values() if v is not None)
+    # The uids the devices drew at activation; in a real deployment these
+    # would be exchanged during the maintenance rounds the paper describes.
+    device_uids = sorted({_uid_of(result, node) for node in trace.node_ids})
+
+    # Step 2 — frequency hopping from the shared round number.
+    hopper = FrequencyHopper(params.band, seed=0xB1_07_EE, avoid=frozenset({1}))
+    hops = hopper.hop_sequence(shared_round, 12)
+    print("Step 2 — shared hop sequence for the next 12 rounds (channel 1 avoided):")
+    print("         ", " ".join(f"{f:2d}" for f in hops))
+    print(f"          a device whose clock is 2 rounds off meets the group in only "
+          f"{hopper.rendezvous_rate(2, shared_round, 500):.0%} of rounds")
+    print()
+
+    # Step 3 — TDMA slots from the device uids.
+    tdma = TdmaSchedule.round_robin(device_uids)
+    rows = [
+        {
+            "round": shared_round + offset,
+            "hop_channel": hopper.frequency_for_round(shared_round + offset),
+            "tdma_transmitter_uid": (tdma.transmitters_in_round(shared_round + offset) or ("-",))[0],
+        }
+        for offset in range(8)
+    ]
+    print(render_table(rows, title="Step 3 — the coordinated schedule (one transmitter per round, same channel)"))
+    assert tdma.is_collision_free(range(shared_round, shared_round + 10 * tdma.cycle_length))
+    print()
+
+    # Step 4 — periodic maintenance on the shared clock.
+    keys = GroupKeySchedule(group_secret=b"piconet-42", rekey_period=128)
+    window = CountingWindow(period=64, length=recommended_window_length(len(device_uids)) // 2)
+    print("Step 4 — maintenance on the shared clock:")
+    print(f"          group key epoch at round {shared_round}: #{keys.epoch_of_round(shared_round)}")
+    print(f"          next re-key at round {(keys.epoch_of_round(shared_round) + 1) * 128}")
+    print(f"          counting windows recur every {window.period} rounds; "
+          f"{windows_to_count_all(device_uids, window.length)} window(s) suffice to hear every device")
+    print()
+
+    # Step 5 — what synchronization buys.
+    print("Step 5 — without synchronization:")
+    print(f"          desynchronized hopper rendezvous rate ≈ {hopper.rendezvous_rate(5, shared_round, 500):.0%}")
+    print(f"          devices 3 rounds apart agree on the group key: {keys.keys_match(shared_round, shared_round + 3)}")
+
+
+def _uid_of(result, node_id: int) -> int:
+    """The uid a node drew at activation (exposed for the example via the trace roles)."""
+    # The engine does not expose protocol internals in the trace, so for the
+    # example we re-derive the uid the same way the engine did: from the
+    # node's deterministic random stream.
+    from repro.engine.rng import RandomStreams
+    from repro.timestamps import draw_uid
+
+    streams = RandomStreams(result.trace.seed)
+    return draw_uid(streams.node_stream(node_id), result.trace.params.participant_bound)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Interference adversaries and activation schedules (paper §2)."""
+
+from repro.adversary.activation import (
+    ActivationSchedule,
+    ExplicitActivation,
+    RandomActivation,
+    SimultaneousActivation,
+    StaggeredActivation,
+    TrickleActivation,
+)
+from repro.adversary.base import AdversaryContext, InterferenceAdversary, validate_budget
+from repro.adversary.jammers import (
+    BurstyJammer,
+    FixedBandJammer,
+    LowBandJammer,
+    NoInterference,
+    RandomJammer,
+    ReactiveJammer,
+    SweepJammer,
+    TwoNodeProductJammer,
+)
+from repro.adversary.oblivious import ObliviousSchedule
+
+__all__ = [
+    "ActivationSchedule",
+    "ExplicitActivation",
+    "RandomActivation",
+    "SimultaneousActivation",
+    "StaggeredActivation",
+    "TrickleActivation",
+    "AdversaryContext",
+    "InterferenceAdversary",
+    "validate_budget",
+    "BurstyJammer",
+    "FixedBandJammer",
+    "LowBandJammer",
+    "NoInterference",
+    "RandomJammer",
+    "ReactiveJammer",
+    "SweepJammer",
+    "TwoNodeProductJammer",
+    "ObliviousSchedule",
+]

@@ -1,0 +1,78 @@
+"""Analytical machinery: the paper's bounds, proof gadgets, and curve fitting."""
+
+from repro.analysis.balls_in_bins import (
+    lemma2_holds,
+    lemma2_lower_bound,
+    no_singleton_probability_exact,
+    no_singleton_probability_monte_carlo,
+)
+from repro.analysis.bounds import (
+    good_samaritan_adaptive_bound,
+    good_samaritan_worst_case_bound,
+    theorem1_lower_bound,
+    theorem4_lower_bound,
+    theorem5_lower_bound,
+    trapdoor_upper_bound,
+    upper_to_lower_gap,
+)
+from repro.analysis.fitting import ConstantFit, crossover_index, fit_constant, monotonically_increasing
+from repro.analysis.good_probability import (
+    claim3_column_exponents,
+    claim3_holds,
+    good_population_exponents,
+    goodness_threshold,
+    is_good,
+    optimal_broadcast_probability,
+    success_probability,
+)
+from repro.analysis.scaling import PowerLawFit, doubling_ratios, fit_power_law, growth_factor
+from repro.analysis.statistics import SampleSummary, geometric_mean, percentile, summarize
+from repro.analysis.two_node_game import (
+    DisruptionChoice,
+    best_protocol_meeting_probability,
+    best_protocol_meeting_probability_bruteforce,
+    expected_rounds_to_meet,
+    optimal_disruption,
+    per_round_escape_probability,
+    rounds_lower_bound,
+)
+
+__all__ = [
+    "lemma2_holds",
+    "lemma2_lower_bound",
+    "no_singleton_probability_exact",
+    "no_singleton_probability_monte_carlo",
+    "good_samaritan_adaptive_bound",
+    "good_samaritan_worst_case_bound",
+    "theorem1_lower_bound",
+    "theorem4_lower_bound",
+    "theorem5_lower_bound",
+    "trapdoor_upper_bound",
+    "upper_to_lower_gap",
+    "ConstantFit",
+    "crossover_index",
+    "fit_constant",
+    "monotonically_increasing",
+    "claim3_column_exponents",
+    "claim3_holds",
+    "good_population_exponents",
+    "goodness_threshold",
+    "is_good",
+    "optimal_broadcast_probability",
+    "success_probability",
+    "PowerLawFit",
+    "doubling_ratios",
+    "fit_power_law",
+    "growth_factor",
+    "SampleSummary",
+    "geometric_mean",
+    "percentile",
+    "summarize",
+    "DisruptionChoice",
+    "best_protocol_meeting_probability",
+    "best_protocol_meeting_probability_bruteforce",
+    "expected_rounds_to_meet",
+    "optimal_disruption",
+    "per_round_escape_probability",
+    "rounds_lower_bound",
+]

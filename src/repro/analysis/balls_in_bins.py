@@ -1,0 +1,132 @@
+"""The balls-in-bins process of Lemma 2.
+
+Lemma 2 states: if ``m`` balls are thrown independently into ``s + 1`` bins
+according to a distribution ``p₁ ≤ p₂ ≤ … ≤ p_{s+1}`` with ``p_{s+1} ≥ 1/2``,
+then the probability that **no bin receives exactly one ball** is at least
+``2^{-s}``.
+
+In the lower-bound proof the bins are the frequencies with *good* success
+probability (plus one virtual bin for "not broadcasting on any of them"), the
+balls are the ``n`` devices, and the lemma bounds the probability that the
+adversary gets lucky and no frequency carries a lone broadcaster.
+
+This module provides the analytic bound, an exact computation for small
+instances, and a Monte-Carlo estimator used by the tests and the ``thm1``
+benchmark to confirm the bound empirically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def validate_distribution(probabilities: Sequence[float]) -> tuple[float, ...]:
+    """Validate a bin distribution (non-negative, sums to 1 within tolerance)."""
+    if not probabilities:
+        raise ConfigurationError("a distribution needs at least one bin")
+    if any(p < 0 for p in probabilities):
+        raise ConfigurationError("probabilities must be non-negative")
+    total = sum(probabilities)
+    if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+        raise ConfigurationError(f"probabilities must sum to 1, got {total}")
+    return tuple(probabilities)
+
+
+def lemma2_lower_bound(bins_below_half: int) -> float:
+    """The Lemma 2 bound ``2^{-s}`` where ``s`` is the number of non-dominant bins."""
+    if bins_below_half < 0:
+        raise ConfigurationError(f"s must be non-negative, got {bins_below_half}")
+    return 2.0 ** (-bins_below_half)
+
+
+def no_singleton_probability_exact(ball_count: int, probabilities: Sequence[float]) -> float:
+    """Exact probability that no bin receives exactly one ball.
+
+    Uses inclusion–exclusion over the set of bins forced to hold exactly one
+    ball, which is exponential in the number of bins — fine for the small
+    instances used in tests (``s ≤ 8`` or so).
+    """
+    probs = validate_distribution(probabilities)
+    if ball_count < 0:
+        raise ConfigurationError(f"ball count must be non-negative, got {ball_count}")
+    bins = len(probs)
+    total = 0.0
+    for subset_size in range(0, min(bins, ball_count) + 1):
+        for subset in itertools.combinations(range(bins), subset_size):
+            # Probability that each bin in `subset` holds exactly one *designated*
+            # ball and the remaining balls avoid... inclusion-exclusion over
+            # "bin i has exactly one ball" events requires the permanent-style
+            # sum below.
+            p_subset = 1.0
+            remaining_mass = 1.0
+            for bin_index in subset:
+                remaining_mass -= probs[bin_index]
+            # Number of ways to assign distinct balls to the designated bins.
+            ways = 1.0
+            for i in range(subset_size):
+                ways *= ball_count - i
+            for bin_index in subset:
+                p_subset *= probs[bin_index]
+            if remaining_mass < 0:
+                remaining_mass = 0.0
+            term = ways * p_subset * remaining_mass ** (ball_count - subset_size)
+            total += (-1) ** subset_size * term
+    return max(0.0, min(1.0, total))
+
+
+def no_singleton_probability_monte_carlo(
+    ball_count: int,
+    probabilities: Sequence[float],
+    trials: int = 10_000,
+    rng: random.Random | None = None,
+) -> float:
+    """Monte-Carlo estimate of the probability that no bin gets exactly one ball."""
+    probs = validate_distribution(probabilities)
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    rng = rng or random.Random(0)
+    cumulative = []
+    running = 0.0
+    for p in probs:
+        running += p
+        cumulative.append(running)
+    successes = 0
+    for _ in range(trials):
+        counts = [0] * len(probs)
+        for _ in range(ball_count):
+            draw = rng.random()
+            for bin_index, threshold in enumerate(cumulative):
+                if draw <= threshold:
+                    counts[bin_index] += 1
+                    break
+            else:
+                counts[-1] += 1
+        if all(count != 1 for count in counts):
+            successes += 1
+    return successes / trials
+
+
+def lemma2_holds(ball_count: int, probabilities: Sequence[float], exact: bool = True,
+                 trials: int = 20_000, rng: random.Random | None = None) -> bool:
+    """Check Lemma 2 on one instance: P[no singleton] ≥ 2^{-s}.
+
+    ``s`` is the number of bins other than the heaviest one; the instance must
+    satisfy the lemma's hypothesis ``max pᵢ ≥ 1/2``.
+    """
+    probs = validate_distribution(probabilities)
+    if max(probs) < 0.5:
+        raise ConfigurationError("Lemma 2 requires the heaviest bin to have probability >= 1/2")
+    s = len(probs) - 1
+    bound = lemma2_lower_bound(s)
+    if exact:
+        probability = no_singleton_probability_exact(ball_count, probs)
+    else:
+        probability = no_singleton_probability_monte_carlo(ball_count, probs, trials, rng)
+        # Leave slack for Monte-Carlo noise.
+        bound *= 0.8
+    return probability >= bound

@@ -1,0 +1,93 @@
+"""Closed-form bound formulas from the paper.
+
+These functions evaluate the asymptotic expressions of Theorems 1, 4, 5, 10,
+and 18 *without* their hidden constants.  The scaling experiments fit the
+constants from measurements (:mod:`repro.analysis.fitting`) and then compare
+the measured growth against these shapes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def _check(frequencies: int, budget: int, participant_bound: int | None = None) -> None:
+    if frequencies < 1:
+        raise ConfigurationError(f"F must be >= 1, got {frequencies}")
+    if not 0 <= budget < frequencies:
+        raise ConfigurationError(f"t must satisfy 0 <= t < F, got t={budget}, F={frequencies}")
+    if participant_bound is not None and participant_bound < 2:
+        raise ConfigurationError(f"N must be >= 2, got {participant_bound}")
+
+
+def log2(value: float) -> float:
+    """``log₂`` with a floor at 1 to keep the formulas well-defined for tiny inputs."""
+    return max(1.0, math.log2(value))
+
+
+def theorem1_lower_bound(participant_bound: int, frequencies: int, budget: int) -> float:
+    """Theorem 1: ``log²N / ((F − t) · log log N)`` (regular protocols)."""
+    _check(frequencies, budget, participant_bound)
+    log_n = log2(participant_bound)
+    return (log_n**2) / ((frequencies - budget) * max(1.0, math.log2(log_n)))
+
+
+def theorem4_lower_bound(frequencies: int, budget: int, error_probability: float) -> float:
+    """Theorem 4: ``F·t/(F − t) · log(1/ε)`` (any protocol, two-node argument)."""
+    _check(frequencies, budget)
+    if not 0.0 < error_probability < 1.0:
+        raise ConfigurationError(
+            f"error probability must be in (0, 1), got {error_probability}"
+        )
+    return (frequencies * budget / (frequencies - budget)) * math.log(1.0 / error_probability)
+
+
+def theorem5_lower_bound(participant_bound: int, frequencies: int, budget: int) -> float:
+    """Theorem 5: the combined lower bound with ``ε = 1/N``.
+
+    ``log²N / ((F − t)·log log N)  +  F·t/(F − t) · log N``
+    """
+    _check(frequencies, budget, participant_bound)
+    log_n = log2(participant_bound)
+    first = theorem1_lower_bound(participant_bound, frequencies, budget)
+    second = (frequencies * budget / (frequencies - budget)) * log_n
+    return first + second
+
+
+def trapdoor_upper_bound(participant_bound: int, frequencies: int, budget: int) -> float:
+    """Theorem 10: ``F/(F − t)·log²N + F·t/(F − t)·log N``."""
+    _check(frequencies, budget, participant_bound)
+    log_n = log2(participant_bound)
+    ratio = frequencies / (frequencies - budget)
+    return ratio * log_n**2 + ratio * budget * log_n
+
+
+def good_samaritan_adaptive_bound(participant_bound: int, actual_disruption: int) -> float:
+    """Theorem 18 (good executions): ``t′ · log³N``."""
+    if participant_bound < 2:
+        raise ConfigurationError(f"N must be >= 2, got {participant_bound}")
+    if actual_disruption < 0:
+        raise ConfigurationError(f"t' must be non-negative, got {actual_disruption}")
+    return max(1, actual_disruption) * log2(participant_bound) ** 3
+
+
+def good_samaritan_worst_case_bound(participant_bound: int, frequencies: int) -> float:
+    """Theorem 18 (all executions): ``F · log³N``."""
+    if participant_bound < 2:
+        raise ConfigurationError(f"N must be >= 2, got {participant_bound}")
+    if frequencies < 1:
+        raise ConfigurationError(f"F must be >= 1, got {frequencies}")
+    return frequencies * log2(participant_bound) ** 3
+
+
+def upper_to_lower_gap(participant_bound: int, frequencies: int, budget: int) -> float:
+    """The ratio between the Trapdoor upper bound and the Theorem 5 lower bound.
+
+    The paper notes the protocol is almost tight; the gap is
+    ``O(log log N)`` in the first term.
+    """
+    upper = trapdoor_upper_bound(participant_bound, frequencies, budget)
+    lower = theorem5_lower_bound(participant_bound, frequencies, budget)
+    return upper / lower

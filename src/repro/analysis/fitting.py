@@ -1,0 +1,96 @@
+"""Fitting measured running times to the paper's bound shapes.
+
+The paper's results are asymptotic; the constants depend on the protocol
+constants we chose.  To compare a measured latency curve against a bound we
+fit a single multiplicative constant by least squares and report the fit
+quality.  A good fit (high R², small relative residuals) means the measured
+curve has the *shape* the theorem predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConstantFit:
+    """The result of fitting ``measured ≈ c · predicted``.
+
+    Attributes
+    ----------
+    constant:
+        The fitted multiplicative constant ``c``.
+    r_squared:
+        Coefficient of determination of the fit (1 = perfect shape match).
+    max_relative_error:
+        The largest ``|measured − c·predicted| / measured`` over the points.
+    """
+
+    constant: float
+    r_squared: float
+    max_relative_error: float
+
+    def is_shape_match(self, r_squared_threshold: float = 0.8) -> bool:
+        """True if the measured curve matches the predicted shape reasonably well."""
+        return self.r_squared >= r_squared_threshold
+
+
+def fit_constant(measured: Sequence[float], predicted: Sequence[float]) -> ConstantFit:
+    """Least-squares fit of a single constant ``c`` in ``measured ≈ c · predicted``."""
+    if len(measured) != len(predicted):
+        raise ConfigurationError("measured and predicted series must have the same length")
+    if len(measured) < 2:
+        raise ConfigurationError("need at least two points to fit a constant")
+    y = np.asarray(measured, dtype=float)
+    x = np.asarray(predicted, dtype=float)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ConfigurationError("fitting requires strictly positive measurements and predictions")
+
+    constant = float(np.dot(x, y) / np.dot(x, x))
+    fitted = constant * x
+    residual = y - fitted
+    total = y - y.mean()
+    ss_res = float(np.dot(residual, residual))
+    ss_tot = float(np.dot(total, total))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    max_relative_error = float(np.max(np.abs(residual) / y))
+    return ConstantFit(constant=constant, r_squared=r_squared, max_relative_error=max_relative_error)
+
+
+def relative_shape_error(measured: Sequence[float], predicted: Sequence[float]) -> float:
+    """The max relative error after the best single-constant fit (shape mismatch measure)."""
+    return fit_constant(measured, predicted).max_relative_error
+
+
+def monotonically_increasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """True if a measured series is (approximately) non-decreasing.
+
+    ``tolerance`` allows each step to dip by up to that *fraction* of the
+    previous value, absorbing simulation noise.
+    """
+    if len(values) < 2:
+        return True
+    for previous, current in zip(values, values[1:]):
+        if current < previous * (1.0 - tolerance):
+            return False
+    return True
+
+
+def crossover_index(first: Sequence[float], second: Sequence[float]) -> int | None:
+    """The first index at which ``first`` stops being below ``second``.
+
+    Used by the Trapdoor-vs-Good-Samaritan crossover experiment: for small
+    ``t'`` the adaptive protocol wins; the crossover is where it stops winning.
+    Returns ``None`` if ``first`` stays below ``second`` everywhere.
+    """
+    if len(first) != len(second):
+        raise ConfigurationError("series must have the same length")
+    for index, (a, b) in enumerate(zip(first, second)):
+        if a >= b:
+            return index
+    return None

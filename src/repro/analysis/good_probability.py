@@ -1,0 +1,112 @@
+"""Success probabilities and "good" rounds (Claim 3 machinery).
+
+For a round in which every one of ``n`` (still-uninformed) nodes broadcasts on
+frequency ``f`` with probability ``p``, the *success probability* is
+
+    ``σ(n, p) = n · p · (1 − p)^{n−1}``
+
+— the probability that exactly one node broadcasts on ``f``.  Following
+Jurdziński & Stachowiak (and §5 of our paper), a probability is *good* for a
+given bound ``N`` if ``σ ≥ 1 / log²N``.
+
+Claim 3 says: with ``x = ⌈4 log log N⌉`` and ``m_i = ⌊x/2⌋ + (i−1)·x``, no
+single broadcast probability ``p`` can be good for two different candidate
+population sizes ``2^{m_i}`` and ``2^{m_j}``.  The lower-bound proof uses this
+to show the adversary can always find a population size the protocol is badly
+tuned for.  This module provides those definitions plus a verifier used by the
+tests and the ``thm1`` benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def success_probability(node_count: int, broadcast_probability: float) -> float:
+    """``σ(n, p) = n · p · (1 − p)^{n−1}`` — probability of a lone broadcaster."""
+    if node_count < 0:
+        raise ConfigurationError(f"node count must be non-negative, got {node_count}")
+    if not 0.0 <= broadcast_probability <= 1.0:
+        raise ConfigurationError(
+            f"broadcast probability must be in [0, 1], got {broadcast_probability}"
+        )
+    if node_count == 0:
+        return 0.0
+    return node_count * broadcast_probability * (1.0 - broadcast_probability) ** (node_count - 1)
+
+
+def goodness_threshold(participant_bound: int) -> float:
+    """The goodness threshold ``1 / log²N``."""
+    if participant_bound < 2:
+        raise ConfigurationError(f"N must be >= 2, got {participant_bound}")
+    return 1.0 / (max(1.0, math.log2(participant_bound)) ** 2)
+
+
+def is_good(node_count: int, broadcast_probability: float, participant_bound: int) -> bool:
+    """True if ``σ(n, p)`` meets the goodness threshold for bound ``N``."""
+    return success_probability(node_count, broadcast_probability) >= goodness_threshold(
+        participant_bound
+    )
+
+
+def optimal_broadcast_probability(node_count: int) -> float:
+    """The ``p`` maximizing ``σ(n, p)`` — namely ``1/n``."""
+    if node_count < 1:
+        raise ConfigurationError(f"node count must be positive, got {node_count}")
+    return 1.0 / node_count
+
+
+def claim3_column_exponents(participant_bound: int, minimum_exponent: int = 0) -> list[int]:
+    """The exponents ``m_i`` of Claim 3 that fit under ``lg N``.
+
+    ``x = ⌈4 log log N⌉``; ``m_i = ⌊x/2⌋ + (i − 1)·x`` for
+    ``i = 1 … ⌊lg N / x⌋ − 1``.  ``minimum_exponent`` lets the caller drop
+    columns whose population ``2^{m_i}`` falls below the proof's ``n_min``.
+    """
+    if participant_bound < 4:
+        raise ConfigurationError(f"N must be >= 4, got {participant_bound}")
+    log_n = math.log2(participant_bound)
+    x = max(1, math.ceil(4 * math.log2(max(2.0, math.log2(participant_bound)))))
+    column_count = max(0, int(log_n // x) - 1)
+    exponents = []
+    for i in range(1, column_count + 1):
+        exponent = x // 2 + (i - 1) * x
+        if exponent >= minimum_exponent:
+            exponents.append(exponent)
+    return exponents
+
+
+def good_population_exponents(
+    broadcast_probability: float,
+    exponents: Sequence[int],
+    participant_bound: int,
+) -> list[int]:
+    """Which candidate population exponents ``m_i`` a probability ``p`` is good for.
+
+    Claim 3 asserts the returned list never has more than one element when the
+    exponents are spaced as in :func:`claim3_column_exponents`.
+    """
+    return [
+        exponent
+        for exponent in exponents
+        if is_good(2**exponent, broadcast_probability, participant_bound)
+    ]
+
+
+def claim3_holds(participant_bound: int, probability_grid: int = 2_000) -> bool:
+    """Spot-check Claim 3 over a grid of broadcast probabilities.
+
+    Returns True if no probability on the grid is good for two or more of the
+    Claim 3 population sizes.
+    """
+    exponents = claim3_column_exponents(participant_bound)
+    if len(exponents) < 2:
+        return True
+    for step in range(1, probability_grid):
+        probability = step / probability_grid
+        if len(good_population_exponents(probability, exponents, participant_bound)) > 1:
+            return False
+    return True

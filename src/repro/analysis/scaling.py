@@ -1,0 +1,78 @@
+"""Scaling-law extraction from measured curves.
+
+For sweeps over a single parameter (``N``, ``t``, ``t'`` …) the benchmarks
+estimate the growth exponent of the measured latency by ordinary least squares
+on the log-log points.  A measured exponent close to the theoretical one is
+the quantitative form of "the shape holds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """A fitted power law ``y ≈ a · x^b``.
+
+    Attributes
+    ----------
+    exponent:
+        The fitted exponent ``b``.
+    prefactor:
+        The fitted prefactor ``a``.
+    r_squared:
+        Fit quality on the log-log points.
+    """
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ≈ a · x^b`` by linear regression in log-log space."""
+    if len(x) != len(y):
+        raise ConfigurationError("x and y must have the same length")
+    if len(x) < 2:
+        raise ConfigurationError("need at least two points to fit a power law")
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise ConfigurationError("power-law fitting requires strictly positive values")
+    log_x = np.log(xs)
+    log_y = np.log(ys)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = log_y - predicted
+    total = log_y - log_y.mean()
+    ss_res = float(np.dot(residual, residual))
+    ss_tot = float(np.dot(total, total))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=float(slope), prefactor=float(np.exp(intercept)), r_squared=r_squared)
+
+
+def growth_factor(values: Sequence[float]) -> float:
+    """The overall growth ``last / first`` of a measured series."""
+    if len(values) < 2:
+        raise ConfigurationError("need at least two points")
+    if values[0] <= 0:
+        raise ConfigurationError("first value must be positive")
+    return values[-1] / values[0]
+
+
+def doubling_ratios(values: Sequence[float]) -> list[float]:
+    """Consecutive ratios ``values[i+1] / values[i]`` (useful when x doubles each step)."""
+    if len(values) < 2:
+        raise ConfigurationError("need at least two points")
+    ratios = []
+    for previous, current in zip(values, values[1:]):
+        if previous <= 0:
+            raise ConfigurationError("values must be positive")
+        ratios.append(current / previous)
+    return ratios

@@ -1,0 +1,94 @@
+"""Small statistics helpers for multi-seed measurements.
+
+Everything here is a thin, dependency-light wrapper over numpy; it exists so
+that benchmarks and experiments share one definition of "mean ± confidence
+interval" and one percentile convention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of one measured sample.
+
+    Attributes
+    ----------
+    count:
+        Number of observations.
+    mean, median, std:
+        The usual moments (std is the sample standard deviation, ``ddof=1``).
+    minimum, maximum:
+        Range of the sample.
+    ci_halfwidth:
+        Half-width of the normal-approximation 95% confidence interval on the
+        mean (0 for samples of size 1).
+    """
+
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_halfwidth: float
+
+    @property
+    def ci_low(self) -> float:
+        """Lower end of the 95% confidence interval on the mean."""
+        return self.mean - self.ci_halfwidth
+
+    @property
+    def ci_high(self) -> float:
+        """Upper end of the 95% confidence interval on the mean."""
+        return self.mean + self.ci_halfwidth
+
+    def format(self, digits: int = 1) -> str:
+        """``mean ± ci`` formatted for tables."""
+        return f"{self.mean:.{digits}f} ± {self.ci_halfwidth:.{digits}f}"
+
+
+def summarize(values: Sequence[float]) -> SampleSummary:
+    """Compute a :class:`SampleSummary` for a non-empty sample."""
+    if not values:
+        raise ConfigurationError("cannot summarize an empty sample")
+    data = np.asarray(values, dtype=float)
+    count = int(data.size)
+    std = float(data.std(ddof=1)) if count > 1 else 0.0
+    ci = 1.96 * std / math.sqrt(count) if count > 1 else 0.0
+    return SampleSummary(
+        count=count,
+        mean=float(data.mean()),
+        median=float(np.median(data)),
+        std=std,
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        ci_halfwidth=ci,
+    )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The empirical percentile at ``fraction`` (in ``[0, 1]``)."""
+    if not values:
+        raise ConfigurationError("cannot take a percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+    return float(np.quantile(np.asarray(values, dtype=float), fraction))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """The geometric mean of a positive sample (used for speedup aggregation)."""
+    if not values:
+        raise ConfigurationError("cannot take a geometric mean of an empty sample")
+    data = np.asarray(values, dtype=float)
+    if np.any(data <= 0):
+        raise ConfigurationError("geometric mean requires strictly positive values")
+    return float(np.exp(np.log(data).mean()))

@@ -1,0 +1,142 @@
+"""The two-node rendezvous game of Theorem 4.
+
+Theorem 4's lower bound considers just two nodes, ``u`` and ``v``, woken at
+different times.  Before they can agree on anything, there must be a round in
+which one broadcasts, the other listens, and they picked the *same
+undisrupted* frequency.  The adversary, knowing the per-frequency selection
+probabilities ``p_j`` (for ``u``) and ``q_j`` (for ``v``), disrupts the ``t``
+frequencies with the largest products ``p_j · q_j``.  The paper shows the
+remaining "meeting probability" is at most ``(k − t)/k²`` with
+``k = min(F, 2t)``, giving the ``Ω(F·t/(F − t) · log(1/ε))`` bound.
+
+This module computes the adversary's optimal choice and value for arbitrary
+distributions, the worst-case (protocol-optimal) value, and the induced
+round-count lower bound; the ``thm4`` benchmark compares them against
+simulated two-node executions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DisruptionChoice:
+    """The adversary's best response to one round's selection distributions.
+
+    Attributes
+    ----------
+    disrupted:
+        The ``t`` frequencies (1-based) with the largest ``p_j·q_j`` products.
+    meeting_probability:
+        The probability that the two nodes meet on an undisrupted frequency,
+        given this disruption.
+    """
+
+    disrupted: tuple[int, ...]
+    meeting_probability: float
+
+
+def _validate_distribution(probabilities: Sequence[float], label: str) -> tuple[float, ...]:
+    if not probabilities:
+        raise ConfigurationError(f"{label} must have at least one frequency")
+    if any(p < 0 for p in probabilities):
+        raise ConfigurationError(f"{label} must be non-negative")
+    total = sum(probabilities)
+    if total > 1.0 + 1e-9:
+        raise ConfigurationError(f"{label} must sum to at most 1, got {total}")
+    return tuple(probabilities)
+
+
+def optimal_disruption(
+    p: Sequence[float], q: Sequence[float], budget: int
+) -> DisruptionChoice:
+    """The adversary's optimal disruption against selection distributions ``p`` and ``q``.
+
+    Parameters
+    ----------
+    p, q:
+        Per-frequency selection probabilities of the two nodes (index 0 is
+        frequency 1).  They may sum to less than 1 (a node may also be silent
+        or out of band).
+    budget:
+        The number of frequencies the adversary may disrupt.
+    """
+    p_probs = _validate_distribution(p, "p")
+    q_probs = _validate_distribution(q, "q")
+    if len(p_probs) != len(q_probs):
+        raise ConfigurationError("p and q must cover the same number of frequencies")
+    if budget < 0 or budget >= len(p_probs):
+        raise ConfigurationError(
+            f"budget must satisfy 0 <= t < F, got t={budget}, F={len(p_probs)}"
+        )
+    products = [(p_probs[j] * q_probs[j], j + 1) for j in range(len(p_probs))]
+    products.sort(key=lambda item: (-item[0], item[1]))
+    disrupted = tuple(sorted(frequency for _, frequency in products[:budget]))
+    meeting = sum(value for value, _ in products[budget:])
+    return DisruptionChoice(disrupted=disrupted, meeting_probability=meeting)
+
+
+def best_protocol_meeting_probability(frequencies: int, budget: int) -> float:
+    """The best per-round meeting probability any protocol can force: ``(k − t)/k²``.
+
+    ``k = min(F, 2t)`` maximizes ``(k − t)/k²`` (for ``t ≥ 1``); with ``t = 0``
+    the nodes can simply meet on frequency 1, so the value is 1.
+    """
+    if frequencies < 1:
+        raise ConfigurationError(f"F must be >= 1, got {frequencies}")
+    if not 0 <= budget < frequencies:
+        raise ConfigurationError(f"t must satisfy 0 <= t < F, got t={budget}, F={frequencies}")
+    if budget == 0:
+        return 1.0
+    k = min(frequencies, 2 * budget)
+    return (k - budget) / (k * k)
+
+
+def best_protocol_meeting_probability_bruteforce(frequencies: int, budget: int) -> float:
+    """Brute-force check of the ``k = min(F, 2t)`` maximization over uniform supports."""
+    if budget == 0:
+        return 1.0
+    best = 0.0
+    for k in range(budget + 1, frequencies + 1):
+        best = max(best, (k - budget) / (k * k))
+    return best
+
+
+def per_round_escape_probability(frequencies: int, budget: int) -> float:
+    """The paper's ``P = max{1 − 1/(4t), 1 − (F − t)/F²}`` no-meeting probability."""
+    if frequencies < 1:
+        raise ConfigurationError(f"F must be >= 1, got {frequencies}")
+    if not 0 <= budget < frequencies:
+        raise ConfigurationError(f"t must satisfy 0 <= t < F, got t={budget}, F={frequencies}")
+    if budget == 0:
+        return 0.0
+    return max(1.0 - 1.0 / (4.0 * budget), 1.0 - (frequencies - budget) / (frequencies**2))
+
+
+def rounds_lower_bound(frequencies: int, budget: int, error_probability: float) -> float:
+    """The Theorem 4 round-count bound ``ln(1/ε) / ln(1/P)``."""
+    if not 0.0 < error_probability < 1.0:
+        raise ConfigurationError(
+            f"error probability must be in (0, 1), got {error_probability}"
+        )
+    escape = per_round_escape_probability(frequencies, budget)
+    if escape <= 0.0:
+        return 0.0
+    return math.log(1.0 / error_probability) / math.log(1.0 / escape)
+
+
+def expected_rounds_to_meet(frequencies: int, budget: int) -> float:
+    """Expected rounds until the two nodes meet when the adversary plays optimally.
+
+    With per-round meeting probability at most ``(k − t)/k²`` the expectation
+    is at least its reciprocal — ``Θ(F·t/(F − t))`` as in the theorem.
+    """
+    probability = best_protocol_meeting_probability(frequencies, budget)
+    if probability <= 0.0:
+        return math.inf
+    return 1.0 / probability

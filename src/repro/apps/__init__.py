@@ -1,0 +1,35 @@
+"""Applications built on a shared round numbering (paper §1 and §8)."""
+
+from repro.apps.counting import (
+    CountingWindow,
+    announcement_slot,
+    recommended_window_length,
+    simulate_counting_window,
+    undercount_probability,
+    windows_to_count_all,
+)
+from repro.apps.frequency_hopping import FrequencyHopper
+from repro.apps.group_key import GroupKeySchedule
+from repro.apps.leader_election import (
+    ElectionOutcome,
+    election_from_result,
+    extract_election,
+    leadership_tenure,
+)
+from repro.apps.tdma import TdmaSchedule
+
+__all__ = [
+    "CountingWindow",
+    "announcement_slot",
+    "recommended_window_length",
+    "simulate_counting_window",
+    "undercount_probability",
+    "windows_to_count_all",
+    "FrequencyHopper",
+    "GroupKeySchedule",
+    "ElectionOutcome",
+    "election_from_result",
+    "extract_election",
+    "leadership_tenure",
+    "TdmaSchedule",
+]

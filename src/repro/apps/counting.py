@@ -1,0 +1,138 @@
+"""Participant counting in numbered rounds.
+
+The paper lists "count the currently participating devices" among the
+maintenance protocols a shared round numbering enables (§1).  This module
+implements the simplest such protocol on top of synchronized rounds: during a
+designated counting window each device announces itself with a collision-
+avoiding random backoff keyed to the shared round number, and every device
+that hears the announcements ends up with (a lower bound on) the participant
+count.
+
+Because the repository's focus is the synchronization layer, the counting
+protocol runs *after* synchronization on a quiet band: it assumes the shared
+round numbering is already in place and demonstrates what it is for.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CountingWindow:
+    """A maintenance window in the shared round numbering.
+
+    Attributes
+    ----------
+    period:
+        The window recurs every ``period`` rounds (the paper's "every round r
+        such that r mod k = 0").
+    length:
+        How many rounds each window lasts.
+    """
+
+    period: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ConfigurationError(f"period must be positive, got {self.period}")
+        if not 1 <= self.length <= self.period:
+            raise ConfigurationError(
+                f"length must be in [1..period], got {self.length} (period {self.period})"
+            )
+
+    def is_counting_round(self, round_number: int) -> bool:
+        """True if the shared round number falls inside a counting window."""
+        if round_number < 0:
+            raise ConfigurationError(f"round number must be non-negative, got {round_number}")
+        return round_number % self.period < self.length
+
+    def window_index(self, round_number: int) -> int:
+        """Which occurrence of the window a round belongs to."""
+        return round_number // self.period
+
+    def slot_within_window(self, round_number: int) -> int | None:
+        """The 0-based slot inside the window, or ``None`` outside it."""
+        if not self.is_counting_round(round_number):
+            return None
+        return round_number % self.period
+
+
+def announcement_slot(uid: int, window_index: int, window_length: int, seed: int = 0) -> int:
+    """The deterministic pseudorandom slot a device announces in.
+
+    All devices use the same hash construction, so a device can also predict
+    *other* devices' slots once it knows their uids — useful for building the
+    TDMA schedule of :mod:`repro.apps.tdma` afterwards.
+    """
+    if window_length < 1:
+        raise ConfigurationError(f"window length must be positive, got {window_length}")
+    rng = random.Random((seed, uid, window_index).__hash__())
+    return rng.randrange(window_length)
+
+
+def simulate_counting_window(
+    uids: Sequence[int],
+    window_index: int,
+    window_length: int,
+    seed: int = 0,
+) -> tuple[int, ...]:
+    """Which devices announce without collision in one counting window.
+
+    Devices that pick the same slot collide and are not counted this window;
+    repeated windows (with different indices) count them eventually.
+    """
+    if len(set(uids)) != len(uids):
+        raise ConfigurationError("device uids must be unique")
+    slots: dict[int, list[int]] = {}
+    for uid in uids:
+        slot = announcement_slot(uid, window_index, window_length, seed)
+        slots.setdefault(slot, []).append(uid)
+    counted = [occupants[0] for occupants in slots.values() if len(occupants) == 1]
+    return tuple(sorted(counted))
+
+
+def windows_to_count_all(
+    uids: Sequence[int],
+    window_length: int,
+    seed: int = 0,
+    max_windows: int = 1_000,
+) -> int:
+    """How many counting windows are needed until every device has been heard once."""
+    remaining = set(uids)
+    for window_index in range(max_windows):
+        if not remaining:
+            return window_index
+        counted = simulate_counting_window(sorted(remaining), window_index, window_length, seed)
+        remaining -= set(counted)
+    raise ConfigurationError(
+        f"{len(remaining)} devices still uncounted after {max_windows} windows"
+    )
+
+
+def recommended_window_length(expected_devices: int) -> int:
+    """A window length giving each device a constant success probability per window.
+
+    With ``L ≈ e·n`` slots a device announces alone with probability about
+    ``(1 − 1/L)^{n−1} ≈ e^{-1/e}``; we round up to the next power of two for
+    convenient slotting.
+    """
+    if expected_devices < 1:
+        raise ConfigurationError(f"expected_devices must be positive, got {expected_devices}")
+    target = max(2, math.ceil(math.e * expected_devices))
+    return 2 ** math.ceil(math.log2(target))
+
+
+def undercount_probability(device_count: int, window_length: int) -> float:
+    """Probability a specific device collides in one window (is not counted)."""
+    if device_count < 1:
+        raise ConfigurationError(f"device_count must be positive, got {device_count}")
+    if window_length < 1:
+        raise ConfigurationError(f"window_length must be positive, got {window_length}")
+    return 1.0 - (1.0 - 1.0 / window_length) ** (device_count - 1)

@@ -1,0 +1,82 @@
+"""Pseudorandom frequency hopping on top of a shared round numbering.
+
+The introduction motivates synchronization with Bluetooth-style frequency
+hopping: once every device agrees on the round number, they can all derive
+the same pseudorandom hop sequence and meet on the same channel every round —
+without any further coordination messages.
+
+:class:`FrequencyHopper` is that derivation.  Two devices that share the round
+number (and the group key / seed) always compute the same frequency; a device
+with a stale or wrong round number lands on the wrong channel, which is how
+the example scripts visualize the value of synchronization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.radio.frequencies import FrequencyBand
+from repro.types import Frequency
+
+
+@dataclass(frozen=True)
+class FrequencyHopper:
+    """Derives a pseudorandom hop sequence from a shared seed and round number.
+
+    Attributes
+    ----------
+    band:
+        The frequency band to hop over.
+    seed:
+        A shared group secret / session identifier.  All devices of the group
+        must use the same value.
+    avoid:
+        Frequencies to exclude from the hop set (e.g. channels known to carry
+        persistent interference).  Must leave at least one usable frequency.
+    """
+
+    band: FrequencyBand
+    seed: int
+    avoid: frozenset[Frequency] = frozenset()
+
+    def __post_init__(self) -> None:
+        usable = [f for f in self.band if f not in self.avoid]
+        if not usable:
+            raise ConfigurationError("the avoid set excludes every frequency in the band")
+
+    def usable_frequencies(self) -> tuple[Frequency, ...]:
+        """The frequencies the hop sequence draws from."""
+        return tuple(f for f in self.band if f not in self.avoid)
+
+    def frequency_for_round(self, round_number: int) -> Frequency:
+        """The hop frequency for a given shared round number."""
+        if round_number < 0:
+            raise ConfigurationError(f"round number must be non-negative, got {round_number}")
+        usable = self.usable_frequencies()
+        digest = hashlib.sha256(f"{self.seed}:{round_number}".encode("utf-8")).digest()
+        index = int.from_bytes(digest[:8], "big") % len(usable)
+        return usable[index]
+
+    def hop_sequence(self, start_round: int, length: int) -> tuple[Frequency, ...]:
+        """The hop frequencies for ``length`` consecutive rounds."""
+        if length < 0:
+            raise ConfigurationError(f"length must be non-negative, got {length}")
+        return tuple(self.frequency_for_round(start_round + offset) for offset in range(length))
+
+    def rendezvous_rate(self, other_round_offset: int, start_round: int, length: int) -> float:
+        """Fraction of rounds two devices meet if one is off by ``other_round_offset`` rounds.
+
+        With offset 0 (synchronized) the rate is 1.0; with a non-zero offset the
+        devices hop independently and meet only by chance (≈ 1/|usable|).
+        """
+        if length <= 0:
+            raise ConfigurationError(f"length must be positive, got {length}")
+        matches = 0
+        for offset in range(length):
+            mine = self.frequency_for_round(start_round + offset)
+            theirs = self.frequency_for_round(start_round + offset + other_round_offset)
+            if mine == theirs:
+                matches += 1
+        return matches / length

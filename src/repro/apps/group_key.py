@@ -1,0 +1,71 @@
+"""Toy group-key agreement driven by the shared round numbering.
+
+The paper cites group-key establishment (its companion work, "Secure
+communication over radio channels") as one of the maintenance protocols a
+shared round numbering enables.  Reproducing that paper is out of scope; this
+module provides a deliberately simple stand-in that demonstrates the
+*interface*: once rounds are numbered, the group can run a deterministic
+key-evolution schedule — every device derives the same per-epoch key from the
+group secret and the shared round number, and re-keys at the same instant.
+
+The construction is a hash chain, not a cryptographic contribution; it exists
+so the examples can show a complete "synchronize, then coordinate" pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GroupKeySchedule:
+    """Derives per-epoch group keys from a shared secret and the round number.
+
+    Attributes
+    ----------
+    group_secret:
+        The initial shared secret (distributed out of band or via the key
+        agreement protocol of the companion paper).
+    rekey_period:
+        The key changes every ``rekey_period`` shared rounds.
+    """
+
+    group_secret: bytes
+    rekey_period: int
+
+    def __post_init__(self) -> None:
+        if not self.group_secret:
+            raise ConfigurationError("the group secret must be non-empty")
+        if self.rekey_period < 1:
+            raise ConfigurationError(f"rekey period must be positive, got {self.rekey_period}")
+
+    def epoch_of_round(self, round_number: int) -> int:
+        """The key epoch a shared round number belongs to."""
+        if round_number < 0:
+            raise ConfigurationError(f"round number must be non-negative, got {round_number}")
+        return round_number // self.rekey_period
+
+    def key_for_epoch(self, epoch: int) -> bytes:
+        """The group key of a key epoch (a hash chain over the secret)."""
+        if epoch < 0:
+            raise ConfigurationError(f"epoch must be non-negative, got {epoch}")
+        digest = hashlib.sha256(self.group_secret)
+        digest.update(b"wireless-sync-group-key")
+        digest.update(str(epoch).encode("utf-8"))
+        return digest.digest()
+
+    def key_for_round(self, round_number: int) -> bytes:
+        """The group key in force at a shared round number."""
+        return self.key_for_epoch(self.epoch_of_round(round_number))
+
+    def keys_match(self, my_round: int, their_round: int) -> bool:
+        """Whether two devices with these round numbers derive the same key.
+
+        Synchronized devices (equal round numbers) always match; devices whose
+        clocks differ only match while they happen to sit in the same key
+        epoch, which is exactly the failure mode synchronization removes.
+        """
+        return self.key_for_round(my_round) == self.key_for_round(their_round)

@@ -1,0 +1,76 @@
+"""Leader election as a by-product of wireless synchronization.
+
+Both of the paper's protocols elect a unique leader on the way to establishing
+the round numbering (§8, "Broader implications": "our protocols elect a unique
+leader as a sub-problem").  This module extracts that by-product from a
+finished execution and exposes it in the form applications want: who leads,
+who follows, and whether the election was clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.results import SimulationResult
+from repro.engine.trace import ExecutionTrace
+from repro.types import NodeId, Role
+
+
+@dataclass(frozen=True)
+class ElectionOutcome:
+    """The leader-election view of a finished execution.
+
+    Attributes
+    ----------
+    leaders:
+        Node ids that ever acted as leader, in order of first appearance.
+    followers:
+        Node ids that synchronized without becoming leader.
+    election_round:
+        Global round in which the first leader appeared, or ``None``.
+    clean:
+        True if exactly one leader was ever elected.
+    """
+
+    leaders: tuple[NodeId, ...]
+    followers: tuple[NodeId, ...]
+    election_round: int | None
+    clean: bool
+
+    @property
+    def leader(self) -> NodeId | None:
+        """The unique leader if the election was clean, else ``None``."""
+        return self.leaders[0] if self.clean and self.leaders else None
+
+
+def extract_election(trace: ExecutionTrace) -> ElectionOutcome:
+    """Derive the election outcome from an execution trace."""
+    leaders: list[NodeId] = []
+    election_round: int | None = None
+    for record in trace:
+        for node_id in record.leader_nodes():
+            if node_id not in leaders:
+                leaders.append(node_id)
+                if election_round is None:
+                    election_round = record.global_round
+    followers = tuple(
+        node_id
+        for node_id in trace.node_ids
+        if node_id not in leaders and trace.sync_round_of(node_id) is not None
+    )
+    return ElectionOutcome(
+        leaders=tuple(leaders),
+        followers=followers,
+        election_round=election_round,
+        clean=len(leaders) == 1,
+    )
+
+
+def election_from_result(result: SimulationResult) -> ElectionOutcome:
+    """Convenience wrapper for :func:`extract_election` on a simulation result."""
+    return extract_election(result.trace)
+
+
+def leadership_tenure(trace: ExecutionTrace, node_id: NodeId) -> int:
+    """The number of rounds ``node_id`` spent in the leader role."""
+    return sum(1 for record in trace if record.roles.get(node_id) is Role.LEADER)

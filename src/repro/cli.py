@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+The CLI wraps the most common workflows so that a simulation can be run, and a
+paper artefact inspected, without writing Python:
+
+* ``python -m repro simulate`` — run one execution of a chosen protocol on a
+  named workload and print the summary (optionally exporting JSON/CSV);
+* ``python -m repro schedule`` — print the Figure 1 / Figure 2 schedule for a
+  parameter point;
+* ``python -m repro experiments`` — list the registered paper artefacts and
+  the benchmark that regenerates each;
+* ``python -m repro bounds`` — evaluate the paper's bound formulas for a
+  parameter point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.adversary.jammers import (
+    BurstyJammer,
+    FixedBandJammer,
+    LowBandJammer,
+    NoInterference,
+    RandomJammer,
+    ReactiveJammer,
+    SweepJammer,
+)
+from repro.analysis.bounds import (
+    good_samaritan_adaptive_bound,
+    good_samaritan_worst_case_bound,
+    theorem1_lower_bound,
+    theorem4_lower_bound,
+    theorem5_lower_bound,
+    trapdoor_upper_bound,
+)
+from repro.engine.serialization import write_result_json, write_round_log_csv
+from repro.engine.simulator import SimulationConfig, simulate
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.tables import render_table
+from repro.experiments.workloads import SIMPLE_WORKLOADS
+from repro.params import ModelParameters
+from repro.protocols.baselines.decay_wakeup import DecayWakeupProtocol
+from repro.protocols.baselines.round_robin import RoundRobinSweepProtocol
+from repro.protocols.baselines.single_channel import SingleChannelAlohaProtocol
+from repro.protocols.baselines.uniform_wakeup import UniformWakeupProtocol
+from repro.protocols.fault_tolerant import FaultTolerantTrapdoorProtocol
+from repro.protocols.good_samaritan.protocol import GoodSamaritanProtocol
+from repro.protocols.good_samaritan.schedule import GoodSamaritanSchedule
+from repro.protocols.trapdoor.epochs import TrapdoorSchedule
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+PROTOCOLS = {
+    "trapdoor": lambda: TrapdoorProtocol.factory(),
+    "good-samaritan": lambda: GoodSamaritanProtocol.factory(),
+    "fault-tolerant-trapdoor": lambda: FaultTolerantTrapdoorProtocol.factory(),
+    "uniform-wakeup": lambda: UniformWakeupProtocol.factory(),
+    "decay-wakeup": lambda: DecayWakeupProtocol.factory(),
+    "single-channel": lambda: SingleChannelAlohaProtocol.factory(),
+    "round-robin": lambda: RoundRobinSweepProtocol.factory(),
+}
+
+JAMMERS = {
+    "none": NoInterference,
+    "random": RandomJammer,
+    "fixed-band": FixedBandJammer,
+    "sweep": SweepJammer,
+    "bursty": BurstyJammer,
+    "reactive": ReactiveJammer,
+    "low-band": LowBandJammer,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Wireless Synchronization Problem' (PODC 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one execution and print its summary")
+    sim.add_argument("--protocol", choices=sorted(PROTOCOLS), default="trapdoor")
+    sim.add_argument("--frequencies", "-F", type=int, default=8)
+    sim.add_argument("--budget", "-t", type=int, default=3)
+    sim.add_argument("--participants", "-N", type=int, default=64)
+    sim.add_argument("--nodes", "-n", type=int, default=8, help="number of activated devices")
+    sim.add_argument(
+        "--workload",
+        choices=sorted(SIMPLE_WORKLOADS),
+        default="crowded_cafe",
+        help="named activation/interference scenario",
+    )
+    sim.add_argument("--jammer", choices=sorted(JAMMERS), default=None,
+                     help="override the workload's interference adversary")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--max-rounds", type=int, default=100_000)
+    sim.add_argument("--json", type=str, default=None, help="write a JSON result summary here")
+    sim.add_argument("--csv", type=str, default=None, help="write a per-round CSV log here")
+
+    sched = sub.add_parser("schedule", help="print the Trapdoor / Good Samaritan schedule")
+    sched.add_argument("--protocol", choices=["trapdoor", "good-samaritan"], default="trapdoor")
+    sched.add_argument("--frequencies", "-F", type=int, default=8)
+    sched.add_argument("--budget", "-t", type=int, default=3)
+    sched.add_argument("--participants", "-N", type=int, default=64)
+
+    sub.add_parser("experiments", help="list the registered paper artefacts")
+
+    bounds = sub.add_parser("bounds", help="evaluate the paper's bound formulas")
+    bounds.add_argument("--frequencies", "-F", type=int, default=8)
+    bounds.add_argument("--budget", "-t", type=int, default=3)
+    bounds.add_argument("--participants", "-N", type=int, default=64)
+    bounds.add_argument("--actual-disruption", type=int, default=1)
+
+    return parser
+
+
+def _params(args: argparse.Namespace) -> ModelParameters:
+    return ModelParameters(
+        frequencies=args.frequencies,
+        disruption_budget=args.budget,
+        participant_bound=args.participants,
+    )
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    params = _params(args)
+    workload = SIMPLE_WORKLOADS[args.workload](args.nodes)
+    adversary = JAMMERS[args.jammer]() if args.jammer else workload.adversary
+    config = SimulationConfig(
+        params=params,
+        protocol_factory=PROTOCOLS[args.protocol](),
+        activation=workload.activation,
+        adversary=adversary,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+    )
+    print(f"model     : {params.describe()}")
+    print(f"protocol  : {args.protocol}")
+    print(f"workload  : {workload.description}")
+    print(f"adversary : {adversary.describe()}")
+    result = simulate(config)
+    print(f"result    : {result.summary()}")
+    rows = [
+        {
+            "node": node_id,
+            "activated": result.trace.activation_rounds[node_id],
+            "synchronized": result.trace.sync_round_of(node_id),
+            "latency": result.trace.sync_latency_of(node_id),
+        }
+        for node_id in result.trace.node_ids
+    ]
+    print()
+    print(render_table(rows, title="Per-node synchronization"))
+    if args.json:
+        print(f"\nwrote JSON summary to {write_result_json(result, args.json)}")
+    if args.csv:
+        print(f"wrote round log to {write_round_log_csv(result.trace, args.csv)}")
+    return 0 if result.synchronized else 1
+
+
+def _command_schedule(args: argparse.Namespace) -> int:
+    params = _params(args)
+    if args.protocol == "trapdoor":
+        schedule = TrapdoorSchedule(params)
+        print(render_table(schedule.describe_rows(), title=f"Trapdoor schedule — {params.describe()}", float_digits=5))
+        print(f"\ntotal contention rounds: {schedule.total_rounds}")
+    else:
+        schedule = GoodSamaritanSchedule(params)
+        print(render_table(schedule.describe_rows(), title=f"Good Samaritan schedule — {params.describe()}"))
+        print(f"\noptimistic rounds: {schedule.optimistic_rounds}, fallback rounds: {schedule.fallback_rounds}")
+    return 0
+
+
+def _command_experiments(_args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "id": spec.identifier,
+            "artefact": spec.paper_artefact,
+            "benchmark": spec.benchmark_module,
+            "claim": spec.claim,
+        }
+        for spec in EXPERIMENTS
+    ]
+    print(render_table(rows, title="Registered experiments (see EXPERIMENTS.md for measured results)"))
+    return 0
+
+
+def _command_bounds(args: argparse.Namespace) -> int:
+    params = _params(args)
+    n, f, t = params.participant_bound, params.frequencies, params.disruption_budget
+    rows = [
+        {"bound": "Theorem 1 (regular protocols)", "value": theorem1_lower_bound(n, f, t)},
+        {"bound": "Theorem 4 (two-node, eps=1/N)", "value": theorem4_lower_bound(f, t, 1.0 / n) if t else 0.0},
+        {"bound": "Theorem 5 (combined lower bound)", "value": theorem5_lower_bound(n, f, t)},
+        {"bound": "Theorem 10 (Trapdoor upper bound)", "value": trapdoor_upper_bound(n, f, t)},
+        {
+            "bound": f"Theorem 18 adaptive (t'={args.actual_disruption})",
+            "value": good_samaritan_adaptive_bound(n, args.actual_disruption),
+        },
+        {"bound": "Theorem 18 worst case", "value": good_samaritan_worst_case_bound(n, f)},
+    ]
+    print(render_table(rows, title=f"Bound formulas (constants omitted) — {params.describe()}", float_digits=1))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _command_simulate,
+        "schedule": _command_schedule,
+        "experiments": _command_experiments,
+        "bounds": _command_bounds,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

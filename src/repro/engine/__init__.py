@@ -1,0 +1,29 @@
+"""The synchronous round-driven simulation engine."""
+
+from repro.engine.checker import PropertyChecker, PropertyReport, PropertyViolation
+from repro.engine.metrics import ExecutionMetrics, collect_metrics
+from repro.engine.node import NodeRuntime
+from repro.engine.results import SimulationResult
+from repro.engine.rng import RandomStreams, derive_seed
+from repro.engine.runner import TrialSummary, run_trials
+from repro.engine.simulator import SimulationConfig, Simulator, simulate
+from repro.engine.trace import ExecutionTrace, RoundRecord
+
+__all__ = [
+    "PropertyChecker",
+    "PropertyReport",
+    "PropertyViolation",
+    "ExecutionMetrics",
+    "collect_metrics",
+    "NodeRuntime",
+    "SimulationResult",
+    "RandomStreams",
+    "derive_seed",
+    "TrialSummary",
+    "run_trials",
+    "SimulationConfig",
+    "Simulator",
+    "simulate",
+    "ExecutionTrace",
+    "RoundRecord",
+]

@@ -1,0 +1,185 @@
+"""Checking the five wireless-synchronization properties over a trace.
+
+The problem definition (§3) lists validity, synch commit, correctness,
+agreement, and liveness.  :class:`PropertyChecker` evaluates all of them over
+an :class:`~repro.engine.trace.ExecutionTrace` and reports violations with
+enough detail to debug a protocol.  Agreement and liveness are probabilistic
+in the paper ("with high probability" / "with probability 1"), so the checker
+reports them as booleans per execution; multi-seed statistics live in
+:mod:`repro.engine.runner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.trace import ExecutionTrace
+from repro.exceptions import ProtocolViolationError
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """One observed violation of a problem property.
+
+    Attributes
+    ----------
+    property_name:
+        Which property was violated (``validity``, ``synch_commit``,
+        ``correctness``, ``agreement``, ``liveness``).
+    global_round:
+        The round the violation was observed in (0 for liveness, which is a
+        whole-execution property).
+    node_id:
+        The offending node, if the violation is attributable to one.
+    detail:
+        Human-readable description.
+    """
+
+    property_name: str
+    global_round: int
+    node_id: int | None
+    detail: str
+
+
+@dataclass
+class PropertyReport:
+    """The outcome of checking all five properties over one trace."""
+
+    violations: list[PropertyViolation] = field(default_factory=list)
+    liveness_achieved: bool = False
+    synchronization_round: int | None = None
+
+    @property
+    def validity_holds(self) -> bool:
+        """No validity violations were observed."""
+        return not self._has("validity")
+
+    @property
+    def synch_commit_holds(self) -> bool:
+        """No synch-commit violations were observed."""
+        return not self._has("synch_commit")
+
+    @property
+    def correctness_holds(self) -> bool:
+        """No correctness violations were observed."""
+        return not self._has("correctness")
+
+    @property
+    def agreement_holds(self) -> bool:
+        """No agreement violations were observed."""
+        return not self._has("agreement")
+
+    @property
+    def all_safety_holds(self) -> bool:
+        """Validity, synch commit, correctness, and agreement all hold."""
+        return (
+            self.validity_holds
+            and self.synch_commit_holds
+            and self.correctness_holds
+            and self.agreement_holds
+        )
+
+    @property
+    def all_hold(self) -> bool:
+        """All five properties hold (safety plus liveness)."""
+        return self.all_safety_holds and self.liveness_achieved
+
+    def _has(self, property_name: str) -> bool:
+        return any(v.property_name == property_name for v in self.violations)
+
+    def raise_on_safety_violation(self) -> None:
+        """Raise :class:`ProtocolViolationError` if any safety property failed."""
+        if not self.all_safety_holds:
+            first = next(v for v in self.violations if v.property_name != "liveness")
+            raise ProtocolViolationError(
+                f"{first.property_name} violated in round {first.global_round}: {first.detail}"
+            )
+
+
+class PropertyChecker:
+    """Checks the five wireless-synchronization properties over a trace."""
+
+    def check(self, trace: ExecutionTrace) -> PropertyReport:
+        """Evaluate every property and return a :class:`PropertyReport`."""
+        report = PropertyReport()
+        self._check_per_round(trace, report)
+        self._check_per_node(trace, report)
+        self._check_liveness(trace, report)
+        return report
+
+    # -- individual properties -------------------------------------------
+
+    def _check_per_round(self, trace: ExecutionTrace, report: PropertyReport) -> None:
+        """Validity and agreement are per-round properties."""
+        for record in trace:
+            for node_id, output in record.outputs.items():
+                if output is not None and (not isinstance(output, int) or output < 0):
+                    report.violations.append(
+                        PropertyViolation(
+                            property_name="validity",
+                            global_round=record.global_round,
+                            node_id=node_id,
+                            detail=f"output {output!r} is neither ⊥ nor a natural number",
+                        )
+                    )
+            distinct = record.distinct_outputs()
+            if len(distinct) > 1:
+                report.violations.append(
+                    PropertyViolation(
+                        property_name="agreement",
+                        global_round=record.global_round,
+                        node_id=None,
+                        detail=f"distinct non-⊥ outputs {sorted(distinct)} in the same round",
+                    )
+                )
+
+    def _check_per_node(self, trace: ExecutionTrace, report: PropertyReport) -> None:
+        """Synch commit and correctness are per-node sequence properties."""
+        for node_id in trace.node_ids:
+            outputs = trace.outputs_of(node_id)
+            previous: int | None = None
+            committed = False
+            for offset, output in enumerate(outputs):
+                global_round = trace.activation_rounds[node_id] + offset
+                if committed and output is None:
+                    report.violations.append(
+                        PropertyViolation(
+                            property_name="synch_commit",
+                            global_round=global_round,
+                            node_id=node_id,
+                            detail="output returned to ⊥ after committing to a round number",
+                        )
+                    )
+                if previous is not None and output is not None and output != previous + 1:
+                    report.violations.append(
+                        PropertyViolation(
+                            property_name="correctness",
+                            global_round=global_round,
+                            node_id=node_id,
+                            detail=f"output jumped from {previous} to {output} (expected {previous + 1})",
+                        )
+                    )
+                if output is not None:
+                    committed = True
+                previous = output
+
+    def _check_liveness(self, trace: ExecutionTrace, report: PropertyReport) -> None:
+        """Liveness: every activated node eventually outputs a non-⊥ value."""
+        report.liveness_achieved = trace.all_synchronized() and bool(trace.node_ids)
+        if report.liveness_achieved:
+            report.synchronization_round = trace.last_sync_round()
+        else:
+            unsynced = [
+                node_id for node_id in trace.node_ids if trace.sync_round_of(node_id) is None
+            ]
+            report.violations.append(
+                PropertyViolation(
+                    property_name="liveness",
+                    global_round=0,
+                    node_id=unsynced[0] if unsynced else None,
+                    detail=(
+                        f"{len(unsynced)} node(s) never synchronized within "
+                        f"{trace.rounds_simulated} rounds"
+                    ),
+                )
+            )

@@ -1,0 +1,126 @@
+"""Per-execution metrics.
+
+The metrics collector aggregates spectrum- and protocol-level counters as the
+simulation runs: broadcasts, collisions, disrupted rounds, successful
+deliveries, leader counts, and synchronization latencies.  It is deliberately
+decoupled from the property checker — metrics describe *how* an execution
+went; the checker decides whether it was *correct*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.engine.trace import ExecutionTrace
+from repro.types import NodeId, Role
+
+
+@dataclass
+class ExecutionMetrics:
+    """Aggregate counters for one execution.
+
+    Attributes
+    ----------
+    rounds_simulated:
+        Total number of rounds driven by the simulator.
+    broadcasts:
+        Total number of broadcast actions across all nodes and rounds.
+    deliveries:
+        Number of (frequency, round) pairs on which a message was delivered.
+    collisions:
+        Number of (frequency, round) pairs with two or more broadcasters.
+    disrupted_frequency_rounds:
+        Number of (frequency, round) pairs disrupted by the adversary.
+    disrupted_deliveries_prevented:
+        Number of (frequency, round) pairs where a single broadcaster was
+        present but the adversary disrupted the frequency (lost opportunities).
+    leader_count:
+        Number of distinct nodes that ever reported the LEADER role.
+    sync_latencies:
+        Mapping node id → rounds from activation to first non-⊥ output
+        (absent for nodes that never synchronized).
+    role_rounds:
+        Mapping role → total node-rounds spent in that role.
+    """
+
+    rounds_simulated: int = 0
+    broadcasts: int = 0
+    deliveries: int = 0
+    collisions: int = 0
+    disrupted_frequency_rounds: int = 0
+    disrupted_deliveries_prevented: int = 0
+    leader_count: int = 0
+    sync_latencies: dict[NodeId, int] = field(default_factory=dict)
+    role_rounds: Counter = field(default_factory=Counter)
+
+    @property
+    def max_sync_latency(self) -> int | None:
+        """The worst activation-to-synchronization latency, or ``None``."""
+        return max(self.sync_latencies.values()) if self.sync_latencies else None
+
+    @property
+    def mean_sync_latency(self) -> float | None:
+        """The mean activation-to-synchronization latency, or ``None``."""
+        if not self.sync_latencies:
+            return None
+        return sum(self.sync_latencies.values()) / len(self.sync_latencies)
+
+    @property
+    def delivery_rate(self) -> float:
+        """Deliveries per simulated round."""
+        return self.deliveries / self.rounds_simulated if self.rounds_simulated else 0.0
+
+    @property
+    def collision_rate(self) -> float:
+        """Collisions per simulated round."""
+        return self.collisions / self.rounds_simulated if self.rounds_simulated else 0.0
+
+
+def collect_metrics(trace: ExecutionTrace, leader_uids: frozenset[int] | None = None) -> ExecutionMetrics:
+    """Compute :class:`ExecutionMetrics` from a finished trace.
+
+    Parameters
+    ----------
+    trace:
+        The execution trace.
+    leader_uids:
+        Optional set of distinct leader uids observed by the simulator (more
+        precise than counting LEADER roles in the final round, because leaders
+        may stop being tracked once everything is synchronized).
+    """
+    metrics = ExecutionMetrics(rounds_simulated=trace.rounds_simulated)
+    leader_nodes: set[NodeId] = set()
+
+    for record in trace:
+        for activity in record.activity.per_frequency.values():
+            metrics.broadcasts += len(activity.broadcasters)
+            if activity.delivered:
+                metrics.deliveries += 1
+            if activity.collided:
+                metrics.collisions += 1
+            if activity.disrupted and len(activity.broadcasters) == 1:
+                metrics.disrupted_deliveries_prevented += 1
+        metrics.disrupted_frequency_rounds += len(record.activity.disrupted)
+        for node_id, role in record.roles.items():
+            metrics.role_rounds[role] += 1
+            if role is Role.LEADER:
+                leader_nodes.add(node_id)
+
+    for node_id in trace.node_ids:
+        latency = trace.sync_latency_of(node_id)
+        if latency is not None:
+            metrics.sync_latencies[node_id] = latency
+
+    if leader_uids is not None:
+        metrics.leader_count = len(leader_uids)
+    else:
+        metrics.leader_count = len(leader_nodes)
+    return metrics
+
+
+def summarize_roles(role_rounds: Mapping[Role, int]) -> str:
+    """A compact one-line summary of how node-rounds were spent per role."""
+    parts = [f"{role.value}={count}" for role, count in sorted(role_rounds.items(), key=lambda kv: kv[0].value)]
+    return ", ".join(parts) if parts else "(no active rounds)"

@@ -1,0 +1,132 @@
+"""Per-node runtime wrapper.
+
+:class:`NodeRuntime` is the engine-side view of one simulated device: it owns
+the node's :class:`~repro.protocols.base.ProtocolContext`, instantiates the
+protocol at activation time, keeps the activation age up to date, and records
+the per-round outputs that the property checker later inspects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.exceptions import SimulationError
+from repro.params import ModelParameters
+from repro.protocols.base import ProtocolContext, ProtocolFactory, SynchronizationProtocol
+from repro.timestamps import draw_uid
+from repro.radio.actions import RadioAction
+from repro.radio.events import ReceptionOutcome
+from repro.types import GlobalRound, NodeId, Role, SyncOutput
+
+
+class NodeRuntime:
+    """The engine's wrapper around a single simulated node.
+
+    Parameters
+    ----------
+    node_id:
+        The engine-internal identifier (not visible to the protocol).
+    params:
+        Model parameters shared by the whole simulation.
+    rng:
+        The node's private random stream.
+    """
+
+    def __init__(self, node_id: NodeId, params: ModelParameters, rng: random.Random) -> None:
+        self.node_id = node_id
+        self._params = params
+        self._rng = rng
+        self._protocol: Optional[SynchronizationProtocol] = None
+        self._context: Optional[ProtocolContext] = None
+        self._activation_round: Optional[GlobalRound] = None
+        self.outputs: list[SyncOutput] = []
+        self.first_sync_local_round: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True once the node has been activated."""
+        return self._protocol is not None
+
+    @property
+    def activation_round(self) -> Optional[GlobalRound]:
+        """The global round in which the node was activated (or ``None``)."""
+        return self._activation_round
+
+    @property
+    def protocol(self) -> SynchronizationProtocol:
+        """The protocol instance (raises if the node is not active)."""
+        if self._protocol is None:
+            raise SimulationError(f"node {self.node_id} is not active")
+        return self._protocol
+
+    @property
+    def context(self) -> ProtocolContext:
+        """The protocol context (raises if the node is not active)."""
+        if self._context is None:
+            raise SimulationError(f"node {self.node_id} is not active")
+        return self._context
+
+    @property
+    def uid(self) -> int:
+        """The node's protocol-visible unique identifier."""
+        return self.context.uid
+
+    @property
+    def local_round(self) -> int:
+        """The node's activation age (0 before activation)."""
+        return self._context.local_round if self._context is not None else 0
+
+    @property
+    def role(self) -> Role:
+        """The node's current protocol role (``PASSIVE`` before activation)."""
+        return self._protocol.role if self._protocol is not None else Role.PASSIVE
+
+    def activate(self, global_round: GlobalRound, factory: ProtocolFactory) -> None:
+        """Activate the node: draw its uid, build its protocol, call ``on_activate``."""
+        if self._protocol is not None:
+            raise SimulationError(f"node {self.node_id} activated twice")
+        uid = draw_uid(self._rng, self._params.participant_bound)
+        self._context = ProtocolContext(params=self._params, rng=self._rng, uid=uid, local_round=1)
+        self._protocol = factory(self._context)
+        self._activation_round = global_round
+        self._protocol.on_activate()
+
+    # -- per-round driving ----------------------------------------------
+
+    def begin_round(self) -> None:
+        """Advance the activation age at the start of every round after the first."""
+        if self._context is None:
+            raise SimulationError(f"node {self.node_id} is not active")
+        if self.outputs:
+            self._context.local_round += 1
+
+    def choose_action(self) -> RadioAction:
+        """Ask the protocol for this round's radio action."""
+        return self.protocol.choose_action()
+
+    def deliver(self, outcome: ReceptionOutcome) -> None:
+        """Deliver the end-of-round reception outcome to the protocol."""
+        self.protocol.on_reception(outcome)
+
+    def record_output(self) -> SyncOutput:
+        """Record (and return) the protocol's output for this round."""
+        output = self.protocol.current_output()
+        if output is not None and self.first_sync_local_round is None:
+            self.first_sync_local_round = self.context.local_round
+        self.outputs.append(output)
+        return output
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def synchronized(self) -> bool:
+        """True once the node has produced a non-⊥ output."""
+        return self.first_sync_local_round is not None
+
+    @property
+    def sync_latency(self) -> Optional[int]:
+        """Rounds from activation to first non-⊥ output (1 = synced immediately)."""
+        return self.first_sync_local_round

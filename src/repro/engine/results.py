@@ -1,0 +1,73 @@
+"""Simulation result containers.
+
+A :class:`SimulationResult` bundles everything a caller typically wants from
+one execution: the trace, the property report, and the metrics, plus a few
+convenience accessors used pervasively by experiments and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.checker import PropertyReport
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """The outcome of one simulated execution.
+
+    Attributes
+    ----------
+    trace:
+        The full execution trace.
+    report:
+        The property-checker report for the trace.
+    metrics:
+        Aggregate execution metrics.
+    """
+
+    trace: ExecutionTrace
+    report: PropertyReport
+    metrics: ExecutionMetrics
+
+    @property
+    def synchronized(self) -> bool:
+        """True if every activated node synchronized (liveness achieved)."""
+        return self.report.liveness_achieved
+
+    @property
+    def synchronization_round(self) -> int | None:
+        """Global round by which the last node synchronized, or ``None``."""
+        return self.report.synchronization_round
+
+    @property
+    def max_sync_latency(self) -> int | None:
+        """Worst per-node activation-to-synchronization latency, or ``None``."""
+        return self.metrics.max_sync_latency
+
+    @property
+    def rounds_simulated(self) -> int:
+        """Number of rounds the simulator ran."""
+        return self.metrics.rounds_simulated
+
+    @property
+    def leader_count(self) -> int:
+        """Number of distinct leaders observed during the execution."""
+        return self.metrics.leader_count
+
+    @property
+    def agreement_holds(self) -> bool:
+        """True if no two nodes ever disagreed on the round number."""
+        return self.report.agreement_holds
+
+    def summary(self) -> str:
+        """A one-line human-readable summary."""
+        status = "synchronized" if self.synchronized else "NOT synchronized"
+        latency = self.max_sync_latency if self.max_sync_latency is not None else "-"
+        return (
+            f"{status} in {self.rounds_simulated} rounds "
+            f"(max latency {latency}, leaders {self.leader_count}, "
+            f"agreement {'ok' if self.agreement_holds else 'VIOLATED'})"
+        )

@@ -1,0 +1,141 @@
+"""Multi-seed execution runners.
+
+The paper's guarantees are probabilistic ("with high probability"), so
+meaningful measurements run the same configuration across many seeds and
+report distributional statistics.  :func:`run_trials` does exactly that and
+returns a :class:`TrialSummary` with the latency distribution, the liveness /
+agreement success rates, and the leader-count distribution.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.engine.results import SimulationResult
+from repro.engine.simulator import SimulationConfig, simulate
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics over a batch of same-configuration executions.
+
+    Attributes
+    ----------
+    results:
+        The individual :class:`SimulationResult` objects, in seed order.
+    seeds:
+        The seeds that were run.
+    """
+
+    results: tuple[SimulationResult, ...]
+    seeds: tuple[int, ...]
+
+    @property
+    def trials(self) -> int:
+        """Number of executions in the batch."""
+        return len(self.results)
+
+    @property
+    def liveness_rate(self) -> float:
+        """Fraction of executions in which every node synchronized."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.synchronized) / len(self.results)
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of executions with no agreement violation."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.agreement_holds) / len(self.results)
+
+    @property
+    def safety_rate(self) -> float:
+        """Fraction of executions with no safety violation of any kind."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.report.all_safety_holds) / len(self.results)
+
+    @property
+    def unique_leader_rate(self) -> float:
+        """Fraction of executions that elected at most one leader."""
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if r.leader_count <= 1) / len(self.results)
+
+    def latencies(self) -> list[int]:
+        """Max activation-to-sync latencies of the executions that synchronized."""
+        return [r.max_sync_latency for r in self.results if r.max_sync_latency is not None]
+
+    @property
+    def mean_latency(self) -> float | None:
+        """Mean of the per-execution worst-case latencies (synchronized runs only)."""
+        latencies = self.latencies()
+        return statistics.fmean(latencies) if latencies else None
+
+    @property
+    def median_latency(self) -> float | None:
+        """Median of the per-execution worst-case latencies."""
+        latencies = self.latencies()
+        return float(statistics.median(latencies)) if latencies else None
+
+    @property
+    def max_latency(self) -> int | None:
+        """Worst latency observed across the whole batch."""
+        latencies = self.latencies()
+        return max(latencies) if latencies else None
+
+    def percentile_latency(self, fraction: float) -> float | None:
+        """An empirical latency percentile (``fraction`` in ``[0, 1]``)."""
+        latencies = sorted(self.latencies())
+        if not latencies:
+            return None
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        index = min(len(latencies) - 1, int(round(fraction * (len(latencies) - 1))))
+        return float(latencies[index])
+
+    def describe(self) -> str:
+        """One-line summary used by experiment tables."""
+        mean = f"{self.mean_latency:.1f}" if self.mean_latency is not None else "-"
+        worst = self.max_latency if self.max_latency is not None else "-"
+        return (
+            f"{self.trials} trials: liveness {self.liveness_rate:.0%}, "
+            f"agreement {self.agreement_rate:.0%}, mean latency {mean}, worst {worst}"
+        )
+
+
+def run_trials(
+    config: SimulationConfig,
+    seeds: Sequence[int] | int = 10,
+    config_for_seed: Callable[[SimulationConfig, int], SimulationConfig] | None = None,
+) -> TrialSummary:
+    """Run the same configuration across many seeds.
+
+    Parameters
+    ----------
+    config:
+        The base configuration (its ``seed`` field is replaced per trial).
+    seeds:
+        Either an explicit sequence of seeds or a count ``k`` meaning
+        ``0 .. k−1``.
+    config_for_seed:
+        Optional hook to customize the configuration per seed (used by
+        experiments that need, e.g., a freshly pre-drawn oblivious adversary
+        per trial).
+    """
+    seed_list: tuple[int, ...]
+    if isinstance(seeds, int):
+        seed_list = tuple(range(seeds))
+    else:
+        seed_list = tuple(seeds)
+
+    results = []
+    for seed in seed_list:
+        trial_config = replace(config, seed=seed)
+        if config_for_seed is not None:
+            trial_config = config_for_seed(trial_config, seed)
+        results.append(simulate(trial_config))
+    return TrialSummary(results=tuple(results), seeds=seed_list)

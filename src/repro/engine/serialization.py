@@ -1,0 +1,140 @@
+"""Exporting simulation results to plain data formats.
+
+Experiments often want to post-process executions outside this library
+(pandas, spreadsheets, plotting).  This module converts traces, property
+reports, and metrics into JSON-serializable dictionaries and writes CSV
+round logs, without adding any dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.engine.results import SimulationResult
+from repro.engine.trace import ExecutionTrace
+
+
+def trace_to_dict(trace: ExecutionTrace, include_rounds: bool = True) -> dict[str, Any]:
+    """A JSON-serializable summary of an execution trace.
+
+    Parameters
+    ----------
+    trace:
+        The trace to convert.
+    include_rounds:
+        If True, include the full per-round output/role log (can be large);
+        otherwise only the per-node summary is included.
+    """
+    data: dict[str, Any] = {
+        "params": {
+            "frequencies": trace.params.frequencies,
+            "disruption_budget": trace.params.disruption_budget,
+            "participant_bound": trace.params.participant_bound,
+        },
+        "seed": trace.seed,
+        "rounds_simulated": trace.rounds_simulated,
+        "nodes": [
+            {
+                "node_id": node_id,
+                "activation_round": trace.activation_rounds[node_id],
+                "sync_round": trace.sync_round_of(node_id),
+                "sync_latency": trace.sync_latency_of(node_id),
+            }
+            for node_id in trace.node_ids
+        ],
+    }
+    if include_rounds:
+        data["rounds"] = [
+            {
+                "global_round": record.global_round,
+                "outputs": {str(node): value for node, value in record.outputs.items()},
+                "roles": {str(node): role.value for node, role in record.roles.items()},
+                "disrupted": sorted(record.activity.disrupted),
+                "delivered_on": list(record.activity.successful_frequencies()),
+                "broadcasters": record.activity.broadcaster_count(),
+            }
+            for record in trace
+        ]
+    return data
+
+
+def result_to_dict(result: SimulationResult, include_rounds: bool = False) -> dict[str, Any]:
+    """A JSON-serializable summary of a full simulation result."""
+    metrics = result.metrics
+    report = result.report
+    return {
+        "trace": trace_to_dict(result.trace, include_rounds=include_rounds),
+        "properties": {
+            "validity": report.validity_holds,
+            "synch_commit": report.synch_commit_holds,
+            "correctness": report.correctness_holds,
+            "agreement": report.agreement_holds,
+            "liveness": report.liveness_achieved,
+            "synchronization_round": report.synchronization_round,
+            "violations": [
+                {
+                    "property": violation.property_name,
+                    "global_round": violation.global_round,
+                    "node_id": violation.node_id,
+                    "detail": violation.detail,
+                }
+                for violation in report.violations
+            ],
+        },
+        "metrics": {
+            "rounds_simulated": metrics.rounds_simulated,
+            "broadcasts": metrics.broadcasts,
+            "deliveries": metrics.deliveries,
+            "collisions": metrics.collisions,
+            "disrupted_frequency_rounds": metrics.disrupted_frequency_rounds,
+            "leader_count": metrics.leader_count,
+            "max_sync_latency": metrics.max_sync_latency,
+            "mean_sync_latency": metrics.mean_sync_latency,
+            "role_rounds": {role.value: count for role, count in metrics.role_rounds.items()},
+        },
+    }
+
+
+def write_result_json(result: SimulationResult, path: str | Path, include_rounds: bool = False) -> Path:
+    """Write a result summary as JSON and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result, include_rounds=include_rounds), handle, indent=2)
+    return target
+
+
+def write_round_log_csv(trace: ExecutionTrace, path: str | Path) -> Path:
+    """Write a per-(round, node) CSV log: output, role, and spectrum context."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["global_round", "node_id", "output", "role", "disrupted_channels", "deliveries"]
+        )
+        for record in trace:
+            disrupted = len(record.activity.disrupted)
+            deliveries = len(record.activity.successful_frequencies())
+            for node_id in sorted(record.outputs):
+                output = record.outputs[node_id]
+                writer.writerow(
+                    [
+                        record.global_round,
+                        node_id,
+                        "" if output is None else output,
+                        record.roles[node_id].value,
+                        disrupted,
+                        deliveries,
+                    ]
+                )
+    return target
+
+
+def load_result_json(path: str | Path) -> dict[str, Any]:
+    """Load a result summary previously written by :func:`write_result_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

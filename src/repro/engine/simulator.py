@@ -1,0 +1,223 @@
+"""The round-driven simulator.
+
+The simulator realizes the model of §2 as a synchronous loop.  In every
+global round it:
+
+1. activates the nodes the activation schedule designates for the round;
+2. asks every active node's protocol for its radio action;
+3. asks the interference adversary for its disruption set (the adversary sees
+   the execution only through the *previous* round);
+4. resolves the round on the :class:`~repro.radio.network.SingleHopRadioNetwork`
+   (collision rule + disruption);
+5. delivers each node's reception outcome and records its output and role.
+
+The loop ends when every node that will ever be activated has synchronized
+(plus an optional grace period), or when ``max_rounds`` is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adversary.activation import ActivationSchedule
+from repro.adversary.base import AdversaryContext, InterferenceAdversary
+from repro.adversary.jammers import NoInterference
+from repro.engine.checker import PropertyChecker
+from repro.engine.metrics import collect_metrics
+from repro.engine.node import NodeRuntime
+from repro.engine.results import SimulationResult
+from repro.engine.rng import RandomStreams
+from repro.engine.trace import ExecutionTrace, RoundRecord
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.params import ModelParameters
+from repro.protocols.base import ProtocolFactory
+from repro.radio.network import SingleHopRadioNetwork
+from repro.radio.spectrum_log import SpectrumLog
+from repro.types import NodeId, Role
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to run one execution.
+
+    Attributes
+    ----------
+    params:
+        The model parameters ``(F, t, N)``.
+    protocol_factory:
+        Builds one protocol instance per activated node.
+    activation:
+        When each node wakes up.
+    adversary:
+        The interference adversary (default: no interference).
+    max_rounds:
+        Hard cap on the number of simulated rounds.
+    seed:
+        Master seed; all randomness in the execution derives from it.
+    stop_when_synchronized:
+        Stop as soon as every activated node has synchronized and no further
+        activations are pending (default) — otherwise run to ``max_rounds``.
+    extra_rounds_after_sync:
+        Grace period simulated after global synchronization, useful when a
+        test wants to observe post-synchronization behaviour (e.g. that the
+        round numbers keep incrementing).
+    enforce_budget:
+        Check every round that the adversary respects its budget ``t``.
+    """
+
+    params: ModelParameters
+    protocol_factory: ProtocolFactory
+    activation: ActivationSchedule
+    adversary: InterferenceAdversary = field(default_factory=NoInterference)
+    max_rounds: int = 20_000
+    seed: int = 0
+    stop_when_synchronized: bool = True
+    extra_rounds_after_sync: int = 0
+    enforce_budget: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be positive, got {self.max_rounds}")
+        if self.extra_rounds_after_sync < 0:
+            raise ConfigurationError(
+                f"extra_rounds_after_sync must be non-negative, got {self.extra_rounds_after_sync}"
+            )
+        if self.activation.node_count > self.params.participant_bound:
+            raise ConfigurationError(
+                f"activation schedule wakes up {self.activation.node_count} nodes, "
+                f"but the participant bound is N={self.params.participant_bound}"
+            )
+
+
+class Simulator:
+    """Drives one execution of a protocol against an adversary.
+
+    Parameters
+    ----------
+    config:
+        The simulation configuration.
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self._config = config
+        self._streams = RandomStreams(config.seed)
+        self._network = SingleHopRadioNetwork(config.params.band)
+        self._spectrum = SpectrumLog()
+        self._nodes: dict[NodeId, NodeRuntime] = {}
+        self._leader_uids: set[int] = set()
+        self._pending_activations = config.activation.node_count
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The configuration this simulator was built with."""
+        return self._config
+
+    def run(self) -> SimulationResult:
+        """Run the execution to completion and return its result."""
+        config = self._config
+        params = config.params
+        trace = ExecutionTrace(params=params, seed=config.seed)
+        activation_rng = self._streams.activation_stream()
+        adversary_rng = self._streams.adversary_stream()
+        checker = PropertyChecker()
+
+        grace_remaining: int | None = None
+        for global_round in range(1, config.max_rounds + 1):
+            activations = config.activation.activations_for_round(global_round, activation_rng)
+            self._activate(activations, global_round, trace)
+            active = {node_id: node for node_id, node in self._nodes.items() if node.active}
+
+            if active:
+                for node in active.values():
+                    node.begin_round()
+                actions = {node_id: node.choose_action() for node_id, node in active.items()}
+            else:
+                actions = {}
+
+            disrupted = self._choose_disruption(global_round, adversary_rng, len(active))
+            resolution = self._network.resolve_round(global_round, actions, disrupted, activations)
+
+            outputs = {}
+            roles = {}
+            for node_id, node in active.items():
+                outcome = resolution.outcomes.get(node_id)
+                if outcome is None:
+                    raise SimulationError(
+                        f"node {node_id} acted in round {global_round} but got no outcome"
+                    )
+                node.deliver(outcome)
+                outputs[node_id] = node.record_output()
+                roles[node_id] = node.role
+                if node.role is Role.LEADER:
+                    self._leader_uids.add(node.uid)
+
+            self._spectrum.record(resolution.activity)
+            trace.append(
+                RoundRecord(
+                    global_round=global_round,
+                    outputs=outputs,
+                    roles=roles,
+                    activity=resolution.activity,
+                )
+            )
+
+            if self._should_stop(global_round):
+                if grace_remaining is None:
+                    grace_remaining = config.extra_rounds_after_sync
+                if grace_remaining <= 0:
+                    break
+                grace_remaining -= 1
+            else:
+                grace_remaining = None
+
+        report = checker.check(trace)
+        metrics = collect_metrics(trace, leader_uids=frozenset(self._leader_uids))
+        return SimulationResult(trace=trace, report=report, metrics=metrics)
+
+    # -- internals --------------------------------------------------------
+
+    def _activate(self, activations: tuple[NodeId, ...], global_round: int, trace: ExecutionTrace) -> None:
+        for node_id in activations:
+            if node_id in self._nodes:
+                raise SimulationError(f"activation schedule activated node {node_id} twice")
+            runtime = NodeRuntime(
+                node_id=node_id,
+                params=self._config.params,
+                rng=self._streams.node_stream(node_id),
+            )
+            runtime.activate(global_round, self._config.protocol_factory)
+            self._nodes[node_id] = runtime
+            trace.activation_rounds[node_id] = global_round
+            self._pending_activations -= 1
+
+    def _choose_disruption(self, global_round: int, adversary_rng, active_count: int):
+        context = AdversaryContext(
+            global_round=global_round,
+            band=self._config.params.band,
+            budget=self._config.params.disruption_budget,
+            history=self._spectrum,
+            rng=adversary_rng,
+            active_node_count=active_count,
+        )
+        disrupted = self._config.adversary.choose_disruption(context)
+        if self._config.enforce_budget:
+            disrupted = self._network.validate_disruption_budget(
+                disrupted, self._config.params.disruption_budget
+            )
+        return disrupted
+
+    def _should_stop(self, global_round: int) -> bool:
+        if not self._config.stop_when_synchronized:
+            return False
+        if self._pending_activations > 0:
+            return False
+        if global_round < self._config.activation.last_activation_round():
+            return False
+        if not self._nodes:
+            return False
+        return all(node.synchronized for node in self._nodes.values())
+
+
+def simulate(config: SimulationConfig) -> SimulationResult:
+    """Run one execution for ``config`` and return its result."""
+    return Simulator(config).run()

@@ -1,0 +1,85 @@
+"""ASCII "figures": simple horizontal bar charts for measured series.
+
+Where the paper's results would normally be plotted, the benchmark harness
+prints a bar chart next to the raw numbers so a reader can see the shape
+(growth, crossovers) directly in the terminal or in the captured benchmark
+output file.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import ExperimentError
+
+
+def render_bars(
+    labels: Sequence[object],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render one series as a horizontal bar chart.
+
+    Parameters
+    ----------
+    labels:
+        One label per bar (printed on the left).
+    values:
+        The bar lengths (non-negative).
+    title:
+        Optional title line.
+    width:
+        The width (in characters) of the longest bar.
+    unit:
+        Optional unit appended to the numeric value.
+    """
+    if len(labels) != len(values):
+        raise ExperimentError("labels and values must have the same length")
+    if not values:
+        raise ExperimentError("cannot render an empty figure")
+    if any(value < 0 for value in values):
+        raise ExperimentError("bar values must be non-negative")
+    peak = max(values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def render_multi_series(
+    labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render several series as grouped bars sharing one label axis."""
+    if not series:
+        raise ExperimentError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ExperimentError(
+                f"series {name!r} has {len(values)} values for {len(labels)} labels"
+            )
+    peak = max(max(values) for values in series.values()) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    name_width = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for index, label in enumerate(labels):
+        for name, values in series.items():
+            value = values[index]
+            bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+            lines.append(
+                f"{str(label).rjust(label_width)} {name.ljust(name_width)} | {bar} {value:.1f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

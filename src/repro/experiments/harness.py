@@ -1,0 +1,145 @@
+"""The experiment harness: sweeps of (protocol × workload × parameters × seeds).
+
+:class:`ExperimentHarness` is the layer every benchmark builds on.  It takes a
+list of :class:`SweepPoint`s, runs each across a set of seeds through the
+simulation engine, and returns :class:`SweepResult`s carrying both the raw
+trial summaries and the derived statistics the tables print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.adversary.activation import ActivationSchedule
+from repro.adversary.base import InterferenceAdversary
+from repro.engine.runner import TrialSummary, run_trials
+from repro.engine.simulator import SimulationConfig
+from repro.exceptions import ExperimentError
+from repro.experiments.tables import render_table
+from repro.params import ModelParameters
+from repro.protocols.base import ProtocolFactory
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration in a sweep.
+
+    Attributes
+    ----------
+    label:
+        A short name for the point ("N=256", "t'=2", ...).
+    params:
+        Model parameters for the point.
+    protocol_factory:
+        The protocol under test.
+    activation:
+        The activation schedule.
+    adversary:
+        The interference adversary.
+    max_rounds:
+        Per-execution round cap.
+    metadata:
+        Extra key/value pairs copied into the result row (swept parameter
+        values, protocol names, ...).
+    """
+
+    label: str
+    params: ModelParameters
+    protocol_factory: ProtocolFactory
+    activation: ActivationSchedule
+    adversary: InterferenceAdversary
+    max_rounds: int = 50_000
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The measured outcome of one sweep point.
+
+    Attributes
+    ----------
+    point:
+        The configuration that was run.
+    summary:
+        The multi-seed trial summary.
+    """
+
+    point: SweepPoint
+    summary: TrialSummary
+
+    def row(self) -> dict[str, object]:
+        """The table row for this point (metadata plus headline statistics)."""
+        summary = self.summary
+        row: dict[str, object] = {"point": self.point.label}
+        row.update(self.point.metadata)
+        row.update(
+            {
+                "trials": summary.trials,
+                "mean_latency": summary.mean_latency,
+                "median_latency": summary.median_latency,
+                "max_latency": summary.max_latency,
+                "liveness": summary.liveness_rate,
+                "agreement": summary.agreement_rate,
+                "unique_leader": summary.unique_leader_rate,
+            }
+        )
+        return row
+
+
+class ExperimentHarness:
+    """Runs sweeps and renders their results.
+
+    Parameters
+    ----------
+    seeds:
+        Either a seed count or an explicit seed list applied to every point.
+    config_hook:
+        Optional per-trial configuration hook forwarded to
+        :func:`repro.engine.runner.run_trials` (used e.g. to pre-draw a fresh
+        oblivious jammer per seed).
+    """
+
+    def __init__(
+        self,
+        seeds: Sequence[int] | int = 5,
+        config_hook: Callable[[SimulationConfig, int], SimulationConfig] | None = None,
+    ) -> None:
+        self._seeds = seeds
+        self._config_hook = config_hook
+
+    def run_point(self, point: SweepPoint) -> SweepResult:
+        """Run one sweep point across the harness seeds."""
+        config = SimulationConfig(
+            params=point.params,
+            protocol_factory=point.protocol_factory,
+            activation=point.activation,
+            adversary=point.adversary,
+            max_rounds=point.max_rounds,
+        )
+        summary = run_trials(config, seeds=self._seeds, config_for_seed=self._config_hook)
+        return SweepResult(point=point, summary=summary)
+
+    def run_sweep(self, points: Sequence[SweepPoint]) -> list[SweepResult]:
+        """Run every point of a sweep, in order."""
+        if not points:
+            raise ExperimentError("a sweep needs at least one point")
+        return [self.run_point(point) for point in points]
+
+    def render(self, results: Sequence[SweepResult], title: str | None = None) -> str:
+        """Render sweep results as an ASCII table."""
+        if not results:
+            raise ExperimentError("cannot render an empty sweep")
+        return render_table([result.row() for result in results], title=title, float_digits=1)
+
+    def latencies(self, results: Sequence[SweepResult]) -> list[float]:
+        """The mean latencies of a sweep, in point order (None → raises)."""
+        latencies = []
+        for result in results:
+            mean = result.summary.mean_latency
+            if mean is None:
+                raise ExperimentError(
+                    f"sweep point {result.point.label!r} never synchronized; no latency available"
+                )
+            latencies.append(mean)
+        return latencies

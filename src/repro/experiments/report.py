@@ -1,0 +1,145 @@
+"""Markdown report generation for experiment sweeps.
+
+EXPERIMENTS.md in this repository was written by hand around the benchmark
+output; this module automates the same shape for *new* sweeps a user runs:
+given a set of :class:`~repro.experiments.harness.SweepResult`s it produces a
+self-contained Markdown section with the configuration, the results table, the
+headline statistics, and (optionally) a comparison against a bound formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis.fitting import ConstantFit, fit_constant
+from repro.exceptions import ExperimentError
+from repro.experiments.harness import SweepResult
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One experiment's worth of Markdown.
+
+    Attributes
+    ----------
+    title:
+        The section heading.
+    claim:
+        What the experiment is supposed to show (one or two sentences).
+    results:
+        The sweep results the section reports.
+    bound:
+        Optional callable mapping a sweep result to the bound value its
+        measurement should be compared against; when provided the section
+        includes a fitted-constant shape check.
+    """
+
+    title: str
+    claim: str
+    results: Sequence[SweepResult]
+    bound: Callable[[SweepResult], float] | None = None
+
+
+def _markdown_table(rows: Sequence[dict[str, object]]) -> str:
+    """Render a list of dicts as a GitHub-flavoured Markdown table."""
+    if not rows:
+        raise ExperimentError("cannot render an empty table")
+    columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        if value is None:
+            return "-"
+        return str(value)
+
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    body = ["| " + " | ".join(cell(row.get(column)) for column in columns) + " |" for row in rows]
+    return "\n".join([header, separator, *body])
+
+
+def fit_against_bound(section: ReportSection) -> ConstantFit | None:
+    """Fit the section's measured latencies against its bound, if one is set."""
+    if section.bound is None:
+        return None
+    measured = []
+    predicted = []
+    for result in section.results:
+        mean = result.summary.mean_latency
+        if mean is None:
+            continue
+        measured.append(mean)
+        predicted.append(section.bound(result))
+    if len(measured) < 2:
+        return None
+    return fit_constant(measured, predicted)
+
+
+def render_section(section: ReportSection) -> str:
+    """Render one experiment section as Markdown."""
+    if not section.results:
+        raise ExperimentError(f"section {section.title!r} has no results")
+    lines: list[str] = [f"## {section.title}", "", section.claim, ""]
+    lines.append(_markdown_table([result.row() for result in section.results]))
+    lines.append("")
+
+    liveness = min(result.summary.liveness_rate for result in section.results)
+    agreement = min(result.summary.agreement_rate for result in section.results)
+    lines.append(
+        f"*Across {sum(r.summary.trials for r in section.results)} executions: "
+        f"minimum liveness rate {liveness:.0%}, minimum agreement rate {agreement:.0%}.*"
+    )
+
+    fit = fit_against_bound(section)
+    if fit is not None:
+        verdict = "matches" if fit.is_shape_match() else "does NOT match"
+        lines.append("")
+        lines.append(
+            f"*Shape check: the measured latencies {verdict} the bound shape "
+            f"(fitted constant {fit.constant:.2f}, R² = {fit.r_squared:.3f}).*"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """A full Markdown report assembled from sections.
+
+    Attributes
+    ----------
+    title:
+        The document title.
+    preamble:
+        Optional introductory paragraph.
+    sections:
+        The report sections, in order.
+    """
+
+    title: str
+    preamble: str = ""
+    sections: list[ReportSection] = field(default_factory=list)
+
+    def add(self, section: ReportSection) -> None:
+        """Append a section to the report."""
+        self.sections.append(section)
+
+    def render(self) -> str:
+        """Render the whole report as Markdown."""
+        if not self.sections:
+            raise ExperimentError("a report needs at least one section")
+        parts = [f"# {self.title}", ""]
+        if self.preamble:
+            parts.extend([self.preamble, ""])
+        parts.extend(render_section(section) for section in self.sections)
+        return "\n".join(parts).rstrip() + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        """Write the rendered report to ``path`` and return it."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.render(), encoding="utf-8")
+        return target

@@ -1,0 +1,93 @@
+"""ASCII table rendering for experiment output.
+
+The benchmark harness prints its results as plain-text tables (the repository
+has no plotting dependency), mirroring the row/column structure of the paper's
+figures and of the per-theorem experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import ExperimentError
+
+
+def format_value(value: object, float_digits: int = 3) -> str:
+    """Render one cell: floats get fixed precision, everything else ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        The table rows; each is a mapping from column name to value.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title printed above the table.
+    float_digits:
+        Precision used for float cells.
+    """
+    if not rows:
+        raise ExperimentError("cannot render an empty table")
+    column_names = list(columns) if columns is not None else list(rows[0].keys())
+    rendered_rows = [
+        [format_value(row.get(column), float_digits) for column in column_names] for row in rows
+    ]
+    widths = [
+        max(len(column_names[i]), *(len(rendered[i]) for rendered in rendered_rows))
+        for i in range(len(column_names))
+    ]
+
+    def line(cells: Iterable[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(column_names))
+    parts.append(separator)
+    parts.extend(line(rendered) for rendered in rendered_rows)
+    return "\n".join(parts)
+
+
+def render_comparison(
+    label_column: str,
+    series: Mapping[str, Sequence[float]],
+    labels: Sequence[object],
+    title: str | None = None,
+    float_digits: int = 1,
+) -> str:
+    """Render several named series against a shared label axis.
+
+    Used for "who wins" comparisons: one row per label (e.g. per ``t'``), one
+    column per series (e.g. Trapdoor vs Good Samaritan).
+    """
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ExperimentError(
+                f"series {name!r} has {len(values)} values for {len(labels)} labels"
+            )
+    rows = []
+    for index, label in enumerate(labels):
+        row: dict[str, object] = {label_column: label}
+        for name, values in series.items():
+            row[name] = values[index]
+        rows.append(row)
+    return render_table(rows, title=title, float_digits=float_digits)

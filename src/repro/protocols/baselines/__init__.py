@@ -1,0 +1,16 @@
+"""Baseline protocols the paper's contributions are compared against."""
+
+from repro.protocols.baselines.base import ContentionBaseline, default_victory_rounds
+from repro.protocols.baselines.decay_wakeup import DecayWakeupProtocol
+from repro.protocols.baselines.round_robin import RoundRobinSweepProtocol
+from repro.protocols.baselines.single_channel import SingleChannelAlohaProtocol
+from repro.protocols.baselines.uniform_wakeup import UniformWakeupProtocol
+
+__all__ = [
+    "ContentionBaseline",
+    "default_victory_rounds",
+    "DecayWakeupProtocol",
+    "RoundRobinSweepProtocol",
+    "SingleChannelAlohaProtocol",
+    "UniformWakeupProtocol",
+]

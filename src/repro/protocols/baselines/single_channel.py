@@ -1,0 +1,70 @@
+"""Single-channel ALOHA baseline.
+
+What happens if a protocol ignores the multi-frequency structure entirely and
+runs a slotted-ALOHA style contention on frequency 1?  It uses the Trapdoor's
+epoch-doubling broadcast probabilities (so the contention resolution itself is
+sound), but because every message rides on one channel, an adversary with any
+budget ``t ≥ 1`` that chooses to sit on that channel silences the protocol
+forever.  The ``baselines`` benchmark runs it against both a random jammer
+(sometimes survives) and the fixed-band jammer (never survives), illustrating
+why frequency diversity is not optional in the disrupted model.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import ProtocolContext
+from repro.protocols.baselines.base import ContentionBaseline
+from repro.protocols.trapdoor.config import TrapdoorConfig
+from repro.protocols.trapdoor.epochs import TrapdoorSchedule
+from repro.radio.actions import RadioAction, broadcast, listen
+
+
+class SingleChannelAlohaProtocol(ContentionBaseline):
+    """Epoch-doubling contention confined to frequency 1.
+
+    Parameters
+    ----------
+    context:
+        The node's protocol context.
+    channel:
+        The single frequency everything runs on (default 1).
+    victory_rounds:
+        Contention horizon; defaults to the Trapdoor schedule's total length so
+        the comparison against the Trapdoor protocol is apples-to-apples.
+    """
+
+    def __init__(
+        self,
+        context: ProtocolContext,
+        channel: int = 1,
+        victory_rounds: int | None = None,
+    ) -> None:
+        # Build the Trapdoor schedule just for its probability ladder/horizon.
+        self._schedule = TrapdoorSchedule(context.params, TrapdoorConfig())
+        super().__init__(
+            context,
+            victory_rounds=victory_rounds or self._schedule.total_rounds,
+        )
+        self.channel = context.params.band.validate(channel)
+
+    @classmethod
+    def factory(cls, channel: int = 1, victory_rounds: int | None = None):
+        """A protocol factory for the single-channel baseline."""
+
+        def build(context: ProtocolContext) -> "SingleChannelAlohaProtocol":
+            return cls(context, channel, victory_rounds)
+
+        return build
+
+    def contender_action(self) -> RadioAction:
+        rng = self.context.rng
+        probability = self._schedule.broadcast_probability(self.context.local_round)
+        if rng.random() < probability:
+            return broadcast(self.channel, self.identity_message())
+        return listen(self.channel)
+
+    def listening_frequency(self) -> int:
+        return self.channel
+
+    def leader_frequency(self) -> int:
+        return self.channel

@@ -1,0 +1,19 @@
+"""The Good Samaritan Protocol (paper §7)."""
+
+from repro.protocols.good_samaritan.config import GoodSamaritanConfig
+from repro.protocols.good_samaritan.protocol import GoodSamaritanProtocol
+from repro.protocols.good_samaritan.reports import SuccessLedger
+from repro.protocols.good_samaritan.schedule import (
+    FallbackPosition,
+    GoodSamaritanSchedule,
+    SchedulePosition,
+)
+
+__all__ = [
+    "GoodSamaritanConfig",
+    "GoodSamaritanProtocol",
+    "SuccessLedger",
+    "FallbackPosition",
+    "GoodSamaritanSchedule",
+    "SchedulePosition",
+]

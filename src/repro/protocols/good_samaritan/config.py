@@ -1,0 +1,80 @@
+"""Configuration of the Good Samaritan Protocol (§7).
+
+As with the Trapdoor Protocol, the paper fixes the structure of the protocol
+but leaves multiplicative constants inside Θ(·).  :class:`GoodSamaritanConfig`
+exposes them, plus the interpretation knobs documented in DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.params import ModelParameters
+
+
+@dataclass(frozen=True)
+class GoodSamaritanConfig:
+    """Tunable constants of the Good Samaritan Protocol.
+
+    Attributes
+    ----------
+    epoch_constant:
+        Constant ``c`` in the epoch length ``s(k) = ⌈c · 2^k · (lg N)³⌉``
+        (Figure 2).
+    success_divisor:
+        A contender must learn of at least ``s(k) / (2^k · success_divisor)``
+        successful rounds in its critical epoch to become leader; the paper
+        uses ``2^6 = 64``.
+    fallback_multiplier:
+        The fallback (modified Trapdoor) epoch length is
+        ``fallback_multiplier ×`` the longest optimistic epoch; the paper
+        requires "at least four times as long".
+    leader_broadcast_probability:
+        Probability with which a leader broadcasts its numbering each round.
+    local_band_probability:
+        Probability of choosing the super-epoch prefix ``[1 .. 2^k]`` rather
+        than the whole band in epochs ``1 .. lg N`` (the paper uses 1/2).
+    special_round_probability:
+        Probability that a round of the last two epochs is designated
+        *special* (the paper uses 1/2).
+    """
+
+    epoch_constant: float = 0.5
+    success_divisor: int = 64
+    fallback_multiplier: float = 4.0
+    leader_broadcast_probability: float = 0.5
+    local_band_probability: float = 0.5
+    special_round_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.epoch_constant <= 0:
+            raise ConfigurationError(f"epoch_constant must be positive, got {self.epoch_constant}")
+        if self.success_divisor < 1:
+            raise ConfigurationError(
+                f"success_divisor must be at least 1, got {self.success_divisor}"
+            )
+        if self.fallback_multiplier <= 0:
+            raise ConfigurationError(
+                f"fallback_multiplier must be positive, got {self.fallback_multiplier}"
+            )
+        for name in (
+            "leader_broadcast_probability",
+            "local_band_probability",
+            "special_round_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1], got {value}")
+
+    def validate_against(self, params: ModelParameters) -> None:
+        """Check the §7 standing assumption ``t ≤ F/2``.
+
+        The paper notes the protocol "can be modified to work for any constant
+        fraction of F"; we keep the original assumption and surface it early.
+        """
+        if params.disruption_budget > params.frequencies // 2:
+            raise ConfigurationError(
+                "the Good Samaritan protocol assumes t <= F/2 "
+                f"(got t={params.disruption_budget}, F={params.frequencies})"
+            )

@@ -1,0 +1,316 @@
+"""The Good Samaritan Protocol (§7).
+
+The protocol has an *optimistic* portion — ``lg F`` super-epochs that finish
+quickly when all nodes woke up together and the actual disruption ``t'`` is
+small — and a *fallback* portion, a modified Trapdoor protocol with long
+epochs, that guarantees termination in every execution.
+
+Roles and transitions
+---------------------
+* A node starts as a **contender**.  A contender that receives a message from
+  another contender is *downgraded* to a **good samaritan** (timestamps are
+  ignored in the optimistic portion).
+* A **samaritan** that receives a message from another samaritan is knocked
+  out and becomes **passive**.
+* Samaritans record which contenders reach them during the *critical epoch*
+  (epoch ``lg N + 1`` of each super-epoch) in rounds that are not special for
+  either party and where both nodes were activated in the same round; they
+  embed those counts in their own broadcasts.
+* A contender that learns it achieved the success threshold becomes
+  **leader**, declares the round numbering, and broadcasts it every round with
+  probability 1/2 on the special-round frequency distribution.
+* A node that exits the last super-epoch unsynchronized enters the fallback:
+  each round it flips a coin and either plays a round of the modified Trapdoor
+  protocol (timestamps knock contenders out again) or a special Good Samaritan
+  round.  A fallback contender that survives all fallback epochs becomes
+  leader.
+* Any node that receives a :class:`~repro.radio.messages.LeaderMessage`
+  immediately adopts the numbering.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.protocols.base import ProtocolContext, SynchronizationProtocol, SynchronizedOutputMixin
+from repro.protocols.good_samaritan.config import GoodSamaritanConfig
+from repro.protocols.good_samaritan.reports import SuccessLedger
+from repro.protocols.good_samaritan.schedule import GoodSamaritanSchedule, SchedulePosition
+from repro.protocols.timestamps import Timestamp
+from repro.radio.actions import RadioAction, broadcast, listen
+from repro.radio.events import ReceptionOutcome
+from repro.radio.messages import ContenderMessage, LeaderMessage, SamaritanMessage
+from repro.types import Frequency, Role
+
+
+class _State(enum.Enum):
+    CONTENDER = "contender"
+    SAMARITAN = "samaritan"
+    PASSIVE = "passive"
+    LEADER = "leader"
+    SYNCHRONIZED = "synchronized"
+
+
+class GoodSamaritanProtocol(SynchronizedOutputMixin, SynchronizationProtocol):
+    """Per-node state machine of the Good Samaritan Protocol.
+
+    Parameters
+    ----------
+    context:
+        The node's protocol context (provided by the engine).
+    config:
+        Protocol constants; defaults to the paper's structure.
+    """
+
+    def __init__(self, context: ProtocolContext, config: GoodSamaritanConfig | None = None) -> None:
+        super().__init__(context)
+        self.config = config or GoodSamaritanConfig()
+        self.schedule = GoodSamaritanSchedule(context.params, self.config)
+        self._state = _State.CONTENDER
+        self._ledger = SuccessLedger()
+        self._this_round_special = False
+        self._leader_via_fallback = False
+        self._downgrade_round: int | None = None
+
+    # -- factory -----------------------------------------------------------
+
+    @classmethod
+    def factory(cls, config: GoodSamaritanConfig | None = None):
+        """A :data:`~repro.protocols.base.ProtocolFactory` building this protocol."""
+
+        def build(context: ProtocolContext) -> "GoodSamaritanProtocol":
+            return cls(context, config)
+
+        return build
+
+    # -- protocol interface --------------------------------------------------
+
+    @property
+    def role(self) -> Role:
+        mapping = {
+            _State.CONTENDER: Role.CONTENDER,
+            _State.SAMARITAN: Role.SAMARITAN,
+            _State.PASSIVE: Role.PASSIVE,
+            _State.LEADER: Role.LEADER,
+            _State.SYNCHRONIZED: Role.SYNCHRONIZED,
+        }
+        return mapping[self._state]
+
+    def choose_action(self) -> RadioAction:
+        rng = self.context.rng
+        local_round = self.context.local_round
+        self._this_round_special = False
+
+        if self._state is _State.LEADER:
+            return self._leader_action()
+        if self._state in (_State.PASSIVE, _State.SYNCHRONIZED):
+            return listen(self._monitoring_frequency())
+
+        position = self.schedule.position_of_round(local_round)
+        if position is not None:
+            return self._optimistic_action(position)
+        return self._fallback_action(local_round)
+
+    def on_reception(self, outcome: ReceptionOutcome) -> None:
+        message = outcome.message
+        if message is None:
+            return
+        if isinstance(message, LeaderMessage):
+            self._adopt_from_leader(message)
+            return
+        if self._state is _State.CONTENDER:
+            self._contender_reception(message)
+        elif self._state is _State.SAMARITAN:
+            self._samaritan_reception(message)
+
+    # -- introspection (tests, metrics) ---------------------------------------
+
+    @property
+    def state_name(self) -> str:
+        """The internal state name."""
+        return self._state.value
+
+    @property
+    def became_leader_via_fallback(self) -> bool:
+        """True if the node won through the modified Trapdoor fallback."""
+        return self._leader_via_fallback
+
+    @property
+    def downgrade_round(self) -> int | None:
+        """The local round this node was downgraded to samaritan, if it was."""
+        return self._downgrade_round
+
+    @property
+    def success_ledger(self) -> SuccessLedger:
+        """The samaritan-side success ledger (exposed for tests)."""
+        return self._ledger
+
+    @property
+    def in_fallback(self) -> bool:
+        """True once this node's local round lies in the fallback portion."""
+        return self.schedule.in_fallback(self.context.local_round)
+
+    # -- optimistic portion -----------------------------------------------------
+
+    def _optimistic_action(self, position: SchedulePosition) -> RadioAction:
+        rng = self.context.rng
+        prefix = self.schedule.prefix_width(position.super_epoch)
+        frequencies = self.context.params.frequencies
+
+        if position.epoch <= self.context.params.log_participants:
+            # Regular epochs: half the time the super-epoch prefix, half the
+            # time the whole band; broadcast with the epoch's probability.
+            if rng.random() < self.config.local_band_probability:
+                frequency = rng.randint(1, prefix)
+            else:
+                frequency = rng.randint(1, frequencies)
+            probability = self.schedule.broadcast_probability(position.epoch)
+            if rng.random() < probability:
+                return broadcast(frequency, self._identity_message(special=False))
+            return listen(frequency)
+
+        # Critical and report epochs: half the rounds are special.
+        if rng.random() < self.config.special_round_probability:
+            self._this_round_special = True
+            frequency = self._special_frequency()
+            if rng.random() < 0.5:
+                return broadcast(frequency, self._identity_message(special=True))
+            return listen(frequency)
+
+        frequency = rng.randint(1, prefix)
+        probability = self.schedule.broadcast_probability(position.epoch)
+        if rng.random() < probability:
+            return broadcast(frequency, self._identity_message(special=False))
+        return listen(frequency)
+
+    def _contender_reception(self, message) -> None:
+        if isinstance(message, ContenderMessage):
+            # Optimistic portion: any contender message downgrades, timestamps
+            # ignored.  Fallback portion: timestamps decide (modified Trapdoor).
+            if self.in_fallback:
+                if message.timestamp > self._my_timestamp():
+                    self._state = _State.PASSIVE
+            else:
+                self._state = _State.SAMARITAN
+                self._downgrade_round = self.context.local_round
+            return
+        if isinstance(message, SamaritanMessage):
+            self._maybe_become_leader(message)
+
+    def _samaritan_reception(self, message) -> None:
+        if isinstance(message, SamaritanMessage):
+            # A samaritan hearing another samaritan is knocked out.
+            self._state = _State.PASSIVE
+            return
+        if isinstance(message, ContenderMessage):
+            self._maybe_record_success(message)
+
+    def _maybe_record_success(self, message: ContenderMessage) -> None:
+        position = self.schedule.position_of_round(self.context.local_round)
+        if position is None or position.epoch != self.schedule.critical_epoch:
+            return
+        if message.special or self._this_round_special:
+            return
+        if message.timestamp.rounds_active != self.context.local_round:
+            # The contender was not activated in the same round as this samaritan.
+            return
+        self._ledger.ensure_epoch(position.super_epoch, position.epoch)
+        self._ledger.record(message.timestamp.uid)
+
+    def _maybe_become_leader(self, message: SamaritanMessage) -> None:
+        count = message.reports.get(self.context.uid, 0)
+        if count <= 0:
+            return
+        position = self.schedule.position_of_round(self.context.local_round)
+        if position is None:
+            return
+        threshold = self.schedule.success_threshold(position.super_epoch)
+        if count >= threshold:
+            self._become_leader(via_fallback=False)
+
+    # -- fallback portion ----------------------------------------------------------
+
+    def _fallback_action(self, local_round: int) -> RadioAction:
+        rng = self.context.rng
+        fallback = self.schedule.fallback_position_of_round(local_round)
+        assert fallback is not None  # in_fallback is implied by the caller
+
+        if self._state is _State.CONTENDER and fallback.completed:
+            self._become_leader(via_fallback=True)
+            return self._leader_action()
+
+        if rng.random() < 0.5:
+            # A special Good Samaritan round.
+            self._this_round_special = True
+            frequency = self._special_frequency()
+            if self._state is _State.CONTENDER and rng.random() < 0.5:
+                return broadcast(frequency, self._identity_message(special=True))
+            if self._state is _State.SAMARITAN and rng.random() < 0.5:
+                return broadcast(frequency, self._identity_message(special=True))
+            return listen(frequency)
+
+        # A modified Trapdoor round: uniform frequency over the whole band,
+        # broadcast with the fallback epoch's probability (contenders only).
+        frequency = rng.randint(1, self.context.params.frequencies)
+        if self._state is _State.CONTENDER:
+            probability = self.schedule.fallback_broadcast_probability(fallback.epoch)
+            if rng.random() < probability:
+                return broadcast(frequency, self._identity_message(special=False))
+        return listen(frequency)
+
+    # -- leader / synchronized ---------------------------------------------------
+
+    def _leader_action(self) -> RadioAction:
+        rng = self.context.rng
+        frequency = self._special_frequency()
+        if rng.random() < self.config.leader_broadcast_probability:
+            output = self.current_output()
+            assert output is not None
+            return broadcast(frequency, LeaderMessage(leader_uid=self.context.uid, round_number=output))
+        return listen(frequency)
+
+    def _monitoring_frequency(self) -> Frequency:
+        """Where passive / synchronized nodes listen for leader messages."""
+        rng = self.context.rng
+        if rng.random() < 0.5:
+            return self._special_frequency()
+        return rng.randint(1, self.context.params.frequencies)
+
+    def _become_leader(self, via_fallback: bool) -> None:
+        self._state = _State.LEADER
+        self._leader_via_fallback = via_fallback
+        self.adopt_round_number(self.context.local_round)
+
+    def _adopt_from_leader(self, message: LeaderMessage) -> None:
+        if self._state is _State.LEADER:
+            return
+        self._state = _State.SYNCHRONIZED
+        self.adopt_round_number(message.round_number)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _my_timestamp(self) -> Timestamp:
+        return Timestamp(rounds_active=self.context.local_round, uid=self.context.uid)
+
+    def _identity_message(self, special: bool):
+        position = self.schedule.position_of_round(self.context.local_round)
+        epoch = position.epoch if position is not None else 0
+        if self._state is _State.SAMARITAN:
+            return SamaritanMessage(
+                timestamp=self._my_timestamp(),
+                reports=self._ledger.report(),
+                special=special,
+            )
+        return ContenderMessage(timestamp=self._my_timestamp(), special=special, epoch=epoch)
+
+    def _special_frequency(self) -> Frequency:
+        """Draw a frequency from the special-round distribution.
+
+        Choose ``d`` uniformly from ``[1 .. lg F]`` and then a frequency
+        uniformly from ``[1 .. 2^d]`` (clamped to the band).
+        """
+        rng = self.context.rng
+        log_f = self.context.params.log_frequencies
+        d = rng.randint(1, log_f)
+        width = min(2**d, self.context.params.frequencies)
+        return rng.randint(1, width)

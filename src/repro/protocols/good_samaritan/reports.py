@@ -1,0 +1,64 @@
+"""Samaritan success bookkeeping.
+
+A good samaritan's job (§7.1, "Becoming the leader") is to observe which
+contenders get messages through during the critical epoch and to report those
+counts back, so contenders can tell whether they have "won" even when the
+adversary jams everything they listen on.
+
+:class:`SuccessLedger` is the samaritan-side data structure: it counts
+*countable* receptions per contender uid (countable = critical epoch, neither
+party's round was special, both nodes were activated in the same round) and
+produces the report mapping embedded in outgoing
+:class:`~repro.radio.messages.SamaritanMessage`s.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+
+class SuccessLedger:
+    """Counts countable contender receptions within one critical epoch."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[int] = Counter()
+        self._epoch_key: tuple[int, int] | None = None
+
+    def ensure_epoch(self, super_epoch: int, epoch: int) -> None:
+        """Reset the ledger when a new critical epoch starts.
+
+        The ledger is scoped to a single ``(super_epoch, epoch)`` pair so that
+        successes counted in super-epoch ``k`` never satisfy the (larger)
+        threshold of super-epoch ``k+1``.
+        """
+        key = (super_epoch, epoch)
+        if key != self._epoch_key:
+            self._counts.clear()
+            self._epoch_key = key
+
+    def record(self, contender_uid: int) -> int:
+        """Record one countable reception from ``contender_uid``; returns its new count."""
+        self._counts[contender_uid] += 1
+        return self._counts[contender_uid]
+
+    def count(self, contender_uid: int) -> int:
+        """The current count for ``contender_uid``."""
+        return self._counts[contender_uid]
+
+    def report(self) -> Mapping[int, int]:
+        """A snapshot of all counts, suitable for embedding in a message."""
+        return dict(self._counts)
+
+    def best(self) -> tuple[int, int] | None:
+        """The ``(uid, count)`` pair with the highest count, or ``None`` if empty."""
+        if not self._counts:
+            return None
+        uid, count = self._counts.most_common(1)[0]
+        return uid, count
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,55 @@
+"""Round numbering schemes.
+
+Once a leader is elected it "chooses a numbering scheme for the rounds"
+(§6.1).  The natural choice — and the one we implement — is that the leader
+declares the current round to be its own activation age, so the global round
+number equals the number of rounds the earliest-activated winner has been
+alive.  The scheme is propagated in :class:`~repro.radio.messages.LeaderMessage`
+objects that carry the number assigned to the round of transmission; a
+receiver adopts it immediately.
+
+:class:`RoundNumbering` is a tiny helper protocols use to convert between
+their local round counter and the global numbering once it is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RoundNumbering:
+    """An affine mapping from a node's local round counter to global round numbers.
+
+    Attributes
+    ----------
+    local_round:
+        A local round of the node holding this numbering ...
+    global_number:
+        ... and the global round number assigned to that same round.
+    """
+
+    local_round: int
+    global_number: int
+
+    def __post_init__(self) -> None:
+        if self.local_round < 1:
+            raise ConfigurationError(
+                f"local round must be >= 1, got {self.local_round}"
+            )
+
+    def number_for(self, local_round: int) -> int:
+        """The global round number of the given local round."""
+        return self.global_number + (local_round - self.local_round)
+
+    @classmethod
+    def declared_by_leader(cls, leader_local_round: int) -> "RoundNumbering":
+        """The numbering a new leader declares: global number := its activation age."""
+        return cls(local_round=leader_local_round, global_number=leader_local_round)
+
+    @classmethod
+    def adopted_from_message(cls, receiver_local_round: int, announced_number: int) -> "RoundNumbering":
+        """The numbering a receiver adopts from a leader message received this round."""
+        return cls(local_round=receiver_local_round, global_number=announced_number)

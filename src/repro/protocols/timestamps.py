@@ -1,0 +1,10 @@
+"""Re-export of :mod:`repro.timestamps` under its historical location.
+
+Timestamps are used both by the radio message definitions and by the
+protocols, so the implementation lives at the top level of the package; this
+module keeps the ``repro.protocols.timestamps`` import path working.
+"""
+
+from repro.timestamps import DEFAULT_UID_RANGE_MULTIPLIER, Timestamp, draw_uid
+
+__all__ = ["DEFAULT_UID_RANGE_MULTIPLIER", "Timestamp", "draw_uid"]

@@ -1,0 +1,7 @@
+"""The Trapdoor Protocol (paper §6)."""
+
+from repro.protocols.trapdoor.config import TrapdoorConfig
+from repro.protocols.trapdoor.epochs import EpochSpec, TrapdoorSchedule
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+__all__ = ["TrapdoorConfig", "EpochSpec", "TrapdoorSchedule", "TrapdoorProtocol"]

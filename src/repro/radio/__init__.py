@@ -1,0 +1,34 @@
+"""The disrupted single-hop radio network substrate (paper §2)."""
+
+from repro.radio.actions import RadioAction, broadcast, listen
+from repro.radio.events import FrequencyActivity, ReceptionOutcome, RoundActivity
+from repro.radio.frequencies import FrequencyBand
+from repro.radio.messages import (
+    ContenderMessage,
+    DataMessage,
+    LeaderMessage,
+    Message,
+    SamaritanMessage,
+    WakeupMessage,
+)
+from repro.radio.network import NetworkResolution, SingleHopRadioNetwork
+from repro.radio.spectrum_log import SpectrumLog
+
+__all__ = [
+    "RadioAction",
+    "broadcast",
+    "listen",
+    "FrequencyActivity",
+    "ReceptionOutcome",
+    "RoundActivity",
+    "FrequencyBand",
+    "ContenderMessage",
+    "DataMessage",
+    "LeaderMessage",
+    "Message",
+    "SamaritanMessage",
+    "WakeupMessage",
+    "NetworkResolution",
+    "SingleHopRadioNetwork",
+    "SpectrumLog",
+]

@@ -1,0 +1,64 @@
+"""Per-round radio actions.
+
+In every round each active node chooses a single frequency and either
+broadcasts a message on it or listens on it.  A :class:`RadioAction` captures
+that choice; it is what a protocol returns from
+:meth:`repro.protocols.base.SynchronizationProtocol.choose_action`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.radio.messages import Message
+from repro.types import Frequency, Intent
+
+
+@dataclass(frozen=True)
+class RadioAction:
+    """The action a node takes in one round.
+
+    Attributes
+    ----------
+    frequency:
+        The frequency (1-based) the node tunes to for this round.
+    intent:
+        Whether the node broadcasts or listens on that frequency.
+    message:
+        The message broadcast.  Must be provided iff ``intent`` is
+        ``BROADCAST``.
+    """
+
+    frequency: Frequency
+    intent: Intent
+    message: Optional[Message] = None
+
+    def __post_init__(self) -> None:
+        if self.frequency < 1:
+            raise ConfigurationError(f"frequency must be 1-based, got {self.frequency}")
+        if self.intent is Intent.BROADCAST and self.message is None:
+            raise ConfigurationError("a broadcast action requires a message")
+        if self.intent is Intent.LISTEN and self.message is not None:
+            raise ConfigurationError("a listen action must not carry a message")
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True if this action broadcasts a message."""
+        return self.intent is Intent.BROADCAST
+
+    @property
+    def is_listen(self) -> bool:
+        """True if this action listens."""
+        return self.intent is Intent.LISTEN
+
+
+def broadcast(frequency: Frequency, message: Message) -> RadioAction:
+    """Convenience constructor for a broadcast action."""
+    return RadioAction(frequency=frequency, intent=Intent.BROADCAST, message=message)
+
+
+def listen(frequency: Frequency) -> RadioAction:
+    """Convenience constructor for a listen action."""
+    return RadioAction(frequency=frequency, intent=Intent.LISTEN)

@@ -1,0 +1,117 @@
+"""Records describing what happened on the radio network in one round.
+
+These records form the vocabulary shared by the network resolver
+(:mod:`repro.radio.network`), the execution trace
+(:mod:`repro.engine.trace`), the metrics collector, and the adversaries
+(which may observe the history of past rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.radio.messages import Message
+from repro.types import Frequency, NodeId
+
+
+@dataclass(frozen=True)
+class ReceptionOutcome:
+    """What a single node observed at the end of a round.
+
+    Attributes
+    ----------
+    frequency:
+        The frequency the node tuned to.
+    broadcast:
+        Whether the node itself broadcast (a broadcaster never receives).
+    message:
+        The message received, or ``None`` if nothing was received (the node
+        broadcast, the frequency was silent, collided, or disrupted).
+    collision:
+        True if two or more nodes broadcast on the node's frequency.  Nodes in
+        the paper's model cannot distinguish collision from silence or
+        disruption; this flag exists for metrics and tests only and must not
+        be used by protocol logic.
+    disrupted:
+        True if the adversary disrupted the node's frequency.  Also visible to
+        metrics/tests only.
+    """
+
+    frequency: Frequency
+    broadcast: bool
+    message: Optional[Message] = None
+    collision: bool = False
+    disrupted: bool = False
+
+    @property
+    def received(self) -> bool:
+        """True if the node received a message this round."""
+        return self.message is not None
+
+
+@dataclass(frozen=True)
+class FrequencyActivity:
+    """Aggregate activity on one frequency during one round.
+
+    Attributes
+    ----------
+    frequency:
+        The frequency index.
+    broadcasters:
+        Node ids that broadcast on this frequency.
+    listeners:
+        Node ids that listened on this frequency.
+    disrupted:
+        Whether the adversary disrupted the frequency.
+    delivered:
+        Whether a message was delivered (exactly one broadcaster and no
+        disruption and at least zero listeners — delivery is defined per
+        listener, so this is true exactly when listeners could receive).
+    """
+
+    frequency: Frequency
+    broadcasters: tuple[NodeId, ...] = ()
+    listeners: tuple[NodeId, ...] = ()
+    disrupted: bool = False
+    delivered: bool = False
+
+    @property
+    def collided(self) -> bool:
+        """True if two or more nodes broadcast on this frequency."""
+        return len(self.broadcasters) >= 2
+
+
+@dataclass(frozen=True)
+class RoundActivity:
+    """Everything that happened on the spectrum in one global round.
+
+    Attributes
+    ----------
+    global_round:
+        The 1-based global round index.
+    per_frequency:
+        Mapping from frequency to its :class:`FrequencyActivity`.  Frequencies
+        with no tuned nodes may be absent.
+    disrupted:
+        The set of frequencies disrupted by the adversary this round.
+    activations:
+        Node ids activated at the beginning of this round.
+    """
+
+    global_round: int
+    per_frequency: Mapping[Frequency, FrequencyActivity] = field(default_factory=dict)
+    disrupted: frozenset[Frequency] = frozenset()
+    activations: tuple[NodeId, ...] = ()
+
+    def successful_frequencies(self) -> tuple[Frequency, ...]:
+        """Frequencies on which a message was delivered this round."""
+        return tuple(
+            frequency
+            for frequency, activity in sorted(self.per_frequency.items())
+            if activity.delivered
+        )
+
+    def broadcaster_count(self) -> int:
+        """Total number of broadcasting nodes this round."""
+        return sum(len(activity.broadcasters) for activity in self.per_frequency.values())

@@ -1,0 +1,78 @@
+"""The frequency band abstraction.
+
+The paper models the shared spectrum as ``F`` disjoint narrowband
+frequencies, indexed ``1 .. F`` (for example, the ~12 channels 802.11 carves
+out of the 2.4 GHz band, or the ~75 Bluetooth channels).  A
+:class:`FrequencyBand` validates frequency indices and provides the sub-band
+helpers used by the Good Samaritan protocol, which concentrates its traffic
+on prefixes ``[1 .. 2^k]`` of the band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.types import Frequency
+
+
+@dataclass(frozen=True)
+class FrequencyBand:
+    """A band of ``size`` disjoint narrowband frequencies, indexed 1-based.
+
+    Parameters
+    ----------
+    size:
+        The number of frequencies ``F``.  Must be at least 1.
+    """
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError(f"a frequency band needs at least one frequency, got {self.size}")
+
+    def __contains__(self, frequency: object) -> bool:
+        return isinstance(frequency, int) and 1 <= frequency <= self.size
+
+    def __iter__(self):
+        return iter(range(1, self.size + 1))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def validate(self, frequency: Frequency) -> Frequency:
+        """Return ``frequency`` if it lies in the band, else raise.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``frequency`` is outside ``[1 .. F]``.
+        """
+        if frequency not in self:
+            raise ConfigurationError(
+                f"frequency {frequency!r} outside band [1..{self.size}]"
+            )
+        return frequency
+
+    def prefix(self, width: int) -> range:
+        """The sub-band ``[1 .. width]``, clamped to the band size.
+
+        The Good Samaritan protocol restricts most of its traffic to the
+        prefix ``[1 .. 2^k]`` during super-epoch ``k``; clamping keeps the
+        helper usable when ``2^k`` exceeds ``F``.
+        """
+        if width < 1:
+            raise ConfigurationError(f"prefix width must be positive, got {width}")
+        return range(1, min(width, self.size) + 1)
+
+    def suffix(self, start: int) -> range:
+        """The sub-band ``[start .. F]`` (used by the modified Trapdoor fallback,
+        which relies on the upper quarter ``[F/4 .. F]`` of the band)."""
+        if start < 1:
+            raise ConfigurationError(f"suffix start must be positive, got {start}")
+        return range(min(start, self.size), self.size + 1)
+
+    def all_frequencies(self) -> tuple[Frequency, ...]:
+        """All frequencies of the band as a tuple (1-based)."""
+        return tuple(range(1, self.size + 1))

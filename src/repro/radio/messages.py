@@ -1,0 +1,101 @@
+"""Message types exchanged over the radio network.
+
+All messages are small, immutable dataclasses.  The simulator never inspects
+message contents; only protocols do.  Messages deliberately do not carry a
+sender :data:`~repro.types.NodeId` — in the model a receiver learns only what
+the sender put in the message, and protocols identify themselves through the
+randomly drawn unique identifier embedded in their timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.timestamps import Timestamp
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for everything sent over a frequency in one round."""
+
+
+@dataclass(frozen=True)
+class ContenderMessage(Message):
+    """A Trapdoor/Good-Samaritan contender announcing itself.
+
+    Attributes
+    ----------
+    timestamp:
+        The sender's ``(rounds_active, uid)`` timestamp.  In the Trapdoor
+        protocol a receiver with a smaller timestamp is knocked out.
+    special:
+        Whether the sender designated this round as *special* (Good Samaritan
+        protocol only; special rounds never count towards the critical-epoch
+        success tally).
+    epoch:
+        The sender's current epoch index, carried for diagnostics.
+    """
+
+    timestamp: Timestamp
+    special: bool = False
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class SamaritanMessage(Message):
+    """A good samaritan's broadcast.
+
+    Samaritans broadcast both to knock each other out (only one samaritan is
+    needed) and to carry success reports back to contenders.
+
+    Attributes
+    ----------
+    timestamp:
+        The samaritan's timestamp (ignored for knock-out decisions in the
+        Good Samaritan protocol, carried for diagnostics).
+    reports:
+        Mapping from contender uid to the number of successful (countable)
+        rounds the samaritan has recorded for that contender in the current
+        critical epoch.
+    special:
+        Whether the samaritan designated this round as special.
+    """
+
+    timestamp: Timestamp
+    reports: Mapping[int, int] = field(default_factory=dict)
+    special: bool = False
+
+
+@dataclass(frozen=True)
+class LeaderMessage(Message):
+    """A leader dictating the global round numbering.
+
+    Attributes
+    ----------
+    leader_uid:
+        The unique identifier of the leader.
+    round_number:
+        The round number the leader assigns to the *current* round.  A
+        receiver adopts this value immediately and increments it every round
+        thereafter.
+    """
+
+    leader_uid: int
+    round_number: int
+
+
+@dataclass(frozen=True)
+class WakeupMessage(Message):
+    """The single-shot message used by the wake-up style baselines."""
+
+    sender_uid: int
+    round_number: int
+
+
+@dataclass(frozen=True)
+class DataMessage(Message):
+    """An application-level payload (used by the ``repro.apps`` layer)."""
+
+    sender_uid: int
+    payload: Any = None

@@ -1,0 +1,167 @@
+"""The single-hop disrupted radio network.
+
+This module implements the communication rule of the paper's model (§2):
+
+* each node tunes to one frequency per round and either broadcasts or listens;
+* a listener on frequency ``f`` receives a message iff **exactly one** node
+  broadcast on ``f`` and the adversary did not disrupt ``f``;
+* broadcasters receive nothing;
+* nodes cannot distinguish silence, collision, and disruption.
+
+The network itself is stateless; :class:`SingleHopRadioNetwork.resolve_round`
+is a pure function from the round's actions and the adversary's disruption set
+to per-node outcomes plus an aggregate :class:`~repro.radio.events.RoundActivity`
+record.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.radio.actions import RadioAction
+from repro.radio.events import FrequencyActivity, ReceptionOutcome, RoundActivity
+from repro.radio.frequencies import FrequencyBand
+from repro.types import Frequency, NodeId
+
+
+@dataclass(frozen=True)
+class NetworkResolution:
+    """The result of resolving one round of radio communication.
+
+    Attributes
+    ----------
+    outcomes:
+        Per-node reception outcomes.
+    activity:
+        The aggregate spectrum activity record for the round.
+    """
+
+    outcomes: Mapping[NodeId, ReceptionOutcome]
+    activity: RoundActivity
+
+
+class SingleHopRadioNetwork:
+    """A single-hop radio network with ``F`` frequencies and collisions.
+
+    Parameters
+    ----------
+    band:
+        The frequency band (defines ``F``).
+    """
+
+    def __init__(self, band: FrequencyBand) -> None:
+        self._band = band
+
+    @property
+    def band(self) -> FrequencyBand:
+        """The frequency band this network operates on."""
+        return self._band
+
+    def resolve_round(
+        self,
+        global_round: int,
+        actions: Mapping[NodeId, RadioAction],
+        disrupted: Iterable[Frequency],
+        activations: Iterable[NodeId] = (),
+    ) -> NetworkResolution:
+        """Resolve one round of communication.
+
+        Parameters
+        ----------
+        global_round:
+            The global round index (only recorded, never interpreted).
+        actions:
+            The action chosen by every active node this round.
+        disrupted:
+            The frequencies the adversary disrupts this round.  Frequencies
+            outside the band are rejected.
+        activations:
+            Node ids activated this round (recorded in the activity record).
+
+        Returns
+        -------
+        NetworkResolution
+            Per-node outcomes and the aggregate activity record.
+        """
+        disrupted_set = frozenset(self._band.validate(f) for f in disrupted)
+
+        broadcasters: dict[Frequency, list[NodeId]] = defaultdict(list)
+        listeners: dict[Frequency, list[NodeId]] = defaultdict(list)
+        for node_id, action in actions.items():
+            frequency = action.frequency
+            if frequency not in self._band:
+                raise SimulationError(
+                    f"node {node_id} tuned to frequency {frequency} outside band "
+                    f"[1..{self._band.size}]"
+                )
+            if action.is_broadcast:
+                broadcasters[frequency].append(node_id)
+            else:
+                listeners[frequency].append(node_id)
+
+        outcomes: dict[NodeId, ReceptionOutcome] = {}
+        per_frequency: dict[Frequency, FrequencyActivity] = {}
+
+        used_frequencies = set(broadcasters) | set(listeners)
+        for frequency in sorted(used_frequencies):
+            freq_broadcasters = tuple(sorted(broadcasters.get(frequency, ())))
+            freq_listeners = tuple(sorted(listeners.get(frequency, ())))
+            is_disrupted = frequency in disrupted_set
+            collision = len(freq_broadcasters) >= 2
+            delivered = len(freq_broadcasters) == 1 and not is_disrupted
+
+            message = None
+            if delivered:
+                only_broadcaster = freq_broadcasters[0]
+                message = actions[only_broadcaster].message
+
+            per_frequency[frequency] = FrequencyActivity(
+                frequency=frequency,
+                broadcasters=freq_broadcasters,
+                listeners=freq_listeners,
+                disrupted=is_disrupted,
+                delivered=delivered,
+            )
+
+            for node_id in freq_broadcasters:
+                outcomes[node_id] = ReceptionOutcome(
+                    frequency=frequency,
+                    broadcast=True,
+                    message=None,
+                    collision=collision,
+                    disrupted=is_disrupted,
+                )
+            for node_id in freq_listeners:
+                outcomes[node_id] = ReceptionOutcome(
+                    frequency=frequency,
+                    broadcast=False,
+                    message=message if delivered else None,
+                    collision=collision,
+                    disrupted=is_disrupted,
+                )
+
+        activity = RoundActivity(
+            global_round=global_round,
+            per_frequency=per_frequency,
+            disrupted=disrupted_set,
+            activations=tuple(sorted(activations)),
+        )
+        return NetworkResolution(outcomes=outcomes, activity=activity)
+
+    def validate_disruption_budget(self, disrupted: Iterable[Frequency], budget: int) -> frozenset[Frequency]:
+        """Check that a disruption set respects the adversary budget ``t``.
+
+        Returns the validated set.  Raises :class:`ConfigurationError` if the
+        set exceeds the budget or contains out-of-band frequencies.
+        """
+        disrupted_set = frozenset(disrupted)
+        for frequency in disrupted_set:
+            self._band.validate(frequency)
+        if len(disrupted_set) > budget:
+            raise ConfigurationError(
+                f"adversary disrupted {len(disrupted_set)} frequencies, budget is {budget}"
+            )
+        return disrupted_set

@@ -1,0 +1,90 @@
+"""Contender timestamps.
+
+The Trapdoor protocol orders contenders by the pair ``(rounds_active, uid)``
+compared lexicographically: a node that has been active longer (and hence was
+activated earlier) has a *larger* timestamp, with ties broken by the unique
+identifier.  The earliest-activated node therefore always has the maximal
+timestamp and can never be knocked out, which is the linchpin of the
+agreement argument (Theorem 10).
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+#: Default multiplier for the uid range ``[1 .. c · N²]`` suggested by the
+#: paper's footnote 4.  With ``c = 16`` the probability of any collision among
+#: ``n ≤ N`` uids is at most ``n² / (2 · 16 · N²) ≤ 1/32``... per footnote the
+#: constant should be chosen according to the desired error probability; it is
+#: exposed as an argument of :func:`draw_uid`.
+DEFAULT_UID_RANGE_MULTIPLIER = 16
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class Timestamp:
+    """A lexicographically ordered ``(rounds_active, uid)`` pair.
+
+    Attributes
+    ----------
+    rounds_active:
+        How many rounds the node has been active (its local round counter).
+    uid:
+        The node's randomly drawn unique identifier.
+    """
+
+    rounds_active: int
+    uid: int
+
+    def _key(self) -> tuple[int, int]:
+        return (self.rounds_active, self.uid)
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def aged(self, extra_rounds: int = 1) -> "Timestamp":
+        """A copy of this timestamp after ``extra_rounds`` further rounds of activity."""
+        if extra_rounds < 0:
+            raise ConfigurationError("cannot age a timestamp by a negative number of rounds")
+        return Timestamp(self.rounds_active + extra_rounds, self.uid)
+
+
+def draw_uid(
+    rng: random.Random,
+    participant_bound: int,
+    range_multiplier: int = DEFAULT_UID_RANGE_MULTIPLIER,
+) -> int:
+    """Draw a unique identifier uniformly from ``[1 .. multiplier · N²]``.
+
+    This follows footnote 4 of the paper: identifiers drawn from a range
+    quadratic in the participant bound collide with polynomially small
+    probability.
+
+    Parameters
+    ----------
+    rng:
+        The node's random stream.
+    participant_bound:
+        The bound ``N`` on the number of participants.
+    range_multiplier:
+        The constant ``c`` in ``[1 .. c · N²]``.
+    """
+    if participant_bound < 1:
+        raise ConfigurationError(f"participant bound must be positive, got {participant_bound}")
+    if range_multiplier < 1:
+        raise ConfigurationError(f"uid range multiplier must be positive, got {range_multiplier}")
+    return rng.randint(1, range_multiplier * participant_bound * participant_bound)

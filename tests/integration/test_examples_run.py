@@ -1,0 +1,60 @@
+"""Integration tests: every example script runs to completion.
+
+The examples are part of the public surface of the repository; they must keep
+working as the library evolves.  Each is executed in a subprocess exactly as a
+user would run it, with a generous timeout, and its output is checked for the
+headline lines it promises.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["Outcome:", "Leader election", "Problem properties"],
+    "jammed_cafe.py": ["One execution", "Five seeds per interference source"],
+    "adaptive_low_interference.py": ["Good executions", "Worst case"],
+    "bluetooth_hopping.py": ["Step 1", "Step 3", "Step 5"],
+    "crash_recovery.py": ["Scenario: no crash", "straggler"],
+}
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    assert completed.returncode == 0, (
+        f"{name} exited with {completed.returncode}\n"
+        f"stdout:\n{completed.stdout[-2000:]}\nstderr:\n{completed.stderr[-2000:]}"
+    )
+    return completed.stdout
+
+
+class TestExamples:
+    def test_every_example_is_registered_here(self):
+        on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert on_disk == set(EXPECTED_MARKERS), (
+            "keep EXPECTED_MARKERS in sync with the examples directory"
+        )
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+    def test_example_runs_and_prints_its_headlines(self, name):
+        output = run_example(name)
+        for marker in EXPECTED_MARKERS[name]:
+            assert marker in output, f"{name} output is missing {marker!r}"
+
+    def test_quickstart_reports_all_properties_ok(self):
+        output = run_example("quickstart.py")
+        assert "VIOLATED" not in output
+        assert "NOT achieved" not in output

@@ -1,0 +1,173 @@
+"""End-to-end integration tests for the Trapdoor Protocol (Theorem 10 behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.activation import (
+    RandomActivation,
+    SimultaneousActivation,
+    StaggeredActivation,
+    TrickleActivation,
+)
+from repro.adversary.jammers import (
+    FixedBandJammer,
+    NoInterference,
+    RandomJammer,
+    ReactiveJammer,
+    SweepJammer,
+)
+from repro.engine.runner import run_trials
+from repro.engine.simulator import SimulationConfig, simulate
+from repro.params import ModelParameters
+from repro.protocols.trapdoor.epochs import TrapdoorSchedule
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+from repro.types import Role
+
+PARAMS = ModelParameters(frequencies=8, disruption_budget=3, participant_bound=32)
+
+
+def config(activation, adversary, seed=0, params=PARAMS, **kwargs):
+    return SimulationConfig(
+        params=params,
+        protocol_factory=TrapdoorProtocol.factory(),
+        activation=activation,
+        adversary=adversary,
+        max_rounds=30_000,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestLivenessAcrossWorkloads:
+    @pytest.mark.parametrize(
+        "adversary",
+        [NoInterference(), RandomJammer(), SweepJammer(), FixedBandJammer(), ReactiveJammer()],
+        ids=["quiet", "random", "sweep", "fixed", "reactive"],
+    )
+    def test_synchronizes_under_every_jammer(self, adversary):
+        result = simulate(config(StaggeredActivation(count=8, spacing=3), adversary))
+        assert result.synchronized, result.summary()
+        assert result.report.all_safety_holds
+
+    @pytest.mark.parametrize(
+        "activation",
+        [
+            SimultaneousActivation(count=8),
+            StaggeredActivation(count=8, spacing=7),
+            RandomActivation(count=8, window=50, seed=1),
+            TrickleActivation(count=8, delay=60),
+        ],
+        ids=["simultaneous", "staggered", "random", "trickle"],
+    )
+    def test_synchronizes_under_every_activation_pattern(self, activation):
+        result = simulate(config(activation, RandomJammer(), seed=3))
+        assert result.synchronized, result.summary()
+        assert result.leader_count == 1
+
+    def test_single_node_synchronizes_alone(self):
+        result = simulate(config(SimultaneousActivation(count=1), RandomJammer()))
+        assert result.synchronized
+        assert result.leader_count == 1
+        schedule = TrapdoorSchedule(PARAMS)
+        assert result.max_sync_latency == schedule.total_rounds + 1
+
+    def test_two_nodes_with_full_budget_jamming(self):
+        params = ModelParameters(frequencies=4, disruption_budget=3, participant_bound=8)
+        result = simulate(config(SimultaneousActivation(count=2), RandomJammer(), params=params))
+        assert result.synchronized
+
+
+class TestAgreementAndLeadership:
+    def test_single_leader_across_many_seeds(self):
+        # Tightly staggered arrivals are the hardest case for leader
+        # uniqueness: a contender activated two rounds after the eventual
+        # winner has only the final epoch to hear it.  The paper's guarantee
+        # is "with high probability" in N; with N = 32 and the default
+        # (speed-oriented) constants a small fraction of executions may elect
+        # a second leader, so the assertion is statistical rather than exact.
+        summary = run_trials(
+            config(StaggeredActivation(count=6, spacing=2), RandomJammer()), seeds=8
+        )
+        assert summary.unique_leader_rate >= 0.75
+        assert summary.agreement_rate >= 0.75
+        assert summary.liveness_rate == 1.0
+
+    def test_single_leader_is_exact_with_paper_safe_constants(self):
+        # Quadrupling the final-epoch constant squares away the failure
+        # probability (the paper's Θ(F'²/(F'−t)·lgN) with a larger constant):
+        # the same stress workload then elects exactly one leader in every seed.
+        from repro.protocols.trapdoor.config import TrapdoorConfig
+
+        safe_factory = TrapdoorProtocol.factory(TrapdoorConfig(final_epoch_constant=8.0))
+        summary = run_trials(
+            SimulationConfig(
+                params=PARAMS,
+                protocol_factory=safe_factory,
+                activation=StaggeredActivation(count=6, spacing=2),
+                adversary=RandomJammer(),
+                max_rounds=60_000,
+            ),
+            seeds=6,
+        )
+        assert summary.unique_leader_rate == 1.0
+        assert summary.agreement_rate == 1.0
+        assert summary.liveness_rate == 1.0
+
+    def test_earliest_activated_node_wins(self):
+        result = simulate(config(StaggeredActivation(count=5, spacing=10), RandomJammer(), seed=2))
+        # Node 0 is activated first and can never be knocked out.
+        first_leader_round = None
+        for record in result.trace:
+            leaders = record.leader_nodes()
+            if leaders:
+                first_leader_round = record.global_round
+                assert leaders == (0,)
+                break
+        assert first_leader_round is not None
+
+    def test_outputs_keep_incrementing_after_sync(self):
+        result = simulate(
+            config(
+                SimultaneousActivation(count=3),
+                NoInterference(),
+                extra_rounds_after_sync=30,
+                stop_when_synchronized=True,
+            )
+        )
+        node = result.trace.node_ids[0]
+        outputs = [o for o in result.trace.outputs_of(node) if o is not None]
+        assert len(outputs) >= 30
+        assert all(b - a == 1 for a, b in zip(outputs, outputs[1:]))
+
+
+class TestLatencyShape:
+    def test_latency_stays_within_constant_factor_of_theorem10(self):
+        schedule = TrapdoorSchedule(PARAMS)
+        summary = run_trials(
+            config(SimultaneousActivation(count=8), RandomJammer()), seeds=5
+        )
+        # Every node must finish within a small constant factor of the
+        # schedule length (the winner needs the whole schedule; followers a
+        # little longer to hear the announcement).
+        assert summary.max_latency <= 3 * schedule.total_rounds
+
+    def test_heavier_jamming_budget_means_longer_schedule_and_latency(self):
+        light = ModelParameters(frequencies=8, disruption_budget=1, participant_bound=32)
+        heavy = ModelParameters(frequencies=8, disruption_budget=6, participant_bound=32)
+        light_summary = run_trials(
+            config(SimultaneousActivation(count=4), RandomJammer(), params=light), seeds=4
+        )
+        heavy_summary = run_trials(
+            config(SimultaneousActivation(count=4), RandomJammer(), params=heavy), seeds=4
+        )
+        assert heavy_summary.mean_latency > light_summary.mean_latency
+
+    def test_roles_progress_from_contender_to_synchronized(self):
+        result = simulate(config(SimultaneousActivation(count=4), NoInterference()))
+        final_roles = result.trace.records[-1].roles
+        assert sum(1 for role in final_roles.values() if role is Role.LEADER) == 1
+        assert all(
+            role in (Role.LEADER, Role.SYNCHRONIZED, Role.KNOCKED_OUT)
+            for role in final_roles.values()
+        )

@@ -1,0 +1,141 @@
+"""Property-based tests for the analytical machinery."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import theorem5_lower_bound, trapdoor_upper_bound
+from repro.analysis.fitting import fit_constant
+from repro.analysis.good_probability import goodness_threshold, success_probability
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.statistics import summarize
+from repro.analysis.two_node_game import (
+    best_protocol_meeting_probability,
+    optimal_disruption,
+)
+
+
+class TestSuccessProbabilityProperties:
+    @given(st.integers(min_value=1, max_value=10_000), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=300, deadline=None)
+    def test_is_a_probability(self, n, p):
+        value = success_probability(n, p)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_maximized_near_one_over_n(self, n):
+        peak = success_probability(n, 1.0 / n)
+        assert peak >= success_probability(n, 0.25 / n)
+        assert peak >= success_probability(n, min(1.0, 4.0 / n))
+
+    @given(st.integers(min_value=2, max_value=2**30))
+    @settings(max_examples=100, deadline=None)
+    def test_goodness_threshold_monotone_in_n(self, n):
+        assert goodness_threshold(2 * n) <= goodness_threshold(n)
+
+
+class TestBoundProperties:
+    valid_params = st.tuples(
+        st.integers(min_value=4, max_value=4096),  # N
+        st.integers(min_value=2, max_value=64),  # F
+        st.integers(min_value=1, max_value=63),  # t (clamped below)
+    )
+
+    @given(valid_params)
+    @settings(max_examples=300, deadline=None)
+    def test_upper_bound_dominates_lower_bound(self, values):
+        participant_bound, frequencies, budget = values
+        assume(budget < frequencies)
+        assume(participant_bound >= frequencies)
+        upper = trapdoor_upper_bound(participant_bound, frequencies, budget)
+        lower = theorem5_lower_bound(participant_bound, frequencies, budget)
+        assert upper >= lower > 0
+
+    @given(st.integers(min_value=2, max_value=64), st.integers(min_value=1, max_value=63))
+    @settings(max_examples=300, deadline=None)
+    def test_meeting_probability_in_unit_interval_and_antitone_in_t(self, frequencies, budget):
+        assume(budget < frequencies)
+        value = best_protocol_meeting_probability(frequencies, budget)
+        assert 0.0 < value <= 1.0
+        if budget + 1 < frequencies:
+            assert best_protocol_meeting_probability(frequencies, budget + 1) <= value
+
+
+class TestTwoNodeGameProperties:
+    @st.composite
+    @staticmethod
+    def distributions(draw):
+        size = draw(st.integers(min_value=2, max_value=10))
+        raw_p = draw(
+            st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=size, max_size=size)
+        )
+        raw_q = draw(
+            st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=size, max_size=size)
+        )
+        total_p = sum(raw_p) or 1.0
+        total_q = sum(raw_q) or 1.0
+        p = [x / total_p for x in raw_p]
+        q = [x / total_q for x in raw_q]
+        budget = draw(st.integers(min_value=0, max_value=size - 1))
+        return p, q, budget
+
+    @given(distributions())
+    @settings(max_examples=300, deadline=None)
+    def test_adversary_choice_is_optimal_among_all_t_subsets(self, instance):
+        import itertools
+
+        p, q, budget = instance
+        choice = optimal_disruption(p, q, budget)
+        products = [p[j] * q[j] for j in range(len(p))]
+        for subset in itertools.combinations(range(len(p)), budget):
+            remaining = sum(products[j] for j in range(len(p)) if j not in subset)
+            assert choice.meeting_probability <= remaining + 1e-12
+
+    @given(distributions())
+    @settings(max_examples=300, deadline=None)
+    def test_meeting_probability_decreases_with_budget(self, instance):
+        p, q, budget = instance
+        assume(budget + 1 < len(p))
+        smaller = optimal_disruption(p, q, budget).meeting_probability
+        larger = optimal_disruption(p, q, budget + 1).meeting_probability
+        assert larger <= smaller + 1e-12
+
+
+class TestFittingProperties:
+    @given(
+        st.lists(st.floats(min_value=0.5, max_value=100.0), min_size=2, max_size=12),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_fit_recovers_exact_constants(self, predicted, constant):
+        measured = [constant * value for value in predicted]
+        fit = fit_constant(measured, predicted)
+        assert math.isclose(fit.constant, constant, rel_tol=1e-9)
+        assert fit.max_relative_error < 1e-9
+
+    @given(
+        st.floats(min_value=0.2, max_value=3.0),
+        st.floats(min_value=0.5, max_value=20.0),
+        st.lists(st.integers(min_value=2, max_value=10_000), min_size=3, max_size=10, unique=True),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_power_law_fit_recovers_exponent(self, exponent, prefactor, xs):
+        xs = sorted(xs)
+        ys = [prefactor * x**exponent for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert math.isclose(fit.exponent, exponent, rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=300, deadline=None)
+    def test_summary_bounds_are_consistent(self, values):
+        summary = summarize(values)
+        # The tiny epsilon absorbs floating-point rounding in the mean of
+        # near-identical samples.
+        epsilon = 1e-6 * (1.0 + abs(summary.maximum))
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum - epsilon <= summary.mean <= summary.maximum + epsilon
+        assert summary.ci_low <= summary.mean <= summary.ci_high

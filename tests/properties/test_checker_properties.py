@@ -1,0 +1,135 @@
+"""Property-based tests for the problem-property checker.
+
+The checker is itself part of the trusted base of every experiment, so we test
+it generatively: traces built from known-good output patterns must pass, and
+random mutations of those patterns must be flagged.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.checker import PropertyChecker
+from repro.engine.trace import ExecutionTrace, RoundRecord
+from repro.params import ModelParameters
+from repro.radio.events import RoundActivity
+from repro.types import Role
+
+CHECKER = PropertyChecker()
+PARAMS = ModelParameters(frequencies=4, disruption_budget=1, participant_bound=8)
+
+
+@st.composite
+def clean_executions(draw):
+    """Generate executions that satisfy all five properties by construction.
+
+    One global numbering is chosen; each node starts outputting it at its own
+    sync round and increments forever after.
+    """
+    node_count = draw(st.integers(min_value=1, max_value=5))
+    length = draw(st.integers(min_value=1, max_value=30))
+    base_number = draw(st.integers(min_value=0, max_value=1000))
+    activation = {n: draw(st.integers(min_value=1, max_value=length)) for n in range(node_count)}
+    sync_offset = {n: draw(st.integers(min_value=0, max_value=length)) for n in range(node_count)}
+    outputs_per_round = []
+    for global_round in range(1, length + 1):
+        outputs = {}
+        for node in range(node_count):
+            if global_round < activation[node]:
+                continue
+            sync_round = activation[node] + sync_offset[node]
+            if global_round >= sync_round:
+                outputs[node] = base_number + global_round
+            else:
+                outputs[node] = None
+        outputs_per_round.append(outputs)
+    return activation, outputs_per_round
+
+
+def build_trace(activation, outputs_per_round) -> ExecutionTrace:
+    trace = ExecutionTrace(params=PARAMS, seed=0, activation_rounds=dict(activation))
+    for global_round, outputs in enumerate(outputs_per_round, start=1):
+        trace.append(
+            RoundRecord(
+                global_round=global_round,
+                outputs=outputs,
+                roles={node: Role.CONTENDER for node in outputs},
+                activity=RoundActivity(global_round=global_round),
+            )
+        )
+    return trace
+
+
+class TestCheckerProperties:
+    @given(clean_executions())
+    @settings(max_examples=200, deadline=None)
+    def test_clean_executions_satisfy_all_safety_properties(self, execution):
+        activation, outputs_per_round = execution
+        report = CHECKER.check(build_trace(activation, outputs_per_round))
+        assert report.all_safety_holds, [v.detail for v in report.violations]
+
+    @given(clean_executions())
+    @settings(max_examples=200, deadline=None)
+    def test_liveness_reflects_whether_everyone_synced(self, execution):
+        activation, outputs_per_round = execution
+        trace = build_trace(activation, outputs_per_round)
+        report = CHECKER.check(trace)
+        expected = all(
+            any(outputs.get(node) is not None for outputs in outputs_per_round)
+            for node in activation
+        )
+        assert report.liveness_achieved == expected
+
+    @given(clean_executions(), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_freezing_an_output_breaks_correctness(self, execution, data):
+        activation, outputs_per_round = execution
+        synced_rounds = [
+            (index, node)
+            for index, outputs in enumerate(outputs_per_round)
+            for node, value in outputs.items()
+            if value is not None and index + 1 < len(outputs_per_round)
+            and outputs_per_round[index + 1].get(node) is not None
+        ]
+        if not synced_rounds:
+            return
+        index, node = data.draw(st.sampled_from(synced_rounds))
+        # Freeze the node's output: same value two rounds in a row.
+        outputs_per_round[index + 1][node] = outputs_per_round[index][node]
+        report = CHECKER.check(build_trace(activation, outputs_per_round))
+        assert not report.correctness_holds
+
+    @given(clean_executions(), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_reverting_to_bottom_breaks_synch_commit(self, execution, data):
+        activation, outputs_per_round = execution
+        synced = [
+            (index, node)
+            for index, outputs in enumerate(outputs_per_round)
+            for node, value in outputs.items()
+            if value is not None and index + 1 < len(outputs_per_round)
+            and node in outputs_per_round[index + 1]
+        ]
+        if not synced:
+            return
+        index, node = data.draw(st.sampled_from(synced))
+        outputs_per_round[index + 1][node] = None
+        report = CHECKER.check(build_trace(activation, outputs_per_round))
+        assert not report.synch_commit_holds
+
+    @given(clean_executions(), st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=200, deadline=None)
+    def test_skewing_one_node_breaks_agreement(self, execution, skew):
+        activation, outputs_per_round = execution
+        # Find a round where two nodes are both synced, then skew one of them.
+        for outputs in outputs_per_round:
+            synced_nodes = [n for n, v in outputs.items() if v is not None]
+            if len(synced_nodes) >= 2:
+                victim = synced_nodes[0]
+                for later in outputs_per_round:
+                    if later.get(victim) is not None:
+                        later[victim] += skew
+                report = CHECKER.check(build_trace(activation, outputs_per_round))
+                assert not report.agreement_holds
+                return

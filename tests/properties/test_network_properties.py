@@ -1,0 +1,91 @@
+"""Property-based tests for the radio network collision/disruption semantics."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.actions import broadcast, listen
+from repro.radio.frequencies import FrequencyBand
+from repro.radio.messages import DataMessage
+from repro.radio.network import SingleHopRadioNetwork
+
+
+@st.composite
+def round_instances(draw):
+    """A random band, per-node actions, and a disruption set."""
+    size = draw(st.integers(min_value=1, max_value=12))
+    node_count = draw(st.integers(min_value=0, max_value=14))
+    actions = {}
+    for node_id in range(node_count):
+        frequency = draw(st.integers(min_value=1, max_value=size))
+        if draw(st.booleans()):
+            actions[node_id] = broadcast(frequency, DataMessage(sender_uid=node_id, payload=node_id))
+        else:
+            actions[node_id] = listen(frequency)
+    disrupted = draw(st.sets(st.integers(min_value=1, max_value=size), max_size=size))
+    return size, actions, disrupted
+
+
+class TestNetworkInvariants:
+    @given(round_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_delivery_rule_is_exactly_the_paper_rule(self, instance):
+        size, actions, disrupted = instance
+        network = SingleHopRadioNetwork(FrequencyBand(size))
+        resolution = network.resolve_round(1, actions, disrupted)
+
+        broadcasters_by_freq: dict[int, list[int]] = {}
+        for node_id, action in actions.items():
+            if action.is_broadcast:
+                broadcasters_by_freq.setdefault(action.frequency, []).append(node_id)
+
+        for node_id, action in actions.items():
+            outcome = resolution.outcomes[node_id]
+            assert outcome.frequency == action.frequency
+            assert outcome.broadcast == action.is_broadcast
+            senders = broadcasters_by_freq.get(action.frequency, [])
+            should_receive = (
+                action.is_listen and len(senders) == 1 and action.frequency not in disrupted
+            )
+            assert outcome.received == should_receive
+            if should_receive:
+                assert outcome.message == actions[senders[0]].message
+            # A broadcaster never receives anything.
+            if action.is_broadcast:
+                assert outcome.message is None
+
+    @given(round_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_every_acting_node_gets_exactly_one_outcome(self, instance):
+        size, actions, disrupted = instance
+        network = SingleHopRadioNetwork(FrequencyBand(size))
+        resolution = network.resolve_round(1, actions, disrupted)
+        assert set(resolution.outcomes) == set(actions)
+
+    @given(round_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_activity_record_is_consistent_with_outcomes(self, instance):
+        size, actions, disrupted = instance
+        network = SingleHopRadioNetwork(FrequencyBand(size))
+        resolution = network.resolve_round(1, actions, disrupted)
+        activity = resolution.activity
+        assert activity.disrupted == frozenset(disrupted)
+        total_broadcasters = sum(1 for action in actions.values() if action.is_broadcast)
+        assert activity.broadcaster_count() == total_broadcasters
+        for frequency, freq_activity in activity.per_frequency.items():
+            assert freq_activity.delivered == (
+                len(freq_activity.broadcasters) == 1 and frequency not in disrupted
+            )
+            assert set(freq_activity.broadcasters).isdisjoint(freq_activity.listeners)
+
+    @given(round_instances(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_resolution_is_deterministic(self, instance, _seed):
+        size, actions, disrupted = instance
+        network = SingleHopRadioNetwork(FrequencyBand(size))
+        first = network.resolve_round(1, actions, disrupted)
+        second = network.resolve_round(1, actions, disrupted)
+        assert first.outcomes == second.outcomes

@@ -1,0 +1,84 @@
+"""Property-based tests for timestamps and the round-numbering arithmetic."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.numbering import RoundNumbering
+from repro.timestamps import Timestamp
+
+timestamps = st.builds(
+    Timestamp,
+    rounds_active=st.integers(min_value=0, max_value=10_000),
+    uid=st.integers(min_value=1, max_value=10**9),
+)
+
+
+class TestTimestampProperties:
+    @given(timestamps, timestamps)
+    @settings(max_examples=300, deadline=None)
+    def test_ordering_is_total_and_antisymmetric(self, a, b):
+        assert (a < b) or (b < a) or (a == b)
+        if a < b:
+            assert not (b < a)
+        if a == b:
+            assert not (a < b) and not (b < a)
+
+    @given(timestamps, timestamps, timestamps)
+    @settings(max_examples=300, deadline=None)
+    def test_ordering_is_transitive(self, a, b, c):
+        if a <= b and b <= c:
+            assert a <= c
+
+    @given(timestamps, timestamps)
+    @settings(max_examples=300, deadline=None)
+    def test_ordering_matches_lexicographic_tuple_order(self, a, b):
+        assert (a < b) == ((a.rounds_active, a.uid) < (b.rounds_active, b.uid))
+
+    @given(timestamps, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=200, deadline=None)
+    def test_aging_preserves_uid_and_adds_rounds(self, stamp, extra):
+        aged = stamp.aged(extra)
+        assert aged.uid == stamp.uid
+        assert aged.rounds_active == stamp.rounds_active + extra
+        assert aged >= stamp
+
+    @given(timestamps, timestamps, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=200, deadline=None)
+    def test_aging_both_preserves_order(self, a, b, extra):
+        if a < b:
+            assert a.aged(extra) < b.aged(extra)
+
+
+class TestNumberingProperties:
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_numbering_is_affine_with_unit_slope(self, local_round, announced, offset):
+        numbering = RoundNumbering.adopted_from_message(local_round, announced)
+        assert numbering.number_for(local_round) == announced
+        assert numbering.number_for(local_round + offset) == announced + offset
+
+    @given(st.integers(min_value=1, max_value=10_000), st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=200, deadline=None)
+    def test_leader_declaration_equals_activation_age(self, leader_round, offset):
+        numbering = RoundNumbering.declared_by_leader(leader_round)
+        assert numbering.number_for(leader_round + offset) == leader_round + offset
+
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_two_adopters_of_same_message_always_agree(self, sender_round, announced, receiver_round):
+        # Two nodes adopting the same announcement in the same (global) round
+        # produce identical outputs forever, regardless of their local ages.
+        a = RoundNumbering.adopted_from_message(receiver_round, announced)
+        b = RoundNumbering.adopted_from_message(receiver_round + 3, announced)
+        for step in range(5):
+            assert a.number_for(receiver_round + step) == b.number_for(receiver_round + 3 + step)

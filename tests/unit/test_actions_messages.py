@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.radio.actions` and :mod:`repro.radio.messages`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.radio.actions import RadioAction, broadcast, listen
+from repro.radio.messages import (
+    ContenderMessage,
+    DataMessage,
+    LeaderMessage,
+    SamaritanMessage,
+    WakeupMessage,
+)
+from repro.timestamps import Timestamp
+from repro.types import Intent
+
+
+class TestRadioAction:
+    def test_broadcast_constructor(self):
+        message = LeaderMessage(leader_uid=1, round_number=10)
+        action = broadcast(3, message)
+        assert action.frequency == 3
+        assert action.is_broadcast and not action.is_listen
+        assert action.message is message
+
+    def test_listen_constructor(self):
+        action = listen(2)
+        assert action.frequency == 2
+        assert action.is_listen and not action.is_broadcast
+        assert action.message is None
+
+    def test_broadcast_requires_message(self):
+        with pytest.raises(ConfigurationError):
+            RadioAction(frequency=1, intent=Intent.BROADCAST, message=None)
+
+    def test_listen_must_not_carry_message(self):
+        with pytest.raises(ConfigurationError):
+            RadioAction(frequency=1, intent=Intent.LISTEN, message=LeaderMessage(1, 1))
+
+    def test_frequency_must_be_one_based(self):
+        with pytest.raises(ConfigurationError):
+            listen(0)
+
+    def test_actions_are_immutable(self):
+        action = listen(1)
+        with pytest.raises(AttributeError):
+            action.frequency = 2  # type: ignore[misc]
+
+
+class TestMessages:
+    def test_contender_message_defaults(self):
+        message = ContenderMessage(timestamp=Timestamp(3, 7))
+        assert message.timestamp == Timestamp(3, 7)
+        assert message.special is False
+        assert message.epoch == 0
+
+    def test_samaritan_message_reports_default_empty(self):
+        message = SamaritanMessage(timestamp=Timestamp(1, 1))
+        assert dict(message.reports) == {}
+
+    def test_samaritan_message_carries_reports(self):
+        message = SamaritanMessage(timestamp=Timestamp(1, 1), reports={42: 3})
+        assert message.reports[42] == 3
+
+    def test_leader_message_fields(self):
+        message = LeaderMessage(leader_uid=9, round_number=100)
+        assert message.leader_uid == 9
+        assert message.round_number == 100
+
+    def test_wakeup_and_data_messages(self):
+        assert WakeupMessage(sender_uid=1, round_number=2).round_number == 2
+        assert DataMessage(sender_uid=1, payload={"k": "v"}).payload == {"k": "v"}
+
+    def test_messages_are_hashable_value_objects(self):
+        a = LeaderMessage(leader_uid=9, round_number=100)
+        b = LeaderMessage(leader_uid=9, round_number=100)
+        assert a == b
+        assert hash(a) == hash(b)

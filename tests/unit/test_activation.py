@@ -1,0 +1,127 @@
+"""Unit tests for the activation schedules."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary.activation import (
+    ExplicitActivation,
+    RandomActivation,
+    SimultaneousActivation,
+    StaggeredActivation,
+    TrickleActivation,
+)
+from repro.exceptions import ConfigurationError
+
+
+def collect_activations(schedule, horizon=200, seed=0):
+    rng = random.Random(seed)
+    activated = {}
+    for round_index in range(1, horizon + 1):
+        for node_id in schedule.activations_for_round(round_index, rng):
+            assert node_id not in activated, "node activated twice"
+            activated[node_id] = round_index
+    return activated
+
+
+class TestSimultaneous:
+    def test_all_nodes_wake_in_designated_round(self):
+        schedule = SimultaneousActivation(count=5, round_index=3)
+        activated = collect_activations(schedule)
+        assert set(activated) == set(range(5))
+        assert all(r == 3 for r in activated.values())
+        assert schedule.last_activation_round() == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimultaneousActivation(count=0)
+        with pytest.raises(ConfigurationError):
+            SimultaneousActivation(count=3, round_index=0)
+
+
+class TestStaggered:
+    def test_even_spacing(self):
+        schedule = StaggeredActivation(count=4, spacing=3, first_round=2)
+        activated = collect_activations(schedule)
+        assert activated == {0: 2, 1: 5, 2: 8, 3: 11}
+        assert schedule.last_activation_round() == 11
+
+    def test_zero_spacing_collapses_to_simultaneous(self):
+        schedule = StaggeredActivation(count=4, spacing=0, first_round=5)
+        activated = collect_activations(schedule)
+        assert set(activated.values()) == {5}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StaggeredActivation(count=2, spacing=-1)
+        with pytest.raises(ConfigurationError):
+            StaggeredActivation(count=2, first_round=0)
+
+
+class TestRandom:
+    def test_every_node_wakes_once_within_window(self):
+        schedule = RandomActivation(count=10, window=20, seed=3)
+        activated = collect_activations(schedule)
+        assert set(activated) == set(range(10))
+        assert all(1 <= r <= 20 for r in activated.values())
+        assert schedule.last_activation_round() == max(activated.values())
+
+    def test_same_seed_same_pattern(self):
+        a = collect_activations(RandomActivation(count=8, window=16, seed=9))
+        b = collect_activations(RandomActivation(count=8, window=16, seed=9))
+        assert a == b
+
+    def test_different_seed_usually_differs(self):
+        a = collect_activations(RandomActivation(count=8, window=64, seed=1))
+        b = collect_activations(RandomActivation(count=8, window=64, seed=2))
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomActivation(count=0)
+        with pytest.raises(ConfigurationError):
+            RandomActivation(count=2, window=0)
+
+
+class TestExplicit:
+    def test_explicit_rounds_are_honoured(self):
+        schedule = ExplicitActivation(rounds=[4, 1, 4])
+        activated = collect_activations(schedule)
+        assert activated == {0: 4, 1: 1, 2: 4}
+        assert schedule.last_activation_round() == 4
+        assert schedule.node_count == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitActivation(rounds=[])
+        with pytest.raises(ConfigurationError):
+            ExplicitActivation(rounds=[1, 0])
+
+
+class TestTrickle:
+    def test_straggler_arrives_late(self):
+        schedule = TrickleActivation(count=4, delay=10)
+        activated = collect_activations(schedule)
+        assert activated == {0: 1, 1: 1, 2: 1, 3: 11}
+        assert schedule.last_activation_round() == 11
+
+    def test_zero_delay_means_same_round(self):
+        activated = collect_activations(TrickleActivation(count=3, delay=0))
+        assert set(activated.values()) == {1}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrickleActivation(count=1)
+        with pytest.raises(ConfigurationError):
+            TrickleActivation(count=3, delay=-1)
+
+
+class TestDescriptions:
+    def test_descriptions_mention_node_count(self):
+        assert "n=5" in SimultaneousActivation(count=5).describe()
+        assert "n=4" in StaggeredActivation(count=4).describe()
+        assert "n=3" in RandomActivation(count=3).describe()
+        assert "n=2" in TrickleActivation(count=2).describe()
+        assert "n=2" in ExplicitActivation(rounds=[1, 2]).describe()

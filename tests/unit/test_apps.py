@@ -1,0 +1,208 @@
+"""Unit tests for the application layer (frequency hopping, TDMA, counting, keys, election)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.counting import (
+    CountingWindow,
+    announcement_slot,
+    recommended_window_length,
+    simulate_counting_window,
+    undercount_probability,
+    windows_to_count_all,
+)
+from repro.apps.frequency_hopping import FrequencyHopper
+from repro.apps.group_key import GroupKeySchedule
+from repro.apps.leader_election import election_from_result, extract_election, leadership_tenure
+from repro.apps.tdma import TdmaSchedule
+from repro.exceptions import ConfigurationError
+from repro.radio.frequencies import FrequencyBand
+
+
+class TestFrequencyHopper:
+    def test_same_seed_same_sequence(self):
+        band = FrequencyBand(16)
+        a = FrequencyHopper(band, seed=7)
+        b = FrequencyHopper(band, seed=7)
+        assert a.hop_sequence(0, 50) == b.hop_sequence(0, 50)
+
+    def test_different_seed_different_sequence(self):
+        band = FrequencyBand(16)
+        assert FrequencyHopper(band, 1).hop_sequence(0, 50) != FrequencyHopper(band, 2).hop_sequence(0, 50)
+
+    def test_frequencies_stay_in_band_and_avoid_set(self):
+        band = FrequencyBand(8)
+        hopper = FrequencyHopper(band, seed=3, avoid=frozenset({1, 2}))
+        sequence = hopper.hop_sequence(0, 200)
+        assert all(3 <= f <= 8 for f in sequence)
+        assert set(hopper.usable_frequencies()) == {3, 4, 5, 6, 7, 8}
+
+    def test_avoiding_everything_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyHopper(FrequencyBand(2), seed=0, avoid=frozenset({1, 2}))
+
+    def test_synchronized_devices_always_meet(self):
+        hopper = FrequencyHopper(FrequencyBand(16), seed=5)
+        assert hopper.rendezvous_rate(0, start_round=10, length=100) == 1.0
+
+    def test_unsynchronized_devices_rarely_meet(self):
+        hopper = FrequencyHopper(FrequencyBand(16), seed=5)
+        rate = hopper.rendezvous_rate(3, start_round=10, length=400)
+        assert rate < 0.25
+
+    def test_validation(self):
+        hopper = FrequencyHopper(FrequencyBand(4), seed=0)
+        with pytest.raises(ConfigurationError):
+            hopper.frequency_for_round(-1)
+        with pytest.raises(ConfigurationError):
+            hopper.hop_sequence(0, -1)
+        with pytest.raises(ConfigurationError):
+            hopper.rendezvous_rate(1, 0, 0)
+
+
+class TestTdma:
+    def test_round_robin_assigns_distinct_slots(self):
+        schedule = TdmaSchedule.round_robin([30, 10, 20])
+        assert schedule.cycle_length == 3
+        assert sorted(schedule.slots.values()) == [0, 1, 2]
+        assert schedule.slot_of(10) == 0
+
+    def test_collision_freedom(self):
+        schedule = TdmaSchedule.round_robin([5, 6, 7, 8])
+        assert schedule.is_collision_free(range(0, 40))
+        for round_number in range(12):
+            assert len(schedule.transmitters_in_round(round_number)) == 1
+
+    def test_may_transmit_cycles(self):
+        schedule = TdmaSchedule.round_robin([100, 200])
+        assert schedule.may_transmit(100, 0)
+        assert not schedule.may_transmit(100, 1)
+        assert schedule.may_transmit(100, 2)
+
+    def test_next_transmission_round(self):
+        schedule = TdmaSchedule.round_robin([100, 200, 300])
+        assert schedule.next_transmission_round(200, not_before=0) == 1
+        assert schedule.next_transmission_round(200, not_before=2) == 4
+        assert schedule.next_transmission_round(100, not_before=3) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TdmaSchedule.round_robin([])
+        with pytest.raises(ConfigurationError):
+            TdmaSchedule.round_robin([1, 1])
+        with pytest.raises(ConfigurationError):
+            TdmaSchedule(slots={1: 5}, cycle_length=3)
+        schedule = TdmaSchedule.round_robin([1, 2])
+        with pytest.raises(ConfigurationError):
+            schedule.may_transmit(1, -1)
+        with pytest.raises(KeyError):
+            schedule.slot_of(99)
+
+
+class TestCounting:
+    def test_window_membership(self):
+        window = CountingWindow(period=10, length=3)
+        assert window.is_counting_round(0)
+        assert window.is_counting_round(2)
+        assert not window.is_counting_round(3)
+        assert window.is_counting_round(10)
+        assert window.window_index(25) == 2
+        assert window.slot_within_window(12) == 2
+        assert window.slot_within_window(15) is None
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            CountingWindow(period=0, length=1)
+        with pytest.raises(ConfigurationError):
+            CountingWindow(period=4, length=5)
+        with pytest.raises(ConfigurationError):
+            CountingWindow(period=4, length=2).is_counting_round(-1)
+
+    def test_announcement_slots_are_deterministic_and_in_range(self):
+        slots = [announcement_slot(uid, 0, 16) for uid in range(20)]
+        assert slots == [announcement_slot(uid, 0, 16) for uid in range(20)]
+        assert all(0 <= slot < 16 for slot in slots)
+
+    def test_counting_window_counts_collision_free_devices(self):
+        uids = list(range(1, 9))
+        counted = simulate_counting_window(uids, window_index=0, window_length=64)
+        assert set(counted) <= set(uids)
+        assert len(counted) >= len(uids) // 2
+
+    def test_everyone_counted_eventually(self):
+        uids = list(range(1, 13))
+        windows = windows_to_count_all(uids, window_length=recommended_window_length(12))
+        assert windows >= 1
+        assert windows < 50
+
+    def test_undercount_probability_monotone_in_density(self):
+        assert undercount_probability(2, 64) < undercount_probability(32, 64)
+        assert undercount_probability(1, 64) == 0.0
+
+    def test_recommended_window_length_is_power_of_two_and_large_enough(self):
+        length = recommended_window_length(10)
+        assert length >= 10
+        assert length & (length - 1) == 0
+
+    def test_counting_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_counting_window([1, 1], 0, 8)
+        with pytest.raises(ConfigurationError):
+            announcement_slot(1, 0, 0)
+        with pytest.raises(ConfigurationError):
+            recommended_window_length(0)
+        with pytest.raises(ConfigurationError):
+            undercount_probability(0, 8)
+
+
+class TestGroupKey:
+    def test_same_round_same_key(self):
+        schedule = GroupKeySchedule(group_secret=b"secret", rekey_period=10)
+        assert schedule.key_for_round(5) == schedule.key_for_round(9)
+        assert schedule.keys_match(5, 9)
+
+    def test_keys_change_across_epochs(self):
+        schedule = GroupKeySchedule(group_secret=b"secret", rekey_period=10)
+        assert schedule.key_for_round(9) != schedule.key_for_round(10)
+        assert not schedule.keys_match(9, 10)
+
+    def test_epoch_arithmetic(self):
+        schedule = GroupKeySchedule(group_secret=b"s", rekey_period=4)
+        assert schedule.epoch_of_round(0) == 0
+        assert schedule.epoch_of_round(7) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GroupKeySchedule(group_secret=b"", rekey_period=4)
+        with pytest.raises(ConfigurationError):
+            GroupKeySchedule(group_secret=b"s", rekey_period=0)
+        schedule = GroupKeySchedule(group_secret=b"s", rekey_period=4)
+        with pytest.raises(ConfigurationError):
+            schedule.epoch_of_round(-1)
+        with pytest.raises(ConfigurationError):
+            schedule.key_for_epoch(-1)
+
+
+class TestLeaderElection:
+    def test_extracts_clean_election_from_trapdoor_run(self, trapdoor_result):
+        outcome = election_from_result(trapdoor_result)
+        assert outcome.clean
+        assert outcome.leader is not None
+        assert outcome.election_round is not None
+        assert outcome.leader not in outcome.followers
+        assert set(outcome.followers) | {outcome.leader} == set(trapdoor_result.trace.node_ids)
+
+    def test_leadership_tenure_positive_for_leader(self, trapdoor_result):
+        outcome = extract_election(trapdoor_result.trace)
+        assert leadership_tenure(trapdoor_result.trace, outcome.leader) > 0
+        for follower in outcome.followers:
+            assert leadership_tenure(trapdoor_result.trace, follower) == 0
+
+    def test_empty_trace_has_no_leader(self, params):
+        from repro.engine.trace import ExecutionTrace
+
+        outcome = extract_election(ExecutionTrace(params=params, seed=0))
+        assert outcome.leaders == ()
+        assert not outcome.clean
+        assert outcome.leader is None

@@ -1,0 +1,82 @@
+"""Unit tests for the Lemma 2 balls-in-bins machinery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.balls_in_bins import (
+    lemma2_holds,
+    lemma2_lower_bound,
+    no_singleton_probability_exact,
+    no_singleton_probability_monte_carlo,
+    validate_distribution,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_accepts_proper_distribution(self):
+        assert validate_distribution([0.25, 0.75]) == (0.25, 0.75)
+
+    def test_rejects_bad_distributions(self):
+        with pytest.raises(ConfigurationError):
+            validate_distribution([])
+        with pytest.raises(ConfigurationError):
+            validate_distribution([0.5, 0.6])
+        with pytest.raises(ConfigurationError):
+            validate_distribution([-0.1, 1.1])
+
+
+class TestExactProbability:
+    def test_zero_balls_trivially_has_no_singleton(self):
+        assert no_singleton_probability_exact(0, [0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_one_ball_always_makes_a_singleton(self):
+        assert no_singleton_probability_exact(1, [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_two_balls_one_bin(self):
+        assert no_singleton_probability_exact(2, [1.0]) == pytest.approx(1.0)
+
+    def test_two_balls_two_fair_bins(self):
+        # No singleton iff both land in the same bin: probability 1/2.
+        assert no_singleton_probability_exact(2, [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_three_balls_two_fair_bins(self):
+        # Singleton-free iff all three in one bin: 2 · (1/2)³ = 1/4.
+        assert no_singleton_probability_exact(3, [0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_matches_monte_carlo(self):
+        probs = [0.1, 0.2, 0.7]
+        exact = no_singleton_probability_exact(5, probs)
+        estimate = no_singleton_probability_monte_carlo(5, probs, trials=20_000, rng=random.Random(0))
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+
+class TestLemma2:
+    def test_bound_value(self):
+        assert lemma2_lower_bound(0) == 1.0
+        assert lemma2_lower_bound(3) == pytest.approx(1 / 8)
+        with pytest.raises(ConfigurationError):
+            lemma2_lower_bound(-1)
+
+    def test_lemma_holds_on_small_instances_exactly(self):
+        cases = [
+            (4, [0.1, 0.2, 0.7]),
+            (6, [0.05, 0.15, 0.8]),
+            (8, [0.1, 0.1, 0.1, 0.7]),
+            (10, [0.25, 0.75]),
+            (16, [0.05, 0.05, 0.2, 0.7]),
+        ]
+        for balls, probs in cases:
+            assert lemma2_holds(balls, probs, exact=True)
+
+    def test_lemma_holds_monte_carlo(self):
+        assert lemma2_holds(
+            32, [0.05, 0.05, 0.1, 0.3, 0.5], exact=False, trials=20_000, rng=random.Random(1)
+        )
+
+    def test_hypothesis_requires_dominant_bin(self):
+        with pytest.raises(ConfigurationError):
+            lemma2_holds(4, [0.4, 0.3, 0.3])

@@ -1,0 +1,87 @@
+"""Unit tests for the closed-form bound formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import (
+    good_samaritan_adaptive_bound,
+    good_samaritan_worst_case_bound,
+    theorem1_lower_bound,
+    theorem4_lower_bound,
+    theorem5_lower_bound,
+    trapdoor_upper_bound,
+    upper_to_lower_gap,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestTheorem1:
+    def test_decreases_with_more_free_frequencies(self):
+        assert theorem1_lower_bound(1024, 8, 2) > theorem1_lower_bound(1024, 32, 2)
+
+    def test_increases_with_participant_bound(self):
+        assert theorem1_lower_bound(2**20, 8, 2) > theorem1_lower_bound(2**8, 8, 2)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            theorem1_lower_bound(1024, 4, 4)
+        with pytest.raises(ConfigurationError):
+            theorem1_lower_bound(1, 4, 2)
+
+
+class TestTheorem4:
+    def test_increases_with_budget(self):
+        assert theorem4_lower_bound(16, 8, 0.01) > theorem4_lower_bound(16, 2, 0.01)
+
+    def test_increases_with_smaller_error(self):
+        assert theorem4_lower_bound(16, 8, 0.001) > theorem4_lower_bound(16, 8, 0.1)
+
+    def test_rejects_invalid_error(self):
+        with pytest.raises(ConfigurationError):
+            theorem4_lower_bound(16, 8, 0.0)
+        with pytest.raises(ConfigurationError):
+            theorem4_lower_bound(16, 8, 1.0)
+
+    def test_zero_budget_gives_zero(self):
+        assert theorem4_lower_bound(16, 0, 0.01) == 0.0
+
+
+class TestTheorem5AndTheorem10:
+    def test_combined_bound_dominates_both_terms(self):
+        combined = theorem5_lower_bound(1024, 16, 8)
+        assert combined >= theorem1_lower_bound(1024, 16, 8)
+
+    def test_upper_bound_dominates_lower_bound(self):
+        for n, f, t in [(256, 8, 3), (1024, 16, 8), (4096, 32, 4)]:
+            assert trapdoor_upper_bound(n, f, t) >= theorem5_lower_bound(n, f, t)
+            assert upper_to_lower_gap(n, f, t) >= 1.0
+
+    def test_upper_bound_blows_up_as_t_approaches_f(self):
+        assert trapdoor_upper_bound(1024, 16, 15) > trapdoor_upper_bound(1024, 16, 1)
+
+    def test_gap_is_roughly_log_log_n(self):
+        # The first lower-bound term differs from the upper bound by loglogN,
+        # so the gap stays modest.
+        assert upper_to_lower_gap(2**16, 16, 8) < 20
+
+
+class TestGoodSamaritanBounds:
+    def test_adaptive_bound_scales_linearly_in_t_prime(self):
+        one = good_samaritan_adaptive_bound(256, 1)
+        four = good_samaritan_adaptive_bound(256, 4)
+        assert four == pytest.approx(4 * one)
+
+    def test_worst_case_exceeds_adaptive_when_t_prime_below_f(self):
+        assert good_samaritan_worst_case_bound(256, 16) > good_samaritan_adaptive_bound(256, 2)
+
+    def test_zero_t_prime_is_floored(self):
+        assert good_samaritan_adaptive_bound(256, 0) == good_samaritan_adaptive_bound(256, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            good_samaritan_adaptive_bound(1, 1)
+        with pytest.raises(ConfigurationError):
+            good_samaritan_adaptive_bound(256, -1)
+        with pytest.raises(ConfigurationError):
+            good_samaritan_worst_case_bound(256, 0)

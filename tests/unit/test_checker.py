@@ -1,0 +1,113 @@
+"""Unit tests for the wireless-synchronization property checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.checker import PropertyChecker
+from repro.engine.trace import ExecutionTrace, RoundRecord
+from repro.exceptions import ProtocolViolationError
+from repro.params import ModelParameters
+from repro.radio.events import RoundActivity
+from repro.types import Role
+
+
+def trace_from_outputs(per_node_outputs: dict[int, list]):
+    """Build a trace where node ``i`` produces the given output sequence from round 1."""
+    params = ModelParameters(frequencies=4, disruption_budget=1, participant_bound=8)
+    length = max(len(outputs) for outputs in per_node_outputs.values())
+    trace = ExecutionTrace(
+        params=params, seed=0, activation_rounds={node: 1 for node in per_node_outputs}
+    )
+    for round_index in range(1, length + 1):
+        outputs = {
+            node: outputs[round_index - 1]
+            for node, outputs in per_node_outputs.items()
+            if round_index <= len(outputs)
+        }
+        trace.append(
+            RoundRecord(
+                global_round=round_index,
+                outputs=outputs,
+                roles={node: Role.CONTENDER for node in outputs},
+                activity=RoundActivity(global_round=round_index),
+            )
+        )
+    return trace
+
+
+CHECKER = PropertyChecker()
+
+
+class TestHappyPath:
+    def test_clean_execution_passes_all_properties(self):
+        trace = trace_from_outputs({0: [None, 5, 6, 7], 1: [None, None, 6, 7]})
+        report = CHECKER.check(trace)
+        assert report.all_hold
+        assert report.synchronization_round == 3
+        assert report.violations == []
+
+    def test_raise_on_safety_violation_is_silent_when_clean(self):
+        trace = trace_from_outputs({0: [None, 1, 2]})
+        CHECKER.check(trace).raise_on_safety_violation()
+
+
+class TestViolations:
+    def test_validity_violation_detected(self):
+        trace = trace_from_outputs({0: [None, -3, -2]})
+        report = CHECKER.check(trace)
+        assert not report.validity_holds
+        assert not report.all_safety_holds
+
+    def test_synch_commit_violation_detected(self):
+        trace = trace_from_outputs({0: [None, 4, None, 6]})
+        report = CHECKER.check(trace)
+        assert not report.synch_commit_holds
+
+    def test_correctness_violation_detected(self):
+        trace = trace_from_outputs({0: [None, 4, 6]})
+        report = CHECKER.check(trace)
+        assert not report.correctness_holds
+
+    def test_agreement_violation_detected(self):
+        trace = trace_from_outputs({0: [None, 5, 6], 1: [None, 9, 10]})
+        report = CHECKER.check(trace)
+        assert not report.agreement_holds
+        assert report.correctness_holds
+
+    def test_liveness_violation_detected(self):
+        trace = trace_from_outputs({0: [None, None, None]})
+        report = CHECKER.check(trace)
+        assert not report.liveness_achieved
+        assert not report.all_hold
+        assert report.all_safety_holds
+
+    def test_raise_on_safety_violation_raises(self):
+        trace = trace_from_outputs({0: [None, 4, 6]})
+        with pytest.raises(ProtocolViolationError):
+            CHECKER.check(trace).raise_on_safety_violation()
+
+    def test_liveness_alone_does_not_raise_safety(self):
+        trace = trace_from_outputs({0: [None, None]})
+        CHECKER.check(trace).raise_on_safety_violation()
+
+    def test_violation_records_carry_details(self):
+        trace = trace_from_outputs({0: [None, 4, 6]})
+        report = CHECKER.check(trace)
+        violation = report.violations[0]
+        assert violation.property_name == "correctness"
+        assert violation.global_round == 3
+        assert violation.node_id == 0
+        assert "4" in violation.detail and "6" in violation.detail
+
+
+class TestEdgeCases:
+    def test_empty_trace_is_not_live(self):
+        params = ModelParameters(frequencies=4, disruption_budget=1, participant_bound=8)
+        report = CHECKER.check(ExecutionTrace(params=params, seed=0))
+        assert not report.liveness_achieved
+
+    def test_node_synced_on_arrival_is_fine(self):
+        trace = trace_from_outputs({0: [10, 11, 12]})
+        report = CHECKER.check(trace)
+        assert report.all_hold

@@ -1,0 +1,122 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import JAMMERS, PROTOCOLS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.protocol == "trapdoor"
+        assert args.frequencies == 8
+        assert args.workload == "crowded_cafe"
+
+    def test_protocol_and_jammer_choices_are_wired(self):
+        assert "good-samaritan" in PROTOCOLS
+        assert "reactive" in JAMMERS
+        args = build_parser().parse_args(["simulate", "--protocol", "uniform-wakeup", "--jammer", "sweep"])
+        assert args.protocol == "uniform-wakeup"
+        assert args.jammer == "sweep"
+
+
+class TestSimulateCommand:
+    def test_runs_and_reports_per_node_table(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--protocol",
+                "trapdoor",
+                "-F",
+                "8",
+                "-t",
+                "3",
+                "-N",
+                "32",
+                "--nodes",
+                "5",
+                "--workload",
+                "quiet_start",
+                "--seed",
+                "4",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Per-node synchronization" in output
+        assert "synchronized in" in output
+
+    def test_jammer_override_is_used(self, capsys):
+        main(
+            [
+                "simulate",
+                "--workload",
+                "quiet_start",
+                "--jammer",
+                "fixed-band",
+                "--nodes",
+                "3",
+                "-N",
+                "16",
+                "--seed",
+                "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "fixed band [1..t]" in output
+
+    def test_exports_json_and_csv(self, tmp_path, capsys):
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "rounds.csv"
+        exit_code = main(
+            [
+                "simulate",
+                "--workload",
+                "quiet_start",
+                "--nodes",
+                "3",
+                "-N",
+                "16",
+                "--json",
+                str(json_path),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        assert json_path.exists() and csv_path.exists()
+        data = json.loads(json_path.read_text())
+        assert data["properties"]["liveness"] is True
+
+
+class TestOtherCommands:
+    def test_schedule_trapdoor(self, capsys):
+        assert main(["schedule", "--protocol", "trapdoor", "-F", "8", "-t", "3", "-N", "64"]) == 0
+        output = capsys.readouterr().out
+        assert "Trapdoor schedule" in output
+        assert "total contention rounds" in output
+
+    def test_schedule_good_samaritan(self, capsys):
+        assert main(["schedule", "--protocol", "good-samaritan", "-F", "8", "-t", "3", "-N", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "Good Samaritan schedule" in output
+        assert "fallback rounds" in output
+
+    def test_experiments_lists_registry(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "fig1" in output and "thm18" in output
+
+    def test_bounds_table(self, capsys):
+        assert main(["bounds", "-F", "16", "-t", "8", "-N", "256", "--actual-disruption", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Theorem 10" in output
+        assert "Theorem 18 adaptive (t'=2)" in output

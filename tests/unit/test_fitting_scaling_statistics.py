@@ -1,0 +1,131 @@
+"""Unit tests for the fitting, scaling, and statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fitting import (
+    crossover_index,
+    fit_constant,
+    monotonically_increasing,
+    relative_shape_error,
+)
+from repro.analysis.scaling import doubling_ratios, fit_power_law, growth_factor
+from repro.analysis.statistics import geometric_mean, percentile, summarize
+from repro.exceptions import ConfigurationError
+
+
+class TestFitConstant:
+    def test_recovers_exact_constant(self):
+        predicted = [1.0, 2.0, 3.0, 4.0]
+        measured = [3.0, 6.0, 9.0, 12.0]
+        fit = fit_constant(measured, predicted)
+        assert fit.constant == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.max_relative_error == pytest.approx(0.0, abs=1e-12)
+        assert fit.is_shape_match()
+
+    def test_noisy_but_correct_shape_still_matches(self):
+        predicted = [1.0, 2.0, 4.0, 8.0]
+        measured = [2.1, 3.9, 8.4, 15.6]
+        fit = fit_constant(measured, predicted)
+        assert fit.is_shape_match(0.9)
+
+    def test_wrong_shape_fails_match(self):
+        predicted = [1.0, 2.0, 3.0, 4.0]
+        measured = [10.0, 5.0, 10.0, 5.0]
+        assert not fit_constant(measured, predicted).is_shape_match(0.8)
+
+    def test_relative_shape_error_wrapper(self):
+        assert relative_shape_error([2.0, 4.0], [1.0, 2.0]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_constant([1.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            fit_constant([1.0, 2.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            fit_constant([1.0, -2.0], [1.0, 2.0])
+
+
+class TestMonotoneAndCrossover:
+    def test_monotone_detection(self):
+        assert monotonically_increasing([1, 2, 3, 3, 5])
+        assert not monotonically_increasing([1, 3, 2])
+        assert monotonically_increasing([10, 9.7, 11], tolerance=0.05)
+        assert monotonically_increasing([5])
+
+    def test_crossover_index(self):
+        assert crossover_index([1, 2, 3], [5, 5, 2]) == 2
+        assert crossover_index([1, 1], [5, 5]) is None
+        assert crossover_index([9, 1], [5, 5]) == 0
+        with pytest.raises(ConfigurationError):
+            crossover_index([1], [1, 2])
+
+
+class TestPowerLaw:
+    def test_recovers_exponent(self):
+        x = [2, 4, 8, 16, 32]
+        y = [4, 16, 64, 256, 1024]  # y = x²
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.prefactor == pytest.approx(1.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_growth_factor_and_doubling_ratios(self):
+        values = [10.0, 20.0, 40.0]
+        assert growth_factor(values) == pytest.approx(4.0)
+        assert doubling_ratios(values) == pytest.approx([2.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1], [1])
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ConfigurationError):
+            growth_factor([5.0])
+        with pytest.raises(ConfigurationError):
+            doubling_ratios([1.0])
+
+
+class TestStatistics:
+    def test_summary_of_constant_sample(self):
+        summary = summarize([5.0, 5.0, 5.0])
+        assert summary.mean == 5.0
+        assert summary.std == 0.0
+        assert summary.ci_halfwidth == 0.0
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_summary_of_varied_sample(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.ci_halfwidth > 0
+        assert "±" in summary.format()
+
+    def test_single_observation(self):
+        summary = summarize([7.0])
+        assert summary.count == 1
+        assert summary.ci_halfwidth == 0.0
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.5) == pytest.approx(50.5)
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 100
+        with pytest.raises(ConfigurationError):
+            percentile(values, 1.5)
+        with pytest.raises(ConfigurationError):
+            percentile([], 0.5)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])

@@ -1,0 +1,64 @@
+"""Unit tests for :mod:`repro.radio.frequencies`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.radio.frequencies import FrequencyBand
+
+
+class TestFrequencyBand:
+    def test_iteration_is_one_based(self):
+        band = FrequencyBand(4)
+        assert list(band) == [1, 2, 3, 4]
+
+    def test_len_matches_size(self):
+        assert len(FrequencyBand(12)) == 12
+
+    def test_contains_checks_bounds_and_type(self):
+        band = FrequencyBand(4)
+        assert 1 in band
+        assert 4 in band
+        assert 0 not in band
+        assert 5 not in band
+        assert "2" not in band
+
+    def test_rejects_empty_band(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyBand(0)
+
+    def test_validate_passes_through_valid_frequency(self):
+        band = FrequencyBand(8)
+        assert band.validate(3) == 3
+
+    def test_validate_rejects_out_of_band(self):
+        band = FrequencyBand(8)
+        with pytest.raises(ConfigurationError):
+            band.validate(0)
+        with pytest.raises(ConfigurationError):
+            band.validate(9)
+
+    def test_prefix_is_clamped_to_band(self):
+        band = FrequencyBand(8)
+        assert list(band.prefix(4)) == [1, 2, 3, 4]
+        assert list(band.prefix(100)) == list(range(1, 9))
+
+    def test_prefix_rejects_non_positive_width(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyBand(8).prefix(0)
+
+    def test_suffix_covers_upper_band(self):
+        band = FrequencyBand(8)
+        assert list(band.suffix(6)) == [6, 7, 8]
+        assert list(band.suffix(100)) == [8]
+
+    def test_suffix_rejects_non_positive_start(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyBand(8).suffix(0)
+
+    def test_all_frequencies_tuple(self):
+        assert FrequencyBand(3).all_frequencies() == (1, 2, 3)
+
+    def test_band_is_hashable(self):
+        assert hash(FrequencyBand(5)) == hash(FrequencyBand(5))

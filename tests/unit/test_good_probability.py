@@ -1,0 +1,92 @@
+"""Unit tests for the success-probability / Claim 3 machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.good_probability import (
+    claim3_column_exponents,
+    claim3_holds,
+    good_population_exponents,
+    goodness_threshold,
+    is_good,
+    optimal_broadcast_probability,
+    success_probability,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSuccessProbability:
+    def test_peak_at_one_over_n(self):
+        n = 64
+        peak = success_probability(n, 1 / n)
+        assert peak > success_probability(n, 2 / n)
+        assert peak > success_probability(n, 0.5 / n)
+        assert peak == pytest.approx(1 / math.e, rel=0.05)
+
+    def test_optimal_probability_is_reciprocal(self):
+        assert optimal_broadcast_probability(32) == pytest.approx(1 / 32)
+        with pytest.raises(ConfigurationError):
+            optimal_broadcast_probability(0)
+
+    def test_boundary_values(self):
+        assert success_probability(0, 0.5) == 0.0
+        assert success_probability(5, 0.0) == 0.0
+        assert success_probability(1, 1.0) == 1.0
+        assert success_probability(3, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            success_probability(-1, 0.5)
+        with pytest.raises(ConfigurationError):
+            success_probability(5, 1.5)
+
+
+class TestGoodness:
+    def test_threshold_decreases_with_n(self):
+        assert goodness_threshold(2**16) < goodness_threshold(2**4)
+
+    def test_well_tuned_probability_is_good(self):
+        n, big_n = 64, 1024
+        assert is_good(n, 1 / n, big_n)
+
+    def test_badly_tuned_probability_is_not_good(self):
+        # Broadcasting with probability 1/2 among 4096 nodes essentially
+        # guarantees a collision.
+        assert not is_good(4096, 0.5, 4096)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            goodness_threshold(1)
+
+
+class TestClaim3:
+    def test_column_exponents_are_spaced_by_x(self):
+        exponents = claim3_column_exponents(2**128)
+        assert len(exponents) >= 2
+        gaps = {b - a for a, b in zip(exponents, exponents[1:])}
+        assert len(gaps) == 1  # uniform spacing x
+
+    def test_minimum_exponent_filters_columns(self):
+        all_columns = claim3_column_exponents(2**128)
+        filtered = claim3_column_exponents(2**128, minimum_exponent=all_columns[1])
+        assert filtered == all_columns[1:]
+
+    def test_small_n_yields_few_or_no_columns(self):
+        assert claim3_column_exponents(16) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            claim3_column_exponents(2)
+
+    def test_no_probability_is_good_for_two_columns(self):
+        # The heart of Claim 3, checked over a probability grid.
+        assert claim3_holds(2**128, probability_grid=500)
+
+    def test_good_population_exponents_at_most_one(self):
+        exponents = claim3_column_exponents(2**128)
+        for p in (1e-6, 1e-4, 1e-2, 0.1, 0.3, 0.7):
+            good = good_population_exponents(p, exponents, 2**128)
+            assert len(good) <= 1

@@ -1,0 +1,58 @@
+"""Unit tests for metrics collection and the simulation result wrapper."""
+
+from __future__ import annotations
+
+from repro.engine.metrics import collect_metrics, summarize_roles
+from repro.types import Role
+
+
+class TestCollectMetrics:
+    def test_counts_from_real_execution(self, trapdoor_result):
+        metrics = trapdoor_result.metrics
+        assert metrics.rounds_simulated == trapdoor_result.rounds_simulated
+        assert metrics.broadcasts > 0
+        assert metrics.deliveries > 0
+        assert metrics.leader_count == 1
+        assert metrics.sync_latencies
+        assert metrics.max_sync_latency >= max(1, metrics.mean_sync_latency or 0)
+
+    def test_rates_are_consistent(self, trapdoor_result):
+        metrics = trapdoor_result.metrics
+        assert 0 <= metrics.delivery_rate <= 4  # at most one delivery per frequency per round
+        assert metrics.collision_rate >= 0
+
+    def test_leader_uid_override(self, trapdoor_result):
+        metrics = collect_metrics(trapdoor_result.trace, leader_uids=frozenset({1, 2, 3}))
+        assert metrics.leader_count == 3
+
+    def test_role_rounds_accumulate(self, trapdoor_result):
+        metrics = trapdoor_result.metrics
+        total_node_rounds = sum(metrics.role_rounds.values())
+        assert total_node_rounds > 0
+        assert metrics.role_rounds[Role.LEADER] > 0
+
+    def test_summarize_roles_formats(self, trapdoor_result):
+        text = summarize_roles(trapdoor_result.metrics.role_rounds)
+        assert "leader=" in text
+
+    def test_summarize_roles_empty(self):
+        assert "no active rounds" in summarize_roles({})
+
+
+class TestSimulationResult:
+    def test_headline_accessors(self, trapdoor_result):
+        assert trapdoor_result.synchronized
+        assert trapdoor_result.synchronization_round is not None
+        assert trapdoor_result.max_sync_latency is not None
+        assert trapdoor_result.leader_count == 1
+        assert trapdoor_result.agreement_holds
+
+    def test_summary_mentions_status(self, trapdoor_result):
+        text = trapdoor_result.summary()
+        assert "synchronized" in text
+        assert "leaders 1" in text
+
+    def test_metrics_latencies_match_trace(self, trapdoor_result):
+        trace = trapdoor_result.trace
+        for node_id, latency in trapdoor_result.metrics.sync_latencies.items():
+            assert trace.sync_latency_of(node_id) == latency

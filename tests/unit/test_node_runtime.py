@@ -1,0 +1,99 @@
+"""Unit tests for :class:`repro.engine.node.NodeRuntime`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.node import NodeRuntime
+from repro.exceptions import SimulationError
+from repro.protocols.base import ProtocolContext, SynchronizationProtocol
+from repro.radio.actions import RadioAction, listen
+from repro.radio.events import ReceptionOutcome
+from repro.types import Role, SyncOutput
+
+
+class ScriptedProtocol(SynchronizationProtocol):
+    """A minimal protocol that listens forever and outputs after a set round."""
+
+    def __init__(self, context: ProtocolContext, sync_after: int = 3) -> None:
+        super().__init__(context)
+        self.sync_after = sync_after
+        self.activated = False
+        self.receptions: list[ReceptionOutcome] = []
+
+    def on_activate(self) -> None:
+        self.activated = True
+
+    def choose_action(self) -> RadioAction:
+        return listen(1)
+
+    def on_reception(self, outcome: ReceptionOutcome) -> None:
+        self.receptions.append(outcome)
+
+    def current_output(self) -> SyncOutput:
+        if self.context.local_round >= self.sync_after:
+            return 100 + self.context.local_round
+        return None
+
+
+def make_runtime(params, sync_after=3) -> NodeRuntime:
+    runtime = NodeRuntime(node_id=0, params=params, rng=random.Random(1))
+    runtime.activate(global_round=5, factory=lambda ctx: ScriptedProtocol(ctx, sync_after))
+    return runtime
+
+
+class TestLifecycle:
+    def test_inactive_runtime_raises_on_access(self, params):
+        runtime = NodeRuntime(node_id=0, params=params, rng=random.Random(1))
+        assert not runtime.active
+        assert runtime.role is Role.PASSIVE
+        assert runtime.local_round == 0
+        with pytest.raises(SimulationError):
+            _ = runtime.protocol
+        with pytest.raises(SimulationError):
+            runtime.begin_round()
+
+    def test_activation_draws_uid_and_calls_hook(self, params):
+        runtime = make_runtime(params)
+        assert runtime.active
+        assert runtime.activation_round == 5
+        assert runtime.uid >= 1
+        assert runtime.protocol.activated  # type: ignore[attr-defined]
+        assert runtime.local_round == 1
+
+    def test_double_activation_rejected(self, params):
+        runtime = make_runtime(params)
+        with pytest.raises(SimulationError):
+            runtime.activate(6, lambda ctx: ScriptedProtocol(ctx))
+
+
+class TestRoundDriving:
+    def drive_round(self, runtime):
+        runtime.begin_round()
+        runtime.choose_action()
+        runtime.deliver(ReceptionOutcome(frequency=1, broadcast=False))
+        return runtime.record_output()
+
+    def test_local_round_advances_only_after_first_round(self, params):
+        runtime = make_runtime(params)
+        assert runtime.local_round == 1
+        self.drive_round(runtime)
+        assert runtime.local_round == 1
+        self.drive_round(runtime)
+        assert runtime.local_round == 2
+
+    def test_outputs_and_sync_latency_recorded(self, params):
+        runtime = make_runtime(params, sync_after=3)
+        outputs = [self.drive_round(runtime) for _ in range(4)]
+        assert outputs == [None, None, 103, 104]
+        assert runtime.synchronized
+        assert runtime.sync_latency == 3
+
+    def test_unsynced_node_reports_no_latency(self, params):
+        runtime = make_runtime(params, sync_after=100)
+        for _ in range(5):
+            self.drive_round(runtime)
+        assert not runtime.synchronized
+        assert runtime.sync_latency is None

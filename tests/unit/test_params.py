@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.params`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.params import ModelParameters
+
+
+class TestValidation:
+    def test_accepts_valid_triple(self):
+        params = ModelParameters(frequencies=8, disruption_budget=3, participant_bound=64)
+        assert params.frequencies == 8
+        assert params.disruption_budget == 3
+        assert params.participant_bound == 64
+
+    def test_rejects_zero_frequencies(self):
+        with pytest.raises(ConfigurationError):
+            ModelParameters(frequencies=0, disruption_budget=0, participant_bound=4)
+
+    def test_rejects_budget_equal_to_frequencies(self):
+        with pytest.raises(ConfigurationError):
+            ModelParameters(frequencies=4, disruption_budget=4, participant_bound=4)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ConfigurationError):
+            ModelParameters(frequencies=4, disruption_budget=-1, participant_bound=4)
+
+    def test_rejects_tiny_participant_bound(self):
+        with pytest.raises(ConfigurationError):
+            ModelParameters(frequencies=4, disruption_budget=1, participant_bound=1)
+
+
+class TestDerivedQuantities:
+    def test_effective_frequencies_is_twice_budget_when_small(self):
+        params = ModelParameters(frequencies=16, disruption_budget=3, participant_bound=64)
+        assert params.effective_frequencies == 6
+
+    def test_effective_frequencies_clamps_to_band(self):
+        params = ModelParameters(frequencies=8, disruption_budget=7, participant_bound=64)
+        assert params.effective_frequencies == 8
+
+    def test_effective_frequencies_with_zero_budget_is_one(self):
+        params = ModelParameters(frequencies=8, disruption_budget=0, participant_bound=64)
+        assert params.effective_frequencies == 1
+
+    def test_log_participants_is_ceiling(self):
+        assert ModelParameters(4, 1, 64).log_participants == 6
+        assert ModelParameters(4, 1, 65).log_participants == 7
+        assert ModelParameters(4, 1, 2).log_participants == 1
+
+    def test_log_frequencies_is_ceiling(self):
+        assert ModelParameters(8, 1, 64).log_frequencies == 3
+        assert ModelParameters(9, 1, 64).log_frequencies == 4
+        assert ModelParameters(1, 0, 64).log_frequencies == 1
+
+    def test_band_size_matches_frequencies(self):
+        params = ModelParameters(frequencies=12, disruption_budget=2, participant_bound=64)
+        assert len(params.band) == 12
+
+    def test_with_budget_returns_new_instance(self):
+        params = ModelParameters(frequencies=8, disruption_budget=3, participant_bound=64)
+        changed = params.with_budget(1)
+        assert changed.disruption_budget == 1
+        assert changed.frequencies == params.frequencies
+        assert params.disruption_budget == 3
+
+    def test_with_budget_validates(self):
+        params = ModelParameters(frequencies=8, disruption_budget=3, participant_bound=64)
+        with pytest.raises(ConfigurationError):
+            params.with_budget(8)
+
+    def test_describe_mentions_all_three_parameters(self):
+        params = ModelParameters(frequencies=8, disruption_budget=3, participant_bound=64)
+        text = params.describe()
+        assert "F=8" in text and "t=3" in text and "N=64" in text
+
+    def test_parameters_are_hashable_and_frozen(self):
+        params = ModelParameters(frequencies=8, disruption_budget=3, participant_bound=64)
+        assert hash(params) == hash(ModelParameters(8, 3, 64))
+        with pytest.raises(AttributeError):
+            params.frequencies = 9  # type: ignore[misc]

@@ -1,0 +1,73 @@
+"""Unit tests for the protocol base classes and the output mixin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.protocols.base import SynchronizationProtocol, SynchronizedOutputMixin
+from repro.protocols.numbering import RoundNumbering
+from repro.radio.actions import RadioAction, listen
+from repro.radio.events import ReceptionOutcome
+from repro.types import Role, SyncOutput
+
+
+class MixinProtocol(SynchronizedOutputMixin, SynchronizationProtocol):
+    def choose_action(self) -> RadioAction:
+        return listen(1)
+
+    def on_reception(self, outcome: ReceptionOutcome) -> None:
+        pass
+
+
+class TestSynchronizedOutputMixin:
+    def test_output_is_bottom_before_adoption(self, make_context):
+        protocol = MixinProtocol(make_context())
+        assert protocol.current_output() is None
+        assert not protocol.synchronized
+
+    def test_adoption_anchors_to_current_round(self, make_context):
+        context = make_context(local_round=5)
+        protocol = MixinProtocol(context)
+        protocol.adopt_round_number(100)
+        assert protocol.current_output() == 100
+        context.local_round = 8
+        assert protocol.current_output() == 103
+
+    def test_readoption_is_ignored(self, make_context):
+        context = make_context(local_round=2)
+        protocol = MixinProtocol(context)
+        protocol.adopt_round_number(10)
+        protocol.adopt_round_number(999)
+        assert protocol.current_output() == 10
+
+    def test_synchronized_flag_follows_output(self, make_context):
+        protocol = MixinProtocol(make_context())
+        protocol.adopt_round_number(1)
+        assert protocol.synchronized
+
+    def test_default_role_is_contender(self, make_context):
+        protocol = MixinProtocol(make_context())
+        assert protocol.role is Role.CONTENDER
+        assert not protocol.is_leader
+
+
+class TestRoundNumbering:
+    def test_leader_declaration(self):
+        numbering = RoundNumbering.declared_by_leader(leader_local_round=17)
+        assert numbering.number_for(17) == 17
+        assert numbering.number_for(20) == 20
+
+    def test_adoption_from_message(self):
+        numbering = RoundNumbering.adopted_from_message(receiver_local_round=4, announced_number=50)
+        assert numbering.number_for(4) == 50
+        assert numbering.number_for(10) == 56
+
+    def test_rejects_invalid_local_round(self):
+        with pytest.raises(ConfigurationError):
+            RoundNumbering(local_round=0, global_number=5)
+
+    def test_numbering_is_affine(self):
+        numbering = RoundNumbering(local_round=3, global_number=30)
+        deltas = [numbering.number_for(r + 1) - numbering.number_for(r) for r in range(3, 10)]
+        assert deltas == [1] * 7

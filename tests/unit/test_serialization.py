@@ -1,0 +1,83 @@
+"""Unit tests for result/trace serialization."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.engine.serialization import (
+    load_result_json,
+    result_to_dict,
+    trace_to_dict,
+    write_result_json,
+    write_round_log_csv,
+)
+
+
+class TestTraceToDict:
+    def test_summary_fields(self, trapdoor_result):
+        data = trace_to_dict(trapdoor_result.trace, include_rounds=False)
+        assert data["params"]["frequencies"] == 8
+        assert data["rounds_simulated"] == trapdoor_result.rounds_simulated
+        assert "rounds" not in data
+        assert len(data["nodes"]) == len(trapdoor_result.trace.node_ids)
+        for node in data["nodes"]:
+            assert node["sync_round"] is not None
+            assert node["sync_latency"] >= 1
+
+    def test_round_log_included_on_request(self, trapdoor_result):
+        data = trace_to_dict(trapdoor_result.trace, include_rounds=True)
+        assert len(data["rounds"]) == trapdoor_result.rounds_simulated
+        first = data["rounds"][0]
+        assert first["global_round"] == 1
+        assert isinstance(first["outputs"], dict)
+        assert isinstance(first["disrupted"], list)
+
+    def test_is_json_serializable(self, trapdoor_result):
+        text = json.dumps(trace_to_dict(trapdoor_result.trace, include_rounds=True))
+        assert "global_round" in text
+
+
+class TestResultToDict:
+    def test_properties_and_metrics_sections(self, trapdoor_result):
+        data = result_to_dict(trapdoor_result)
+        assert data["properties"]["liveness"] is True
+        assert data["properties"]["agreement"] is True
+        assert data["properties"]["violations"] == []
+        assert data["metrics"]["leader_count"] == 1
+        assert data["metrics"]["broadcasts"] > 0
+        assert "leader" in data["metrics"]["role_rounds"]
+
+    def test_round_trip_through_json_file(self, trapdoor_result, tmp_path):
+        path = write_result_json(trapdoor_result, tmp_path / "result.json")
+        loaded = load_result_json(path)
+        assert loaded == result_to_dict(trapdoor_result)
+
+    def test_nested_directory_is_created(self, trapdoor_result, tmp_path):
+        path = write_result_json(trapdoor_result, tmp_path / "deep" / "dir" / "result.json")
+        assert path.exists()
+
+
+class TestCsvLog:
+    def test_round_log_rows(self, trapdoor_result, tmp_path):
+        path = write_round_log_csv(trapdoor_result.trace, tmp_path / "rounds.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        expected = sum(len(record.outputs) for record in trapdoor_result.trace)
+        assert len(rows) == expected
+        assert rows[0]["global_round"] == "1"
+        assert set(rows[0]) == {
+            "global_round",
+            "node_id",
+            "output",
+            "role",
+            "disrupted_channels",
+            "deliveries",
+        }
+
+    def test_bottom_outputs_serialized_as_empty(self, trapdoor_result, tmp_path):
+        path = write_round_log_csv(trapdoor_result.trace, tmp_path / "rounds.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert any(row["output"] == "" for row in rows)
+        assert any(row["output"] != "" for row in rows)

@@ -1,0 +1,189 @@
+"""Unit tests for the simulator loop and its configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.activation import SimultaneousActivation, StaggeredActivation
+from repro.adversary.base import AdversaryContext, InterferenceAdversary
+from repro.adversary.jammers import NoInterference, RandomJammer
+from repro.engine.simulator import SimulationConfig, Simulator, simulate
+from repro.exceptions import ConfigurationError
+from repro.params import ModelParameters
+from repro.protocols.base import ProtocolContext, SynchronizationProtocol
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+from repro.radio.actions import RadioAction, listen
+from repro.radio.events import ReceptionOutcome
+from repro.types import SyncOutput
+
+
+class ListenerProtocol(SynchronizationProtocol):
+    """A protocol that only listens and synchronizes immediately."""
+
+    def choose_action(self) -> RadioAction:
+        return listen(1)
+
+    def on_reception(self, outcome: ReceptionOutcome) -> None:
+        pass
+
+    def current_output(self) -> SyncOutput:
+        return self.context.local_round
+
+
+class NeverSyncProtocol(ListenerProtocol):
+    """A protocol that never outputs a round number."""
+
+    def current_output(self) -> SyncOutput:
+        return None
+
+
+class GreedyJammer(InterferenceAdversary):
+    """A cheating adversary that tries to exceed its budget."""
+
+    def choose_disruption(self, context: AdversaryContext):
+        return frozenset(context.band.all_frequencies())
+
+
+class TestConfiguration:
+    def test_rejects_non_positive_max_rounds(self, params):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                params=params,
+                protocol_factory=ListenerProtocol,
+                activation=SimultaneousActivation(count=2),
+                max_rounds=0,
+            )
+
+    def test_rejects_negative_grace_period(self, params):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                params=params,
+                protocol_factory=ListenerProtocol,
+                activation=SimultaneousActivation(count=2),
+                extra_rounds_after_sync=-1,
+            )
+
+    def test_rejects_more_nodes_than_participant_bound(self, params):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(
+                params=params,
+                protocol_factory=ListenerProtocol,
+                activation=SimultaneousActivation(count=params.participant_bound + 1),
+            )
+
+
+class TestRunLoop:
+    def test_stops_when_everyone_synchronized(self, params):
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=ListenerProtocol,
+            activation=StaggeredActivation(count=3, spacing=4),
+            adversary=NoInterference(),
+        )
+        result = simulate(config)
+        # The last node wakes in round 9 and synchronizes immediately.
+        assert result.rounds_simulated == 9
+        assert result.synchronized
+
+    def test_grace_period_extends_run(self, params):
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=ListenerProtocol,
+            activation=SimultaneousActivation(count=2),
+            extra_rounds_after_sync=10,
+        )
+        result = simulate(config)
+        assert result.rounds_simulated == 11
+
+    def test_max_rounds_caps_unsynchronized_run(self, params):
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=NeverSyncProtocol,
+            activation=SimultaneousActivation(count=2),
+            max_rounds=25,
+        )
+        result = simulate(config)
+        assert result.rounds_simulated == 25
+        assert not result.synchronized
+
+    def test_run_to_max_rounds_when_not_stopping(self, params):
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=ListenerProtocol,
+            activation=SimultaneousActivation(count=2),
+            stop_when_synchronized=False,
+            max_rounds=40,
+        )
+        assert simulate(config).rounds_simulated == 40
+
+    def test_budget_enforcement_rejects_cheating_adversary(self, params):
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=ListenerProtocol,
+            activation=SimultaneousActivation(count=2),
+            adversary=GreedyJammer(),
+            max_rounds=5,
+        )
+        with pytest.raises(ConfigurationError):
+            simulate(config)
+
+    def test_budget_enforcement_can_be_disabled(self, params):
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=ListenerProtocol,
+            activation=SimultaneousActivation(count=2),
+            adversary=GreedyJammer(),
+            enforce_budget=False,
+            max_rounds=5,
+        )
+        result = simulate(config)
+        assert result.rounds_simulated >= 1
+
+    def test_activation_rounds_recorded_in_trace(self, params):
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=ListenerProtocol,
+            activation=StaggeredActivation(count=3, spacing=2),
+        )
+        result = simulate(config)
+        assert result.trace.activation_rounds == {0: 1, 1: 3, 2: 5}
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, params):
+        def run(seed):
+            config = SimulationConfig(
+                params=params,
+                protocol_factory=TrapdoorProtocol.factory(),
+                activation=StaggeredActivation(count=4, spacing=2),
+                adversary=RandomJammer(),
+                seed=seed,
+            )
+            return simulate(config)
+
+        first, second = run(11), run(11)
+        assert first.rounds_simulated == second.rounds_simulated
+        assert first.max_sync_latency == second.max_sync_latency
+        assert first.metrics.broadcasts == second.metrics.broadcasts
+
+    def test_different_seed_usually_differs(self, params):
+        def run(seed):
+            config = SimulationConfig(
+                params=params,
+                protocol_factory=TrapdoorProtocol.factory(),
+                activation=StaggeredActivation(count=4, spacing=2),
+                adversary=RandomJammer(),
+                seed=seed,
+            )
+            return simulate(config)
+
+        results = {run(seed).metrics.broadcasts for seed in range(4)}
+        assert len(results) > 1
+
+    def test_simulator_exposes_config(self, params):
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=ListenerProtocol,
+            activation=SimultaneousActivation(count=1),
+        )
+        assert Simulator(config).config is config

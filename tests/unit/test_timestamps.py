@@ -1,0 +1,88 @@
+"""Unit tests for :mod:`repro.timestamps`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.timestamps import Timestamp, draw_uid
+
+
+class TestOrdering:
+    def test_longer_active_wins(self):
+        older = Timestamp(rounds_active=10, uid=1)
+        younger = Timestamp(rounds_active=3, uid=999)
+        assert older > younger
+
+    def test_uid_breaks_ties(self):
+        a = Timestamp(rounds_active=5, uid=2)
+        b = Timestamp(rounds_active=5, uid=9)
+        assert b > a
+        assert a < b
+
+    def test_equality_and_hash(self):
+        a = Timestamp(rounds_active=5, uid=2)
+        b = Timestamp(rounds_active=5, uid=2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_total_ordering_consistency(self):
+        stamps = [Timestamp(r, u) for r in (1, 2, 3) for u in (5, 1, 9)]
+        ordered = sorted(stamps)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert earlier <= later
+            assert not later < earlier
+
+    def test_comparison_with_other_types_raises(self):
+        with pytest.raises(TypeError):
+            _ = Timestamp(1, 1) < 5  # type: ignore[operator]
+
+    def test_not_equal_to_other_types(self):
+        assert Timestamp(1, 1) != (1, 1)
+
+
+class TestAging:
+    def test_aged_increments_rounds_active(self):
+        stamp = Timestamp(rounds_active=4, uid=7)
+        assert stamp.aged() == Timestamp(5, 7)
+        assert stamp.aged(3) == Timestamp(7, 7)
+
+    def test_aged_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Timestamp(4, 7).aged(-1)
+
+    def test_aging_preserves_relative_order(self):
+        a = Timestamp(rounds_active=4, uid=7)
+        b = Timestamp(rounds_active=2, uid=9)
+        assert a > b
+        assert a.aged(5) > b.aged(5)
+
+
+class TestDrawUid:
+    def test_uid_in_expected_range(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            uid = draw_uid(rng, participant_bound=16)
+            assert 1 <= uid <= 16 * 16 * 16
+
+    def test_custom_multiplier_extends_range(self):
+        rng = random.Random(0)
+        uids = [draw_uid(rng, 4, range_multiplier=100) for _ in range(50)]
+        assert all(1 <= uid <= 100 * 16 for uid in uids)
+
+    def test_collisions_are_rare(self):
+        rng = random.Random(1)
+        uids = [draw_uid(rng, participant_bound=64) for _ in range(64)]
+        assert len(set(uids)) == len(uids)
+
+    def test_rejects_bad_bounds(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigurationError):
+            draw_uid(rng, participant_bound=0)
+        with pytest.raises(ConfigurationError):
+            draw_uid(rng, participant_bound=8, range_multiplier=0)
+
+    def test_deterministic_given_seeded_rng(self):
+        assert draw_uid(random.Random(5), 32) == draw_uid(random.Random(5), 32)

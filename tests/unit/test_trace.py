@@ -1,0 +1,72 @@
+"""Unit tests for execution traces."""
+
+from __future__ import annotations
+
+from repro.engine.trace import ExecutionTrace, RoundRecord
+from repro.params import ModelParameters
+from repro.radio.events import RoundActivity
+from repro.types import Role
+
+
+def make_trace(outputs_per_round, activation_rounds):
+    """Build a trace from a list of {node: output} dicts (one per round)."""
+    params = ModelParameters(frequencies=4, disruption_budget=1, participant_bound=8)
+    trace = ExecutionTrace(params=params, seed=0, activation_rounds=dict(activation_rounds))
+    for index, outputs in enumerate(outputs_per_round, start=1):
+        trace.append(
+            RoundRecord(
+                global_round=index,
+                outputs=outputs,
+                roles={node: Role.CONTENDER for node in outputs},
+                activity=RoundActivity(global_round=index),
+            )
+        )
+    return trace
+
+
+class TestTraceQueries:
+    def test_len_and_iteration(self):
+        trace = make_trace([{0: None}, {0: 5}], {0: 1})
+        assert len(trace) == 2
+        assert [record.global_round for record in trace] == [1, 2]
+        assert trace.rounds_simulated == 2
+
+    def test_outputs_of_only_includes_active_rounds(self):
+        trace = make_trace([{0: None}, {0: None, 1: None}, {0: 3, 1: 3}], {0: 1, 1: 2})
+        assert trace.outputs_of(0) == [None, None, 3]
+        assert trace.outputs_of(1) == [None, 3]
+
+    def test_sync_round_and_latency(self):
+        trace = make_trace([{0: None}, {0: None, 1: 7}, {0: 8, 1: 8}], {0: 1, 1: 2})
+        assert trace.sync_round_of(0) == 3
+        assert trace.sync_round_of(1) == 2
+        assert trace.sync_latency_of(0) == 3
+        assert trace.sync_latency_of(1) == 1
+
+    def test_unsynced_node_has_no_sync_round(self):
+        trace = make_trace([{0: None}], {0: 1})
+        assert trace.sync_round_of(0) is None
+        assert trace.sync_latency_of(0) is None
+        assert not trace.all_synchronized()
+        assert trace.last_sync_round() is None
+        assert trace.max_sync_latency() is None
+
+    def test_all_synchronized_and_aggregates(self):
+        trace = make_trace([{0: None, 1: None}, {0: 4, 1: None}, {0: 5, 1: 5}], {0: 1, 1: 1})
+        assert trace.all_synchronized()
+        assert trace.last_sync_round() == 3
+        assert trace.max_sync_latency() == 3
+        assert trace.node_ids == (0, 1)
+
+
+class TestRoundRecord:
+    def test_distinct_outputs_ignores_bottom(self):
+        record = RoundRecord(
+            global_round=1,
+            outputs={0: None, 1: 5, 2: 5},
+            roles={0: Role.CONTENDER, 1: Role.LEADER, 2: Role.SYNCHRONIZED},
+            activity=RoundActivity(global_round=1),
+        )
+        assert record.distinct_outputs() == frozenset({5})
+        assert record.synchronized_nodes() == (1, 2)
+        assert record.leader_nodes() == (1,)

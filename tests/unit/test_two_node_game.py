@@ -1,0 +1,93 @@
+"""Unit tests for the Theorem 4 two-node rendezvous game."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.two_node_game import (
+    best_protocol_meeting_probability,
+    best_protocol_meeting_probability_bruteforce,
+    expected_rounds_to_meet,
+    optimal_disruption,
+    per_round_escape_probability,
+    rounds_lower_bound,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestOptimalDisruption:
+    def test_disrupts_largest_products(self):
+        p = [0.5, 0.3, 0.2]
+        q = [0.5, 0.2, 0.3]
+        choice = optimal_disruption(p, q, budget=1)
+        assert choice.disrupted == (1,)
+        assert choice.meeting_probability == pytest.approx(0.3 * 0.2 + 0.2 * 0.3)
+
+    def test_zero_budget_leaves_everything(self):
+        p = q = [0.25, 0.25, 0.25, 0.25]
+        choice = optimal_disruption(p, q, budget=0)
+        assert choice.disrupted == ()
+        assert choice.meeting_probability == pytest.approx(4 * 0.0625)
+
+    def test_uniform_over_k_channels_matches_formula(self):
+        # k = 2t channels, uniform 1/k each: meeting probability (k−t)/k².
+        frequencies, budget = 8, 3
+        k = min(frequencies, 2 * budget)
+        p = [1 / k if j < k else 0.0 for j in range(frequencies)]
+        choice = optimal_disruption(p, p, budget=budget)
+        assert choice.meeting_probability == pytest.approx((k - budget) / k**2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_disruption([0.5], [0.5, 0.5], budget=0)
+        with pytest.raises(ConfigurationError):
+            optimal_disruption([0.6, 0.6], [0.5, 0.5], budget=1)
+        with pytest.raises(ConfigurationError):
+            optimal_disruption([0.5, 0.5], [0.5, 0.5], budget=2)
+
+
+class TestGameValue:
+    def test_matches_bruteforce_maximization(self):
+        for frequencies in (4, 8, 16, 32):
+            for budget in range(1, frequencies):
+                assert best_protocol_meeting_probability(
+                    frequencies, budget
+                ) == pytest.approx(
+                    best_protocol_meeting_probability_bruteforce(frequencies, budget)
+                )
+
+    def test_zero_budget_means_certain_meeting(self):
+        assert best_protocol_meeting_probability(8, 0) == 1.0
+
+    def test_meeting_probability_decreases_with_budget(self):
+        values = [best_protocol_meeting_probability(16, t) for t in range(1, 15)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_expected_rounds_is_reciprocal(self):
+        assert expected_rounds_to_meet(8, 3) == pytest.approx(
+            1 / best_protocol_meeting_probability(8, 3)
+        )
+
+    def test_expected_rounds_grows_linearly_in_t_when_band_is_wide(self):
+        # For 2t ≤ F the value is 1/(4t), so expected rounds = 4t.
+        assert expected_rounds_to_meet(64, 4) == pytest.approx(16)
+        assert expected_rounds_to_meet(64, 8) == pytest.approx(32)
+
+
+class TestRoundsLowerBound:
+    def test_escape_probability_bounds(self):
+        assert per_round_escape_probability(8, 0) == 0.0
+        assert 0 < per_round_escape_probability(8, 3) < 1
+
+    def test_rounds_bound_grows_with_budget_and_confidence(self):
+        assert rounds_lower_bound(16, 7, 0.01) > rounds_lower_bound(16, 2, 0.01)
+        assert rounds_lower_bound(16, 7, 0.001) > rounds_lower_bound(16, 7, 0.1)
+
+    def test_zero_budget_gives_zero_bound(self):
+        assert rounds_lower_bound(16, 0, 0.01) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rounds_lower_bound(16, 4, 0.0)
+        with pytest.raises(ConfigurationError):
+            per_round_escape_probability(4, 4)
