@@ -53,9 +53,12 @@ from repro.analysis import (
 )
 from repro.engine import (
     PropertyChecker,
+    RoundObserver,
     SimulationConfig,
     SimulationResult,
     Simulator,
+    StreamingPropertyChecker,
+    TraceLevel,
     TrialSummary,
     run_trials,
     simulate,
@@ -111,9 +114,12 @@ __all__ = [
     "theorem5_lower_bound",
     "trapdoor_upper_bound",
     "PropertyChecker",
+    "RoundObserver",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "StreamingPropertyChecker",
+    "TraceLevel",
     "TrialSummary",
     "run_trials",
     "simulate",

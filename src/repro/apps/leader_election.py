@@ -45,6 +45,7 @@ class ElectionOutcome:
 
 def extract_election(trace: ExecutionTrace) -> ElectionOutcome:
     """Derive the election outcome from an execution trace."""
+    trace.require_complete("extract_election")
     leaders: list[NodeId] = []
     election_round: int | None = None
     for record in trace:
@@ -68,9 +69,15 @@ def extract_election(trace: ExecutionTrace) -> ElectionOutcome:
 
 def election_from_result(result: SimulationResult) -> ElectionOutcome:
     """Convenience wrapper for :func:`extract_election` on a simulation result."""
+    if result.trace is None:
+        raise ValueError(
+            "election_from_result requires a trace; "
+            "run the simulation with TraceLevel.FULL"
+        )
     return extract_election(result.trace)
 
 
 def leadership_tenure(trace: ExecutionTrace, node_id: NodeId) -> int:
     """The number of rounds ``node_id`` spent in the leader role."""
+    trace.require_complete("leadership_tenure")
     return sum(1 for record in trace if record.roles.get(node_id) is Role.LEADER)

@@ -5,6 +5,9 @@ paper artefact inspected, without writing Python:
 
 * ``python -m repro simulate`` — run one execution of a chosen protocol on a
   named workload and print the summary (optionally exporting JSON/CSV);
+* ``python -m repro trials`` — run the same configuration across many seeds
+  (optionally on a worker-process pool, and trace-free) and print the
+  distributional summary;
 * ``python -m repro schedule`` — print the Figure 1 / Figure 2 schedule for a
   parameter point;
 * ``python -m repro experiments`` — list the registered paper artefacts and
@@ -17,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro.adversary.jammers import (
@@ -36,6 +40,8 @@ from repro.analysis.bounds import (
     theorem5_lower_bound,
     trapdoor_upper_bound,
 )
+from repro.engine.observers import TraceLevel
+from repro.engine.runner import run_trials
 from repro.engine.serialization import write_result_json, write_round_log_csv
 from repro.engine.simulator import SimulationConfig, simulate
 from repro.experiments.registry import EXPERIMENTS
@@ -80,24 +86,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="run one execution and print its summary")
-    sim.add_argument("--protocol", choices=sorted(PROTOCOLS), default="trapdoor")
-    sim.add_argument("--frequencies", "-F", type=int, default=8)
-    sim.add_argument("--budget", "-t", type=int, default=3)
-    sim.add_argument("--participants", "-N", type=int, default=64)
-    sim.add_argument("--nodes", "-n", type=int, default=8, help="number of activated devices")
-    sim.add_argument(
+    scenario = argparse.ArgumentParser(add_help=False)
+    scenario.add_argument("--protocol", choices=sorted(PROTOCOLS), default="trapdoor")
+    scenario.add_argument("--frequencies", "-F", type=int, default=8)
+    scenario.add_argument("--budget", "-t", type=int, default=3)
+    scenario.add_argument("--participants", "-N", type=int, default=64)
+    scenario.add_argument("--nodes", "-n", type=int, default=8, help="number of activated devices")
+    scenario.add_argument(
         "--workload",
         choices=sorted(SIMPLE_WORKLOADS),
         default="crowded_cafe",
         help="named activation/interference scenario",
     )
-    sim.add_argument("--jammer", choices=sorted(JAMMERS), default=None,
-                     help="override the workload's interference adversary")
+    scenario.add_argument("--jammer", choices=sorted(JAMMERS), default=None,
+                          help="override the workload's interference adversary")
+    scenario.add_argument("--max-rounds", type=int, default=100_000)
+
+    sim = sub.add_parser(
+        "simulate", parents=[scenario], help="run one execution and print its summary"
+    )
     sim.add_argument("--seed", type=int, default=0)
-    sim.add_argument("--max-rounds", type=int, default=100_000)
+    sim.add_argument(
+        "--trace-level",
+        choices=[level.value for level in TraceLevel],
+        default=TraceLevel.FULL.value,
+        help="how much per-round history to retain (none = stream-only)",
+    )
     sim.add_argument("--json", type=str, default=None, help="write a JSON result summary here")
     sim.add_argument("--csv", type=str, default=None, help="write a per-round CSV log here")
+
+    trials = sub.add_parser(
+        "trials", parents=[scenario], help="run one configuration across many seeds"
+    )
+    trials.add_argument("--trials", type=int, default=10, dest="trial_count",
+                        help="number of seeds to run (0 .. k-1)")
+    trials.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the batch (1 = serial)")
+    trials.add_argument(
+        "--trace-level",
+        choices=[level.value for level in TraceLevel],
+        default=TraceLevel.NONE.value,
+        help="per-round history per trial (default: none — sweeps stream)",
+    )
 
     sched = sub.add_parser("schedule", help="print the Trapdoor / Good Samaritan schedule")
     sched.add_argument("--protocol", choices=["trapdoor", "good-samaritan"], default="trapdoor")
@@ -124,7 +154,8 @@ def _params(args: argparse.Namespace) -> ModelParameters:
     )
 
 
-def _command_simulate(args: argparse.Namespace) -> int:
+def _scenario_config(args: argparse.Namespace) -> SimulationConfig:
+    """Build the configuration the scenario options name, printing the banner."""
     params = _params(args)
     workload = SIMPLE_WORKLOADS[args.workload](args.nodes)
     adversary = JAMMERS[args.jammer]() if args.jammer else workload.adversary
@@ -133,31 +164,77 @@ def _command_simulate(args: argparse.Namespace) -> int:
         protocol_factory=PROTOCOLS[args.protocol](),
         activation=workload.activation,
         adversary=adversary,
-        seed=args.seed,
         max_rounds=args.max_rounds,
     )
     print(f"model     : {params.describe()}")
     print(f"protocol  : {args.protocol}")
     print(f"workload  : {workload.description}")
     print(f"adversary : {adversary.describe()}")
+    return config
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    config = _scenario_config(args)
+    config = replace(config, seed=args.seed, trace_level=TraceLevel(args.trace_level))
     result = simulate(config)
     print(f"result    : {result.summary()}")
-    rows = [
-        {
-            "node": node_id,
-            "activated": result.trace.activation_rounds[node_id],
-            "synchronized": result.trace.sync_round_of(node_id),
-            "latency": result.trace.sync_latency_of(node_id),
-        }
-        for node_id in result.trace.node_ids
-    ]
-    print()
-    print(render_table(rows, title="Per-node synchronization"))
+    # The streamed metrics cover every activated node exactly at every trace
+    # level (a sampled trace would only yield approximate sync rounds).
+    rows = []
+    for node_id, activated in sorted(result.metrics.activation_rounds.items()):
+        latency = result.metrics.sync_latencies.get(node_id)
+        rows.append(
+            {
+                "node": node_id,
+                "activated": activated,
+                "synchronized": activated + latency - 1 if latency is not None else None,
+                "latency": latency,
+            }
+        )
+    if rows:
+        print()
+        print(render_table(rows, title="Per-node synchronization"))
+    else:
+        print("(no nodes were activated)")
     if args.json:
         print(f"\nwrote JSON summary to {write_result_json(result, args.json)}")
     if args.csv:
-        print(f"wrote round log to {write_round_log_csv(result.trace, args.csv)}")
+        # --csv with --trace-level none is rejected at parse time in main().
+        path = write_round_log_csv(result.trace, args.csv)
+        note = " (sampled rounds only)" if config.trace_level is TraceLevel.SAMPLED else ""
+        print(f"wrote round log to {path}{note}")
     return 0 if result.synchronized else 1
+
+
+def _command_trials(args: argparse.Namespace) -> int:
+    config = _scenario_config(args)
+    print(f"batch     : {args.trial_count} trials, {args.workers} worker(s), "
+          f"trace level {args.trace_level}")
+    summary = run_trials(
+        config,
+        seeds=args.trial_count,
+        workers=args.workers,
+        trace_level=TraceLevel(args.trace_level),
+    )
+    print(f"summary   : {summary.describe()}")
+    rows = [
+        {
+            "statistic": name,
+            "value": value,
+        }
+        for name, value in (
+            ("liveness rate", summary.liveness_rate),
+            ("agreement rate", summary.agreement_rate),
+            ("unique-leader rate", summary.unique_leader_rate),
+            ("mean latency", summary.mean_latency),
+            ("median latency", summary.median_latency),
+            ("p90 latency", summary.percentile_latency(0.9)),
+            ("max latency", summary.max_latency),
+        )
+    ]
+    print()
+    print(render_table(rows, title="Batch statistics", float_digits=2))
+    return 0 if summary.liveness_rate == 1.0 else 1
 
 
 def _command_schedule(args: argparse.Namespace) -> int:
@@ -207,9 +284,17 @@ def _command_bounds(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if (
+        args.command == "simulate"
+        and args.csv
+        and TraceLevel(args.trace_level) is TraceLevel.NONE
+    ):
+        parser.error("--csv needs a round log; use --trace-level full or sampled")
     handlers = {
         "simulate": _command_simulate,
+        "trials": _command_trials,
         "schedule": _command_schedule,
         "experiments": _command_experiments,
         "bounds": _command_bounds,

@@ -1,8 +1,21 @@
 """The synchronous round-driven simulation engine."""
 
-from repro.engine.checker import PropertyChecker, PropertyReport, PropertyViolation
-from repro.engine.metrics import ExecutionMetrics, collect_metrics
+from repro.engine.checker import (
+    PropertyChecker,
+    PropertyReport,
+    PropertyViolation,
+    StreamingPropertyChecker,
+)
+from repro.engine.metrics import ExecutionMetrics, MetricsObserver, collect_metrics
 from repro.engine.node import NodeRuntime
+from repro.engine.observers import (
+    BaseRoundObserver,
+    RoundObserver,
+    TraceLevel,
+    TraceRecorder,
+    replay_trace,
+)
+from repro.engine.parallel import run_configs
 from repro.engine.results import SimulationResult
 from repro.engine.rng import RandomStreams, derive_seed
 from repro.engine.runner import TrialSummary, run_trials
@@ -13,9 +26,17 @@ __all__ = [
     "PropertyChecker",
     "PropertyReport",
     "PropertyViolation",
+    "StreamingPropertyChecker",
     "ExecutionMetrics",
+    "MetricsObserver",
     "collect_metrics",
     "NodeRuntime",
+    "BaseRoundObserver",
+    "RoundObserver",
+    "TraceLevel",
+    "TraceRecorder",
+    "replay_trace",
+    "run_configs",
     "SimulationResult",
     "RandomStreams",
     "derive_seed",

@@ -1,20 +1,25 @@
-"""Checking the five wireless-synchronization properties over a trace.
+"""Checking the five wireless-synchronization properties.
 
 The problem definition (§3) lists validity, synch commit, correctness,
-agreement, and liveness.  :class:`PropertyChecker` evaluates all of them over
-an :class:`~repro.engine.trace.ExecutionTrace` and reports violations with
-enough detail to debug a protocol.  Agreement and liveness are probabilistic
-in the paper ("with high probability" / "with probability 1"), so the checker
-reports them as booleans per execution; multi-seed statistics live in
-:mod:`repro.engine.runner`.
+agreement, and liveness.  :class:`StreamingPropertyChecker` evaluates all of
+them *incrementally*, one resolved round at a time, as a
+:class:`~repro.engine.observers.RoundObserver` — the simulator feeds it
+directly, so no buffered trace is needed.  :class:`PropertyChecker` keeps the
+historical post-hoc API (`check(trace)`) by replaying a buffered trace
+through the streaming checker; both paths produce identical reports.
+Agreement and liveness are probabilistic in the paper ("with high
+probability" / "with probability 1"), so the checker reports them as booleans
+per execution; multi-seed statistics live in :mod:`repro.engine.runner`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine.trace import ExecutionTrace
+from repro.engine.observers import BaseRoundObserver, replay_trace
+from repro.engine.trace import ExecutionTrace, RoundRecord
 from repro.exceptions import ProtocolViolationError
+from repro.types import GlobalRound, NodeId
 
 
 @dataclass(frozen=True)
@@ -96,82 +101,105 @@ class PropertyReport:
             )
 
 
-class PropertyChecker:
-    """Checks the five wireless-synchronization properties over a trace."""
+@dataclass
+class _NodeCheckState:
+    """Incremental per-node state for the sequence properties."""
 
-    def check(self, trace: ExecutionTrace) -> PropertyReport:
-        """Evaluate every property and return a :class:`PropertyReport`."""
-        report = PropertyReport()
-        self._check_per_round(trace, report)
-        self._check_per_node(trace, report)
-        self._check_liveness(trace, report)
-        return report
+    previous: int | None = None
+    committed: bool = False
+    first_sync_round: GlobalRound | None = None
+    violations: list[PropertyViolation] = field(default_factory=list)
 
-    # -- individual properties -------------------------------------------
 
-    def _check_per_round(self, trace: ExecutionTrace, report: PropertyReport) -> None:
-        """Validity and agreement are per-round properties."""
-        for record in trace:
-            for node_id, output in record.outputs.items():
-                if output is not None and (not isinstance(output, int) or output < 0):
-                    report.violations.append(
-                        PropertyViolation(
-                            property_name="validity",
-                            global_round=record.global_round,
-                            node_id=node_id,
-                            detail=f"output {output!r} is neither ⊥ nor a natural number",
-                        )
-                    )
-            distinct = record.distinct_outputs()
-            if len(distinct) > 1:
-                report.violations.append(
+class StreamingPropertyChecker(BaseRoundObserver):
+    """Evaluates the five properties incrementally, one round at a time.
+
+    Feed it ``on_activation`` / ``on_round`` events (the simulator does this
+    automatically) and call :meth:`report` at the end.  The report — including
+    the order of recorded violations — is identical to what the historical
+    post-hoc checker produced from a full trace.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[NodeId, _NodeCheckState] = {}
+        self._round_violations: list[PropertyViolation] = []
+        self._rounds_seen = 0
+
+    def on_activation(self, node_id: NodeId, global_round: GlobalRound) -> None:
+        self._nodes[node_id] = _NodeCheckState()
+
+    def on_round(self, record: RoundRecord) -> None:
+        self._rounds_seen += 1
+        for node_id, output in record.outputs.items():
+            if output is not None and (not isinstance(output, int) or output < 0):
+                self._round_violations.append(
                     PropertyViolation(
-                        property_name="agreement",
+                        property_name="validity",
                         global_round=record.global_round,
-                        node_id=None,
-                        detail=f"distinct non-⊥ outputs {sorted(distinct)} in the same round",
+                        node_id=node_id,
+                        detail=f"output {output!r} is neither ⊥ nor a natural number",
                     )
                 )
-
-    def _check_per_node(self, trace: ExecutionTrace, report: PropertyReport) -> None:
-        """Synch commit and correctness are per-node sequence properties."""
-        for node_id in trace.node_ids:
-            outputs = trace.outputs_of(node_id)
-            previous: int | None = None
-            committed = False
-            for offset, output in enumerate(outputs):
-                global_round = trace.activation_rounds[node_id] + offset
-                if committed and output is None:
-                    report.violations.append(
-                        PropertyViolation(
-                            property_name="synch_commit",
-                            global_round=global_round,
-                            node_id=node_id,
-                            detail="output returned to ⊥ after committing to a round number",
-                        )
+        distinct = record.distinct_outputs()
+        if len(distinct) > 1:
+            self._round_violations.append(
+                PropertyViolation(
+                    property_name="agreement",
+                    global_round=record.global_round,
+                    node_id=None,
+                    detail=f"distinct non-⊥ outputs {sorted(distinct)} in the same round",
+                )
+            )
+        for node_id, output in record.outputs.items():
+            state = self._nodes.get(node_id)
+            if state is None:
+                continue
+            global_round = record.global_round
+            if state.committed and output is None:
+                state.violations.append(
+                    PropertyViolation(
+                        property_name="synch_commit",
+                        global_round=global_round,
+                        node_id=node_id,
+                        detail="output returned to ⊥ after committing to a round number",
                     )
-                if previous is not None and output is not None and output != previous + 1:
-                    report.violations.append(
-                        PropertyViolation(
-                            property_name="correctness",
-                            global_round=global_round,
-                            node_id=node_id,
-                            detail=f"output jumped from {previous} to {output} (expected {previous + 1})",
-                        )
+                )
+            if state.previous is not None and output is not None and output != state.previous + 1:
+                state.violations.append(
+                    PropertyViolation(
+                        property_name="correctness",
+                        global_round=global_round,
+                        node_id=node_id,
+                        detail=(
+                            f"output jumped from {state.previous} to {output} "
+                            f"(expected {state.previous + 1})"
+                        ),
                     )
-                if output is not None:
-                    committed = True
-                previous = output
+                )
+            if output is not None:
+                state.committed = True
+                if state.first_sync_round is None:
+                    state.first_sync_round = record.global_round
+            state.previous = output
 
-    def _check_liveness(self, trace: ExecutionTrace, report: PropertyReport) -> None:
-        """Liveness: every activated node eventually outputs a non-⊥ value."""
-        report.liveness_achieved = trace.all_synchronized() and bool(trace.node_ids)
+    def report(self) -> PropertyReport:
+        """Assemble the final :class:`PropertyReport`."""
+        report = PropertyReport()
+        report.violations.extend(self._round_violations)
+        for node_id in sorted(self._nodes):
+            report.violations.extend(self._nodes[node_id].violations)
+        sync_rounds = [state.first_sync_round for state in self._nodes.values()]
+        report.liveness_achieved = bool(self._nodes) and all(
+            r is not None for r in sync_rounds
+        )
         if report.liveness_achieved:
-            report.synchronization_round = trace.last_sync_round()
+            report.synchronization_round = max(sync_rounds)  # type: ignore[type-var]
         else:
-            unsynced = [
-                node_id for node_id in trace.node_ids if trace.sync_round_of(node_id) is None
-            ]
+            unsynced = sorted(
+                node_id
+                for node_id, state in self._nodes.items()
+                if state.first_sync_round is None
+            )
             report.violations.append(
                 PropertyViolation(
                     property_name="liveness",
@@ -179,7 +207,24 @@ class PropertyChecker:
                     node_id=unsynced[0] if unsynced else None,
                     detail=(
                         f"{len(unsynced)} node(s) never synchronized within "
-                        f"{trace.rounds_simulated} rounds"
+                        f"{self._rounds_seen} rounds"
                     ),
                 )
             )
+        return report
+
+
+class PropertyChecker:
+    """Post-hoc property checking over a buffered trace.
+
+    This is the historical API: it replays the trace through a
+    :class:`StreamingPropertyChecker`, so the two produce identical reports.
+    It requires a :data:`~repro.engine.observers.TraceLevel.FULL` trace.
+    """
+
+    def check(self, trace: ExecutionTrace) -> PropertyReport:
+        """Evaluate every property and return a :class:`PropertyReport`."""
+        trace.require_complete("PropertyChecker.check")
+        checker = StreamingPropertyChecker()
+        replay_trace(trace, checker)
+        return checker.report()

@@ -5,6 +5,11 @@ simulation runs: broadcasts, collisions, disrupted rounds, successful
 deliveries, leader counts, and synchronization latencies.  It is deliberately
 decoupled from the property checker — metrics describe *how* an execution
 went; the checker decides whether it was *correct*.
+
+:class:`MetricsObserver` is the streaming implementation: the simulator feeds
+it one resolved round at a time, so metrics are available even when no trace
+is retained.  :func:`collect_metrics` keeps the historical post-hoc API by
+replaying a buffered trace through the observer.
 """
 
 from __future__ import annotations
@@ -13,8 +18,9 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.engine.trace import ExecutionTrace
-from repro.types import NodeId, Role
+from repro.engine.observers import BaseRoundObserver, replay_trace
+from repro.engine.trace import ExecutionTrace, RoundRecord
+from repro.types import GlobalRound, NodeId, Role
 
 
 @dataclass
@@ -43,6 +49,10 @@ class ExecutionMetrics:
         (absent for nodes that never synchronized).
     role_rounds:
         Mapping role → total node-rounds spent in that role.
+    activation_rounds:
+        Mapping node id → the global round the node was activated in (every
+        activated node appears, synchronized or not — this is what lets
+        trace-free runs still report per-node outcomes).
     """
 
     rounds_simulated: int = 0
@@ -54,6 +64,7 @@ class ExecutionMetrics:
     leader_count: int = 0
     sync_latencies: dict[NodeId, int] = field(default_factory=dict)
     role_rounds: Counter = field(default_factory=Counter)
+    activation_rounds: dict[NodeId, int] = field(default_factory=dict)
 
     @property
     def max_sync_latency(self) -> int | None:
@@ -78,22 +89,24 @@ class ExecutionMetrics:
         return self.collisions / self.rounds_simulated if self.rounds_simulated else 0.0
 
 
-def collect_metrics(trace: ExecutionTrace, leader_uids: frozenset[int] | None = None) -> ExecutionMetrics:
-    """Compute :class:`ExecutionMetrics` from a finished trace.
+class MetricsObserver(BaseRoundObserver):
+    """Accumulates :class:`ExecutionMetrics` incrementally, round by round.
 
-    Parameters
-    ----------
-    trace:
-        The execution trace.
-    leader_uids:
-        Optional set of distinct leader uids observed by the simulator (more
-        precise than counting LEADER roles in the final round, because leaders
-        may stop being tracked once everything is synchronized).
+    The simulator attaches one per execution; tests can also feed it manually
+    or replay a buffered trace through it (see :func:`collect_metrics`).
+    Call :meth:`result` once the execution is over.
     """
-    metrics = ExecutionMetrics(rounds_simulated=trace.rounds_simulated)
-    leader_nodes: set[NodeId] = set()
 
-    for record in trace:
+    def __init__(self) -> None:
+        self._metrics = ExecutionMetrics()
+        self._leader_nodes: set[NodeId] = set()
+
+    def on_activation(self, node_id: NodeId, global_round: GlobalRound) -> None:
+        self._metrics.activation_rounds[node_id] = global_round
+
+    def on_round(self, record: RoundRecord) -> None:
+        metrics = self._metrics
+        metrics.rounds_simulated += 1
         for activity in record.activity.per_frequency.values():
             metrics.broadcasts += len(activity.broadcasters)
             if activity.delivered:
@@ -106,18 +119,51 @@ def collect_metrics(trace: ExecutionTrace, leader_uids: frozenset[int] | None = 
         for node_id, role in record.roles.items():
             metrics.role_rounds[role] += 1
             if role is Role.LEADER:
-                leader_nodes.add(node_id)
+                self._leader_nodes.add(node_id)
+        for node_id, output in record.outputs.items():
+            if output is None or node_id in metrics.sync_latencies:
+                continue
+            activation_round = metrics.activation_rounds.get(node_id)
+            if activation_round is not None:
+                metrics.sync_latencies[node_id] = record.global_round - activation_round + 1
 
-    for node_id in trace.node_ids:
-        latency = trace.sync_latency_of(node_id)
-        if latency is not None:
-            metrics.sync_latencies[node_id] = latency
+    def result(self, leader_uids: frozenset[int] | None = None) -> ExecutionMetrics:
+        """The accumulated metrics.
 
-    if leader_uids is not None:
-        metrics.leader_count = len(leader_uids)
-    else:
-        metrics.leader_count = len(leader_nodes)
-    return metrics
+        Parameters
+        ----------
+        leader_uids:
+            Optional set of distinct leader uids observed by the simulator
+            (more precise than counting LEADER roles per round, because
+            leaders may stop being tracked once everything is synchronized).
+        """
+        if leader_uids is not None:
+            self._metrics.leader_count = len(leader_uids)
+        else:
+            self._metrics.leader_count = len(self._leader_nodes)
+        return self._metrics
+
+
+def collect_metrics(trace: ExecutionTrace, leader_uids: frozenset[int] | None = None) -> ExecutionMetrics:
+    """Compute :class:`ExecutionMetrics` from a finished trace.
+
+    This is the historical post-hoc API; it replays the trace through a
+    :class:`MetricsObserver` and requires a
+    :data:`~repro.engine.observers.TraceLevel.FULL` trace.
+
+    Parameters
+    ----------
+    trace:
+        The execution trace.
+    leader_uids:
+        Optional set of distinct leader uids observed by the simulator (more
+        precise than counting LEADER roles in the final round, because leaders
+        may stop being tracked once everything is synchronized).
+    """
+    trace.require_complete("collect_metrics")
+    observer = MetricsObserver()
+    replay_trace(trace, observer)
+    return observer.result(leader_uids=leader_uids)
 
 
 def summarize_roles(role_rounds: Mapping[Role, int]) -> str:

@@ -2,8 +2,9 @@
 
 :class:`NodeRuntime` is the engine-side view of one simulated device: it owns
 the node's :class:`~repro.protocols.base.ProtocolContext`, instantiates the
-protocol at activation time, keeps the activation age up to date, and records
-the per-round outputs that the property checker later inspects.
+protocol at activation time, keeps the activation age up to date, and reports
+the per-round outputs that the simulator streams to its observers (the
+property checker among them).
 """
 
 from __future__ import annotations
@@ -40,7 +41,7 @@ class NodeRuntime:
         self._protocol: Optional[SynchronizationProtocol] = None
         self._context: Optional[ProtocolContext] = None
         self._activation_round: Optional[GlobalRound] = None
-        self.outputs: list[SyncOutput] = []
+        self.outputs_recorded: int = 0
         self.first_sync_local_round: Optional[int] = None
 
     # -- lifecycle -------------------------------------------------------
@@ -100,7 +101,7 @@ class NodeRuntime:
         """Advance the activation age at the start of every round after the first."""
         if self._context is None:
             raise SimulationError(f"node {self.node_id} is not active")
-        if self.outputs:
+        if self.outputs_recorded:
             self._context.local_round += 1
 
     def choose_action(self) -> RadioAction:
@@ -112,11 +113,16 @@ class NodeRuntime:
         self.protocol.on_reception(outcome)
 
     def record_output(self) -> SyncOutput:
-        """Record (and return) the protocol's output for this round."""
+        """Record (and return) the protocol's output for this round.
+
+        Only a counter is kept — the per-round output history lives in the
+        trace recorder (when one is attached), so trace-free executions hold
+        no per-node round history at all.
+        """
         output = self.protocol.current_output()
         if output is not None and self.first_sync_local_round is None:
             self.first_sync_local_round = self.context.local_round
-        self.outputs.append(output)
+        self.outputs_recorded += 1
         return output
 
     # -- reporting -------------------------------------------------------

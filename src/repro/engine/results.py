@@ -8,6 +8,7 @@ convenience accessors used pervasively by experiments and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.engine.checker import PropertyReport
 from repro.engine.metrics import ExecutionMetrics
@@ -21,14 +22,18 @@ class SimulationResult:
     Attributes
     ----------
     trace:
-        The full execution trace.
+        The retained execution trace — full or sampled depending on the
+        configuration's :class:`~repro.engine.observers.TraceLevel`, and
+        ``None`` when the execution ran trace-free
+        (:attr:`~repro.engine.observers.TraceLevel.NONE`).  The report and
+        metrics are streamed during the run and never depend on it.
     report:
-        The property-checker report for the trace.
+        The property-checker report for the execution.
     metrics:
         Aggregate execution metrics.
     """
 
-    trace: ExecutionTrace
+    trace: Optional[ExecutionTrace]
     report: PropertyReport
     metrics: ExecutionMetrics
 

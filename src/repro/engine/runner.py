@@ -9,12 +9,15 @@ agreement success rates, and the leader-count distribution.
 
 from __future__ import annotations
 
+import math
 import statistics
-from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
 
+from repro.engine.observers import TraceLevel
+from repro.engine.parallel import run_configs
 from repro.engine.results import SimulationResult
-from repro.engine.simulator import SimulationConfig, simulate
+from repro.engine.simulator import SimulationConfig
 
 
 @dataclass(frozen=True)
@@ -88,14 +91,24 @@ class TrialSummary:
         return max(latencies) if latencies else None
 
     def percentile_latency(self, fraction: float) -> float | None:
-        """An empirical latency percentile (``fraction`` in ``[0, 1]``)."""
+        """An empirical latency percentile (``fraction`` in ``[0, 1]``).
+
+        Uses linear interpolation between the order statistics (the same
+        convention as ``numpy.percentile``'s default), so e.g. the median of
+        ``[1, 2, 3, 4]`` is ``2.5`` rather than a nearest-rank rounding.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         latencies = sorted(self.latencies())
         if not latencies:
             return None
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        index = min(len(latencies) - 1, int(round(fraction * (len(latencies) - 1))))
-        return float(latencies[index])
+        position = fraction * (len(latencies) - 1)
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        if lower == upper:
+            return float(latencies[lower])
+        weight = position - lower
+        return latencies[lower] * (1.0 - weight) + latencies[upper] * weight
 
     def describe(self) -> str:
         """One-line summary used by experiment tables."""
@@ -111,6 +124,8 @@ def run_trials(
     config: SimulationConfig,
     seeds: Sequence[int] | int = 10,
     config_for_seed: Callable[[SimulationConfig, int], SimulationConfig] | None = None,
+    workers: Optional[int] = None,
+    trace_level: Optional[TraceLevel] = None,
 ) -> TrialSummary:
     """Run the same configuration across many seeds.
 
@@ -124,7 +139,17 @@ def run_trials(
     config_for_seed:
         Optional hook to customize the configuration per seed (used by
         experiments that need, e.g., a freshly pre-drawn oblivious adversary
-        per trial).
+        per trial).  The hook runs in the parent process, so it does not need
+        to be picklable even with ``workers > 1``.
+    workers:
+        If greater than 1, run the trials on a process pool of this size.
+        Every execution derives all randomness from its own seed and results
+        are returned in seed order, so a parallel batch is identical to a
+        serial one.
+    trace_level:
+        Optional override of the configuration's
+        :class:`~repro.engine.observers.TraceLevel` for the whole batch
+        (heavy sweeps typically want :attr:`TraceLevel.NONE`).
     """
     seed_list: tuple[int, ...]
     if isinstance(seeds, int):
@@ -132,10 +157,14 @@ def run_trials(
     else:
         seed_list = tuple(seeds)
 
-    results = []
+    configs = []
     for seed in seed_list:
         trial_config = replace(config, seed=seed)
+        if trace_level is not None:
+            trial_config = replace(trial_config, trace_level=trace_level)
         if config_for_seed is not None:
             trial_config = config_for_seed(trial_config, seed)
-        results.append(simulate(trial_config))
+        configs.append(trial_config)
+
+    results = run_configs(configs, workers=workers or 1)
     return TrialSummary(results=tuple(results), seeds=seed_list)

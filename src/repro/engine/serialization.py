@@ -20,6 +20,13 @@ from repro.engine.trace import ExecutionTrace
 def trace_to_dict(trace: ExecutionTrace, include_rounds: bool = True) -> dict[str, Any]:
     """A JSON-serializable summary of an execution trace.
 
+    The summary describes exactly the rounds the trace retains.  For an
+    incomplete (:data:`~repro.engine.observers.TraceLevel.SAMPLED`) trace the
+    round-derived fields would be wrong, so they are omitted rather than
+    silently misreported: ``rounds_simulated`` is ``None`` (``rounds_retained``
+    counts the sample) and the per-node entries carry no sync fields — the
+    exact whole-execution numbers live in the result's metrics section.
+
     Parameters
     ----------
     trace:
@@ -35,13 +42,21 @@ def trace_to_dict(trace: ExecutionTrace, include_rounds: bool = True) -> dict[st
             "participant_bound": trace.params.participant_bound,
         },
         "seed": trace.seed,
-        "rounds_simulated": trace.rounds_simulated,
+        "complete": trace.complete,
+        "rounds_retained": trace.rounds_retained,
+        "rounds_simulated": trace.rounds_simulated if trace.complete else None,
         "nodes": [
             {
                 "node_id": node_id,
                 "activation_round": trace.activation_rounds[node_id],
-                "sync_round": trace.sync_round_of(node_id),
-                "sync_latency": trace.sync_latency_of(node_id),
+                **(
+                    {
+                        "sync_round": trace.sync_round_of(node_id),
+                        "sync_latency": trace.sync_latency_of(node_id),
+                    }
+                    if trace.complete
+                    else {}
+                ),
             }
             for node_id in trace.node_ids
         ],
@@ -62,11 +77,19 @@ def trace_to_dict(trace: ExecutionTrace, include_rounds: bool = True) -> dict[st
 
 
 def result_to_dict(result: SimulationResult, include_rounds: bool = False) -> dict[str, Any]:
-    """A JSON-serializable summary of a full simulation result."""
+    """A JSON-serializable summary of a full simulation result.
+
+    With a trace-free execution (``TraceLevel.NONE``) the ``trace`` entry is
+    ``None``; the property and metrics sections are always present.
+    """
     metrics = result.metrics
     report = result.report
     return {
-        "trace": trace_to_dict(result.trace, include_rounds=include_rounds),
+        "trace": (
+            trace_to_dict(result.trace, include_rounds=include_rounds)
+            if result.trace is not None
+            else None
+        ),
         "properties": {
             "validity": report.validity_holds,
             "synch_commit": report.synch_commit_holds,
@@ -94,6 +117,17 @@ def result_to_dict(result: SimulationResult, include_rounds: bool = False) -> di
             "max_sync_latency": metrics.max_sync_latency,
             "mean_sync_latency": metrics.mean_sync_latency,
             "role_rounds": {role.value: count for role, count in metrics.role_rounds.items()},
+            # Exact per-node data, streamed during the run — valid at every
+            # trace level (the trace section's node summary is only exact for
+            # a complete trace).
+            "activation_rounds": {
+                str(node): global_round
+                for node, global_round in sorted(metrics.activation_rounds.items())
+            },
+            "sync_latencies": {
+                str(node): latency
+                for node, latency in sorted(metrics.sync_latencies.items())
+            },
         },
     }
 

@@ -9,7 +9,14 @@ global round it:
    the execution only through the *previous* round);
 4. resolves the round on the :class:`~repro.radio.network.SingleHopRadioNetwork`
    (collision rule + disruption);
-5. delivers each node's reception outcome and records its output and role.
+5. delivers each node's reception outcome and streams the resolved round to
+   the observer pipeline (trace recorder, property checker, metrics
+   collector, spectrum log, plus any caller-supplied observers).
+
+Properties and metrics are computed *incrementally* as the execution streams
+by, so a run with :attr:`~repro.engine.observers.TraceLevel.NONE` buffers no
+per-round history at all and still produces the same report and metrics as a
+full-trace run.
 
 The loop ends when every node that will ever be activated has synchronized
 (plus an optional grace period), or when ``max_rounds`` is reached.
@@ -18,16 +25,18 @@ The loop ends when every node that will ever be activated has synchronized
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 from repro.adversary.activation import ActivationSchedule
 from repro.adversary.base import AdversaryContext, InterferenceAdversary
 from repro.adversary.jammers import NoInterference
-from repro.engine.checker import PropertyChecker
-from repro.engine.metrics import collect_metrics
+from repro.engine.checker import StreamingPropertyChecker
+from repro.engine.metrics import MetricsObserver
 from repro.engine.node import NodeRuntime
+from repro.engine.observers import RoundObserver, TraceLevel, TraceRecorder
 from repro.engine.results import SimulationResult
 from repro.engine.rng import RandomStreams
-from repro.engine.trace import ExecutionTrace, RoundRecord
+from repro.engine.trace import RoundRecord
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.params import ModelParameters
 from repro.protocols.base import ProtocolFactory
@@ -63,6 +72,17 @@ class SimulationConfig:
         round numbers keep incrementing).
     enforce_budget:
         Check every round that the adversary respects its budget ``t``.
+    trace_level:
+        How much per-round history to retain (default:
+        :attr:`~repro.engine.observers.TraceLevel.FULL`, the seed behaviour).
+        With ``NONE``, :attr:`SimulationResult.trace` is ``None``; the
+        property report and the metrics are unaffected.
+    trace_sample_interval:
+        With :attr:`~repro.engine.observers.TraceLevel.SAMPLED`, keep one
+        round record in every ``trace_sample_interval``.
+    spectrum_window:
+        Optional bound on the spectrum log's retained history (the aggregate
+        occupancy counters adversaries use still cover the full execution).
     """
 
     params: ModelParameters
@@ -74,6 +94,9 @@ class SimulationConfig:
     stop_when_synchronized: bool = True
     extra_rounds_after_sync: int = 0
     enforce_budget: bool = True
+    trace_level: TraceLevel = TraceLevel.FULL
+    trace_sample_interval: int = 100
+    spectrum_window: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:
@@ -81,6 +104,14 @@ class SimulationConfig:
         if self.extra_rounds_after_sync < 0:
             raise ConfigurationError(
                 f"extra_rounds_after_sync must be non-negative, got {self.extra_rounds_after_sync}"
+            )
+        if self.trace_sample_interval < 1:
+            raise ConfigurationError(
+                f"trace_sample_interval must be positive, got {self.trace_sample_interval}"
+            )
+        if self.spectrum_window is not None and self.spectrum_window < 1:
+            raise ConfigurationError(
+                f"spectrum_window must be positive, got {self.spectrum_window}"
             )
         if self.activation.node_count > self.params.participant_bound:
             raise ConfigurationError(
@@ -96,14 +127,30 @@ class Simulator:
     ----------
     config:
         The simulation configuration.
+    observers:
+        Additional streaming :class:`~repro.engine.observers.RoundObserver`
+        instances notified after the built-in pipeline (spectrum log, trace
+        recorder, checker, metrics).
     """
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        observers: Sequence[RoundObserver] = (),
+    ) -> None:
         self._config = config
         self._streams = RandomStreams(config.seed)
         self._network = SingleHopRadioNetwork(config.params.band)
-        self._spectrum = SpectrumLog()
+        # Factories with per-execution state (e.g. crash injection counting
+        # activations) expose fresh(); take a reset copy so reusing one config
+        # across seeds — serially or in workers — cannot leak state between runs.
+        factory = config.protocol_factory
+        fresh = getattr(factory, "fresh", None)
+        self._protocol_factory: ProtocolFactory = fresh() if callable(fresh) else factory
+        self._spectrum = SpectrumLog(window=config.spectrum_window)
+        self._extra_observers = tuple(observers)
         self._nodes: dict[NodeId, NodeRuntime] = {}
+        self._synced_nodes: set[NodeId] = set()
         self._leader_uids: set[int] = set()
         self._pending_activations = config.activation.node_count
 
@@ -115,16 +162,30 @@ class Simulator:
     def run(self) -> SimulationResult:
         """Run the execution to completion and return its result."""
         config = self._config
-        params = config.params
-        trace = ExecutionTrace(params=params, seed=config.seed)
         activation_rng = self._streams.activation_stream()
         adversary_rng = self._streams.adversary_stream()
-        checker = PropertyChecker()
 
+        recorder: TraceRecorder | None = None
+        if config.trace_level is not TraceLevel.NONE:
+            recorder = TraceRecorder(
+                level=config.trace_level, sample_interval=config.trace_sample_interval
+            )
+        checker = StreamingPropertyChecker()
+        metrics = MetricsObserver()
+        observers: tuple[RoundObserver, ...] = tuple(
+            observer
+            for observer in (self._spectrum, recorder, checker, metrics)
+            if observer is not None
+        ) + self._extra_observers
+
+        for observer in observers:
+            observer.on_simulation_start(config.params, config.seed)
+
+        rounds_simulated = 0
         grace_remaining: int | None = None
         for global_round in range(1, config.max_rounds + 1):
             activations = config.activation.activations_for_round(global_round, activation_rng)
-            self._activate(activations, global_round, trace)
+            self._activate(activations, global_round, observers)
             active = {node_id: node for node_id, node in self._nodes.items() if node.active}
 
             if active:
@@ -150,16 +211,18 @@ class Simulator:
                 roles[node_id] = node.role
                 if node.role is Role.LEADER:
                     self._leader_uids.add(node.uid)
+                if node_id not in self._synced_nodes and node.synchronized:
+                    self._synced_nodes.add(node_id)
 
-            self._spectrum.record(resolution.activity)
-            trace.append(
-                RoundRecord(
-                    global_round=global_round,
-                    outputs=outputs,
-                    roles=roles,
-                    activity=resolution.activity,
-                )
+            record = RoundRecord(
+                global_round=global_round,
+                outputs=outputs,
+                roles=roles,
+                activity=resolution.activity,
             )
+            for observer in observers:
+                observer.on_round(record)
+            rounds_simulated = global_round
 
             if self._should_stop(global_round):
                 if grace_remaining is None:
@@ -170,13 +233,23 @@ class Simulator:
             else:
                 grace_remaining = None
 
-        report = checker.check(trace)
-        metrics = collect_metrics(trace, leader_uids=frozenset(self._leader_uids))
-        return SimulationResult(trace=trace, report=report, metrics=metrics)
+        for observer in observers:
+            observer.on_simulation_end(rounds_simulated)
+
+        return SimulationResult(
+            trace=recorder.trace if recorder is not None else None,
+            report=checker.report(),
+            metrics=metrics.result(leader_uids=frozenset(self._leader_uids)),
+        )
 
     # -- internals --------------------------------------------------------
 
-    def _activate(self, activations: tuple[NodeId, ...], global_round: int, trace: ExecutionTrace) -> None:
+    def _activate(
+        self,
+        activations: tuple[NodeId, ...],
+        global_round: int,
+        observers: tuple[RoundObserver, ...],
+    ) -> None:
         for node_id in activations:
             if node_id in self._nodes:
                 raise SimulationError(f"activation schedule activated node {node_id} twice")
@@ -185,9 +258,10 @@ class Simulator:
                 params=self._config.params,
                 rng=self._streams.node_stream(node_id),
             )
-            runtime.activate(global_round, self._config.protocol_factory)
+            runtime.activate(global_round, self._protocol_factory)
             self._nodes[node_id] = runtime
-            trace.activation_rounds[node_id] = global_round
+            for observer in observers:
+                observer.on_activation(node_id, global_round)
             self._pending_activations -= 1
 
     def _choose_disruption(self, global_round: int, adversary_rng, active_count: int):
@@ -215,7 +289,9 @@ class Simulator:
             return False
         if not self._nodes:
             return False
-        return all(node.synchronized for node in self._nodes.values())
+        # The synced-node set only grows (outputs latch), so this membership
+        # count replaces the per-round scan over every node runtime.
+        return len(self._synced_nodes) == len(self._nodes)
 
 
 def simulate(config: SimulationConfig) -> SimulationResult:

@@ -64,12 +64,27 @@ class ExecutionTrace:
         One :class:`RoundRecord` per simulated round, in order.
     activation_rounds:
         Mapping from node id to the global round it was activated in.
+    complete:
+        True when ``records`` holds *every* simulated round.  A sampled
+        recording (:attr:`~repro.engine.observers.TraceLevel.SAMPLED`) sets
+        this to False; post-hoc consumers that walk the round sequence
+        (checker, metrics, app extractors) refuse incomplete traces instead
+        of silently computing wrong answers.
     """
 
     params: ModelParameters
     seed: int
     records: list[RoundRecord] = field(default_factory=list)
     activation_rounds: dict[NodeId, GlobalRound] = field(default_factory=dict)
+    complete: bool = True
+
+    def require_complete(self, consumer: str) -> None:
+        """Raise ``ValueError`` if this trace retains only a sample of rounds."""
+        if not self.complete:
+            raise ValueError(
+                f"{consumer} requires a complete trace (TraceLevel.FULL); "
+                "this trace retains only a sampled subset of rounds"
+            )
 
     def __len__(self) -> int:
         return len(self.records)
@@ -79,7 +94,13 @@ class ExecutionTrace:
 
     @property
     def rounds_simulated(self) -> int:
-        """Number of rounds in the trace."""
+        """Number of rounds the execution ran (complete traces only)."""
+        self.require_complete("rounds_simulated")
+        return len(self.records)
+
+    @property
+    def rounds_retained(self) -> int:
+        """Number of round records this trace holds (honest at any trace level)."""
         return len(self.records)
 
     @property
@@ -93,6 +114,7 @@ class ExecutionTrace:
 
     def outputs_of(self, node_id: NodeId) -> list[SyncOutput]:
         """The per-round output sequence of one node (from its activation on)."""
+        self.require_complete("outputs_of")
         return [
             record.outputs[node_id]
             for record in self.records
@@ -101,6 +123,7 @@ class ExecutionTrace:
 
     def sync_round_of(self, node_id: NodeId) -> Optional[GlobalRound]:
         """The first global round in which ``node_id`` output a non-⊥ value."""
+        self.require_complete("sync_round_of")
         for record in self.records:
             if record.outputs.get(node_id) is not None:
                 return record.global_round
@@ -115,6 +138,7 @@ class ExecutionTrace:
 
     def all_synchronized(self) -> bool:
         """True if every activated node synchronized before the trace ended."""
+        self.require_complete("all_synchronized")
         return all(self.sync_round_of(node_id) is not None for node_id in self.node_ids)
 
     def last_sync_round(self) -> Optional[GlobalRound]:

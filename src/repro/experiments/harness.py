@@ -13,6 +13,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.adversary.activation import ActivationSchedule
 from repro.adversary.base import InterferenceAdversary
+from repro.engine.observers import TraceLevel
 from repro.engine.runner import TrialSummary, run_trials
 from repro.engine.simulator import SimulationConfig
 from repro.exceptions import ExperimentError
@@ -98,15 +99,27 @@ class ExperimentHarness:
         Optional per-trial configuration hook forwarded to
         :func:`repro.engine.runner.run_trials` (used e.g. to pre-draw a fresh
         oblivious jammer per seed).
+    workers:
+        If greater than 1, run each point's trials on a process pool of this
+        size (forwarded to :func:`repro.engine.runner.run_trials`; results
+        are identical to a serial run, just faster).
+    trace_level:
+        Optional :class:`~repro.engine.observers.TraceLevel` applied to every
+        trial.  Sweeps that only consume summary statistics should pass
+        :attr:`TraceLevel.NONE` to keep memory flat.
     """
 
     def __init__(
         self,
         seeds: Sequence[int] | int = 5,
         config_hook: Callable[[SimulationConfig, int], SimulationConfig] | None = None,
+        workers: int | None = None,
+        trace_level: TraceLevel | None = None,
     ) -> None:
         self._seeds = seeds
         self._config_hook = config_hook
+        self._workers = workers
+        self._trace_level = trace_level
 
     def run_point(self, point: SweepPoint) -> SweepResult:
         """Run one sweep point across the harness seeds."""
@@ -117,7 +130,13 @@ class ExperimentHarness:
             adversary=point.adversary,
             max_rounds=point.max_rounds,
         )
-        summary = run_trials(config, seeds=self._seeds, config_for_seed=self._config_hook)
+        summary = run_trials(
+            config,
+            seeds=self._seeds,
+            config_for_seed=self._config_hook,
+            workers=self._workers,
+            trace_level=self._trace_level,
+        )
         return SweepResult(point=point, summary=summary)
 
     def run_sweep(self, points: Sequence[SweepPoint]) -> list[SweepResult]:

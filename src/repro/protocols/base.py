@@ -103,6 +103,23 @@ class SynchronizationProtocol(abc.ABC):
 ProtocolFactory = Callable[[ProtocolContext], SynchronizationProtocol]
 
 
+@dataclass(frozen=True)
+class BoundProtocolFactory:
+    """A picklable :data:`ProtocolFactory`: a protocol class bound to arguments.
+
+    The parallel trial runner ships whole simulation configurations to worker
+    processes, so factories must survive pickling — which closures don't.
+    Every built-in ``Protocol.factory(...)`` classmethod returns one of these:
+    calling it builds ``protocol_class(context, *args)``.
+    """
+
+    protocol_class: type[SynchronizationProtocol]
+    args: tuple = ()
+
+    def __call__(self, context: ProtocolContext) -> SynchronizationProtocol:
+        return self.protocol_class(context, *self.args)
+
+
 class SynchronizedOutputMixin:
     """Helper managing the output counter shared by every protocol.
 

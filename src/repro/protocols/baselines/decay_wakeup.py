@@ -11,7 +11,7 @@ uniformly regardless of ``t``.
 
 from __future__ import annotations
 
-from repro.protocols.base import ProtocolContext
+from repro.protocols.base import BoundProtocolFactory, ProtocolContext
 from repro.protocols.baselines.base import ContentionBaseline
 from repro.radio.actions import RadioAction, broadcast, listen
 
@@ -35,10 +35,7 @@ class DecayWakeupProtocol(ContentionBaseline):
     def factory(cls, victory_rounds: int | None = None):
         """A protocol factory for the decay baseline."""
 
-        def build(context: ProtocolContext) -> "DecayWakeupProtocol":
-            return cls(context, victory_rounds)
-
-        return build
+        return BoundProtocolFactory(cls, (victory_rounds,))
 
     def current_probability(self) -> float:
         """The decay probability for the node's current local round."""

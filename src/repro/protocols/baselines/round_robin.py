@@ -12,7 +12,7 @@ motivate the randomized structure of the paper's protocols.
 from __future__ import annotations
 
 from repro.exceptions import ConfigurationError
-from repro.protocols.base import ProtocolContext
+from repro.protocols.base import BoundProtocolFactory, ProtocolContext
 from repro.protocols.baselines.base import ContentionBaseline
 from repro.radio.actions import RadioAction, broadcast, listen
 
@@ -45,10 +45,7 @@ class RoundRobinSweepProtocol(ContentionBaseline):
     def factory(cls, slots: int = 8, victory_rounds: int | None = None):
         """A protocol factory for the round-robin baseline."""
 
-        def build(context: ProtocolContext) -> "RoundRobinSweepProtocol":
-            return cls(context, slots, victory_rounds)
-
-        return build
+        return BoundProtocolFactory(cls, (slots, victory_rounds))
 
     def my_slot(self) -> int:
         """The slot class this node's uid falls in."""

@@ -12,7 +12,7 @@ why frequency diversity is not optional in the disrupted model.
 
 from __future__ import annotations
 
-from repro.protocols.base import ProtocolContext
+from repro.protocols.base import BoundProtocolFactory, ProtocolContext
 from repro.protocols.baselines.base import ContentionBaseline
 from repro.protocols.trapdoor.config import TrapdoorConfig
 from repro.protocols.trapdoor.epochs import TrapdoorSchedule
@@ -51,10 +51,7 @@ class SingleChannelAlohaProtocol(ContentionBaseline):
     def factory(cls, channel: int = 1, victory_rounds: int | None = None):
         """A protocol factory for the single-channel baseline."""
 
-        def build(context: ProtocolContext) -> "SingleChannelAlohaProtocol":
-            return cls(context, channel, victory_rounds)
-
-        return build
+        return BoundProtocolFactory(cls, (channel, victory_rounds))
 
     def contender_action(self) -> RadioAction:
         rng = self.context.rng

@@ -12,7 +12,7 @@ mismatch, which is exactly the pathology the Trapdoor epochs remove.
 from __future__ import annotations
 
 from repro.exceptions import ConfigurationError
-from repro.protocols.base import ProtocolContext
+from repro.protocols.base import BoundProtocolFactory, ProtocolContext
 from repro.protocols.baselines.base import ContentionBaseline
 from repro.radio.actions import RadioAction, broadcast, listen
 
@@ -47,10 +47,7 @@ class UniformWakeupProtocol(ContentionBaseline):
     def factory(cls, broadcast_probability: float = 0.1, victory_rounds: int | None = None):
         """A protocol factory with the given fixed broadcast probability."""
 
-        def build(context: ProtocolContext) -> "UniformWakeupProtocol":
-            return cls(context, broadcast_probability, victory_rounds)
-
-        return build
+        return BoundProtocolFactory(cls, (broadcast_probability, victory_rounds))
 
     def contender_action(self) -> RadioAction:
         rng = self.context.rng

@@ -30,7 +30,13 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.exceptions import ConfigurationError
-from repro.protocols.base import ProtocolContext, ProtocolFactory, SynchronizationProtocol, SynchronizedOutputMixin
+from repro.protocols.base import (
+    BoundProtocolFactory,
+    ProtocolContext,
+    ProtocolFactory,
+    SynchronizationProtocol,
+    SynchronizedOutputMixin,
+)
 from repro.protocols.numbering import RoundNumbering
 from repro.protocols.timestamps import Timestamp
 from repro.protocols.trapdoor.config import TrapdoorConfig
@@ -132,10 +138,7 @@ class FaultTolerantTrapdoorProtocol(SynchronizedOutputMixin, SynchronizationProt
     def factory(cls, config: FaultToleranceConfig | None = None) -> ProtocolFactory:
         """A protocol factory for the fault-tolerant variant."""
 
-        def build(context: ProtocolContext) -> "FaultTolerantTrapdoorProtocol":
-            return cls(context, config)
-
-        return build
+        return BoundProtocolFactory(cls, (config,))
 
     # -- reporting ---------------------------------------------------------
 
@@ -328,23 +331,40 @@ class MutedProtocol(SynchronizationProtocol):
         return self.inner.current_output()
 
 
-def crashable(inner_factory: ProtocolFactory, schedule: CrashSchedule) -> ProtocolFactory:
-    """Wrap a protocol factory with fail-silent crash injection.
+@dataclass
+class CrashableProtocolFactory:
+    """A picklable crash-injecting :data:`~repro.protocols.base.ProtocolFactory`.
 
     Because protocols do not know their engine-side node id, the crash
     schedule is applied by activation order: the ``i``-th activated node gets
     the crash round registered for id ``i``.  This matches how the benchmarks
     construct their activation schedules (node ids are activation ranks).
-    """
-    counter = {"next": 0}
 
-    def build(context: ProtocolContext) -> SynchronizationProtocol:
-        node_index = counter["next"]
-        counter["next"] += 1
-        inner = inner_factory(context)
-        crash_round = schedule.crash_round_for(node_index)
+    The activation counter is *per execution*: the simulator calls
+    :meth:`fresh` before every run, so reusing one factory across a
+    multi-seed batch applies the crash schedule to every trial (a shared
+    counter would silently stop crashing nodes after the first execution),
+    and a parallel batch behaves identically to a serial one.
+    """
+
+    inner_factory: ProtocolFactory
+    schedule: CrashSchedule
+    _next_index: int = 0
+
+    def fresh(self) -> "CrashableProtocolFactory":
+        """A copy with the activation counter reset (one per execution)."""
+        return CrashableProtocolFactory(self.inner_factory, self.schedule)
+
+    def __call__(self, context: ProtocolContext) -> SynchronizationProtocol:
+        node_index = self._next_index
+        self._next_index += 1
+        inner = self.inner_factory(context)
+        crash_round = self.schedule.crash_round_for(node_index)
         if crash_round is None:
             return inner
         return MutedProtocol(inner, crash_round)
 
-    return build
+
+def crashable(inner_factory: ProtocolFactory, schedule: CrashSchedule) -> ProtocolFactory:
+    """Wrap a protocol factory with fail-silent crash injection."""
+    return CrashableProtocolFactory(inner_factory, schedule)

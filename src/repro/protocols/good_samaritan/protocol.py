@@ -32,7 +32,12 @@ from __future__ import annotations
 
 import enum
 
-from repro.protocols.base import ProtocolContext, SynchronizationProtocol, SynchronizedOutputMixin
+from repro.protocols.base import (
+    BoundProtocolFactory,
+    ProtocolContext,
+    SynchronizationProtocol,
+    SynchronizedOutputMixin,
+)
 from repro.protocols.good_samaritan.config import GoodSamaritanConfig
 from repro.protocols.good_samaritan.reports import SuccessLedger
 from repro.protocols.good_samaritan.schedule import GoodSamaritanSchedule, SchedulePosition
@@ -78,10 +83,7 @@ class GoodSamaritanProtocol(SynchronizedOutputMixin, SynchronizationProtocol):
     def factory(cls, config: GoodSamaritanConfig | None = None):
         """A :data:`~repro.protocols.base.ProtocolFactory` building this protocol."""
 
-        def build(context: ProtocolContext) -> "GoodSamaritanProtocol":
-            return cls(context, config)
-
-        return build
+        return BoundProtocolFactory(cls, (config,))
 
     # -- protocol interface --------------------------------------------------
 

@@ -18,7 +18,12 @@ from __future__ import annotations
 
 import enum
 
-from repro.protocols.base import ProtocolContext, SynchronizationProtocol, SynchronizedOutputMixin
+from repro.protocols.base import (
+    BoundProtocolFactory,
+    ProtocolContext,
+    SynchronizationProtocol,
+    SynchronizedOutputMixin,
+)
 from repro.protocols.timestamps import Timestamp
 from repro.protocols.trapdoor.config import TrapdoorConfig
 from repro.protocols.trapdoor.epochs import TrapdoorSchedule
@@ -60,10 +65,7 @@ class TrapdoorProtocol(SynchronizedOutputMixin, SynchronizationProtocol):
     def factory(cls, config: TrapdoorConfig | None = None):
         """A :data:`~repro.protocols.base.ProtocolFactory` building this protocol."""
 
-        def build(context: ProtocolContext) -> "TrapdoorProtocol":
-            return cls(context, config)
-
-        return build
+        return BoundProtocolFactory(cls, (config,))
 
     # -- protocol interface -------------------------------------------------
 

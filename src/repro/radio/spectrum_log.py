@@ -5,6 +5,12 @@ The :class:`SpectrumLog` keeps a bounded window of past
 *adaptive* adversary is allowed to see (everything up to the end of the
 previous round), and it also backs a couple of occupancy statistics used by
 metrics and by the reactive jammers.
+
+The log doubles as a streaming round observer (it implements the
+:class:`~repro.engine.observers.RoundObserver` interface structurally, with
+no dependency on the engine layer): the simulator feeds it one resolved round
+at a time via :meth:`on_round`.  A bounded ``window`` keeps memory constant
+on long executions while the aggregate counters still cover everything.
 """
 
 from __future__ import annotations
@@ -61,6 +67,23 @@ class SpectrumLog:
                 self._delivery_counts[frequency] += 1
         for frequency in activity.disrupted:
             self._disruption_counts[frequency] += 1
+
+    # -- RoundObserver interface (structural, no engine import) -----------
+
+    def on_simulation_start(self, params, seed) -> None:
+        """Observer hook: nothing to initialize — the log is ready at birth."""
+
+    def on_activation(self, node_id, global_round) -> None:
+        """Observer hook: activations are visible via the round activity."""
+
+    def on_round(self, record) -> None:
+        """Observer hook: record the round's spectrum activity."""
+        self.record(record.activity)
+
+    def on_simulation_end(self, rounds_simulated) -> None:
+        """Observer hook: nothing to finalize."""
+
+    # -- occupancy statistics ---------------------------------------------
 
     def broadcast_count(self, frequency: Frequency) -> int:
         """Total number of broadcasts observed on ``frequency``."""

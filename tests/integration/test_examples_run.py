@@ -8,6 +8,7 @@ headline lines it promises.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -27,12 +28,19 @@ EXPECTED_MARKERS = {
 
 def run_example(name: str) -> str:
     script = EXAMPLES_DIR / name
+    # The examples import `repro` from the src layout; make it importable in
+    # the subprocess regardless of how the test runner itself was launched.
+    env = dict(os.environ)
+    src_dir = str(EXAMPLES_DIR.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir if not existing else f"{src_dir}{os.pathsep}{existing}"
     completed = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=600,
         check=False,
+        env=env,
     )
     assert completed.returncode == 0, (
         f"{name} exited with {completed.returncode}\n"

@@ -120,3 +120,66 @@ class TestOtherCommands:
         output = capsys.readouterr().out
         assert "Theorem 10" in output
         assert "Theorem 18 adaptive (t'=2)" in output
+
+
+class TestTraceLevelAndTrials:
+    def test_simulate_trace_free_reports_every_node_even_unsynchronized(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--trace-level",
+                "none",
+                "--max-rounds",
+                "3",
+                "-N",
+                "32",
+                "--nodes",
+                "4",
+                "--workload",
+                "quiet_start",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "NOT synchronized" in output
+        assert "Per-node synchronization" in output
+        # All four activated nodes are listed even though none synchronized.
+        assert output.count("| -") >= 4
+
+    def test_simulate_sampled_table_uses_exact_streamed_latencies(self, capsys):
+        args = [
+            "-N", "32", "--nodes", "4", "--workload", "quiet_start", "--seed", "4",
+        ]
+        assert main(["simulate", *args]) == 0
+        full_output = capsys.readouterr().out
+        assert main(["simulate", "--trace-level", "sampled", *args]) == 0
+        sampled_output = capsys.readouterr().out
+        full_rows = [l for l in full_output.splitlines() if l.startswith(("0 ", "1 ", "2 ", "3 "))]
+        sampled_rows = [l.split("|") for l in sampled_output.splitlines() if l.startswith(("0 ", "1 ", "2 ", "3 "))]
+        assert len(full_rows) == 4, full_output
+        assert len(sampled_rows) == 4, sampled_output
+        for full_line, sampled_cells in zip(full_rows, sampled_rows):
+            assert [cell.strip() for cell in full_line.split("|")] == [
+                cell.strip() for cell in sampled_cells
+            ]
+
+    def test_trials_command_prints_batch_statistics(self, capsys):
+        exit_code = main(
+            [
+                "trials",
+                "-N",
+                "32",
+                "--nodes",
+                "4",
+                "--workload",
+                "quiet_start",
+                "--trials",
+                "3",
+                "--workers",
+                "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Batch statistics" in output
+        assert "p90 latency" in output

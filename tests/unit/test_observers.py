@@ -1,0 +1,244 @@
+"""Unit tests for the streaming observer pipeline.
+
+The streaming checker and metrics observer are the single implementation the
+post-hoc APIs replay through, so these tests pin (a) the observer event
+protocol itself, (b) trace levels, and (c) equality between a streaming run
+and a post-hoc pass over the recorded trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.adversary.activation import StaggeredActivation
+from repro.adversary.jammers import RandomJammer
+from repro.engine.checker import PropertyChecker, StreamingPropertyChecker
+from repro.engine.metrics import MetricsObserver, collect_metrics
+from repro.engine.observers import BaseRoundObserver, TraceLevel, TraceRecorder, replay_trace
+from repro.engine.simulator import SimulationConfig, Simulator, simulate
+from repro.exceptions import ConfigurationError
+from repro.params import ModelParameters
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+from repro.radio.spectrum_log import SpectrumLog
+
+
+@pytest.fixture
+def base_config(params):
+    return SimulationConfig(
+        params=params,
+        protocol_factory=TrapdoorProtocol.factory(),
+        activation=StaggeredActivation(count=6, spacing=2),
+        adversary=RandomJammer(),
+        max_rounds=10_000,
+        seed=42,
+    )
+
+
+class RecordingObserver(BaseRoundObserver):
+    """Counts every event it receives."""
+
+    def __init__(self) -> None:
+        self.started = 0
+        self.activations = []
+        self.rounds = 0
+        self.ended_with = None
+
+    def on_simulation_start(self, params, seed):
+        self.started += 1
+
+    def on_activation(self, node_id, global_round):
+        self.activations.append((node_id, global_round))
+
+    def on_round(self, record):
+        self.rounds += 1
+
+    def on_simulation_end(self, rounds_simulated):
+        self.ended_with = rounds_simulated
+
+
+class TestObserverProtocol:
+    def test_custom_observer_sees_every_event(self, base_config):
+        observer = RecordingObserver()
+        result = Simulator(base_config, observers=[observer]).run()
+        assert observer.started == 1
+        assert observer.rounds == result.rounds_simulated
+        assert observer.ended_with == result.rounds_simulated
+        assert dict(observer.activations) == result.trace.activation_rounds
+
+    def test_spectrum_log_implements_the_observer_interface(self, base_config):
+        log = SpectrumLog()
+        result = Simulator(base_config, observers=[log]).run()
+        assert log.total_rounds == result.rounds_simulated
+
+    def test_replay_matches_live_observation(self, base_config):
+        live = RecordingObserver()
+        result = Simulator(base_config, observers=[live]).run()
+        replayed = RecordingObserver()
+        replay_trace(result.trace, replayed)
+        assert replayed.rounds == live.rounds
+        assert sorted(replayed.activations) == sorted(live.activations)
+        assert replayed.ended_with == live.ended_with
+
+
+class TestTraceLevels:
+    def test_full_is_the_default_and_keeps_every_round(self, base_config):
+        result = simulate(base_config)
+        assert base_config.trace_level is TraceLevel.FULL
+        assert len(result.trace) == result.rounds_simulated
+
+    def test_none_retains_no_trace(self, base_config):
+        result = simulate(replace(base_config, trace_level=TraceLevel.NONE))
+        assert result.trace is None
+
+    def test_sampled_keeps_a_subset_including_first_and_last_round(self, base_config):
+        interval = 10
+        result = simulate(
+            replace(
+                base_config,
+                trace_level=TraceLevel.SAMPLED,
+                trace_sample_interval=interval,
+            )
+        )
+        rounds = [record.global_round for record in result.trace]
+        assert rounds[0] == 1
+        assert rounds[-1] == result.rounds_simulated
+        assert len(rounds) <= result.rounds_simulated // interval + 2
+        assert all(r % interval == 0 for r in rounds[1:-1])
+
+    def test_sampled_trace_still_knows_every_activation(self, base_config):
+        result = simulate(
+            replace(base_config, trace_level=TraceLevel.SAMPLED, trace_sample_interval=50)
+        )
+        assert len(result.trace.activation_rounds) == 6
+
+    def test_rejects_non_positive_sample_interval(self, base_config):
+        with pytest.raises(ConfigurationError):
+            replace(base_config, trace_sample_interval=0)
+
+    def test_rejects_non_positive_spectrum_window(self, base_config):
+        with pytest.raises(ConfigurationError):
+            replace(base_config, spectrum_window=0)
+
+    def test_recorder_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(level=TraceLevel.SAMPLED, sample_interval=0)
+
+    def test_sampling_every_round_yields_a_complete_trace(self, base_config):
+        result = simulate(
+            replace(base_config, trace_level=TraceLevel.SAMPLED, trace_sample_interval=1)
+        )
+        assert result.trace.complete
+        assert len(result.trace) == result.rounds_simulated
+        # Post-hoc consumers accept it, since nothing was dropped.
+        assert PropertyChecker().check(result.trace).all_safety_holds
+
+
+class TestStreamingEqualsPostHoc:
+    def test_report_matches_post_hoc_checker(self, base_config):
+        result = simulate(base_config)
+        post_hoc = PropertyChecker().check(result.trace)
+        assert result.report.violations == post_hoc.violations
+        assert result.report.liveness_achieved == post_hoc.liveness_achieved
+        assert result.report.synchronization_round == post_hoc.synchronization_round
+
+    def test_metrics_match_post_hoc_collection(self, base_config):
+        result = simulate(base_config)
+        post_hoc = collect_metrics(result.trace)
+        streamed = result.metrics
+        assert streamed.rounds_simulated == post_hoc.rounds_simulated
+        assert streamed.broadcasts == post_hoc.broadcasts
+        assert streamed.deliveries == post_hoc.deliveries
+        assert streamed.collisions == post_hoc.collisions
+        assert streamed.disrupted_frequency_rounds == post_hoc.disrupted_frequency_rounds
+        assert streamed.sync_latencies == post_hoc.sync_latencies
+        assert streamed.role_rounds == post_hoc.role_rounds
+
+    def test_streaming_checker_can_be_driven_manually(self, base_config):
+        result = simulate(base_config)
+        checker = StreamingPropertyChecker()
+        replay_trace(result.trace, checker)
+        report = checker.report()
+        assert report.all_safety_holds == result.report.all_safety_holds
+        assert report.synchronization_round == result.report.synchronization_round
+
+    def test_metrics_observer_can_be_driven_manually(self, base_config):
+        result = simulate(base_config)
+        observer = MetricsObserver()
+        replay_trace(result.trace, observer)
+        assert observer.result() == collect_metrics(result.trace)
+
+
+class TestIncompleteTraceGuards:
+    """Post-hoc consumers must refuse sampled traces instead of miscomputing."""
+
+    @pytest.fixture
+    def sampled_result(self, base_config):
+        return simulate(
+            replace(base_config, trace_level=TraceLevel.SAMPLED, trace_sample_interval=10)
+        )
+
+    def test_sampled_traces_are_marked_incomplete(self, base_config, sampled_result):
+        assert simulate(base_config).trace.complete
+        assert not sampled_result.trace.complete
+
+    def test_post_hoc_checker_refuses_a_sampled_trace(self, sampled_result):
+        with pytest.raises(ValueError, match="complete trace"):
+            PropertyChecker().check(sampled_result.trace)
+
+    def test_post_hoc_metrics_refuse_a_sampled_trace(self, sampled_result):
+        with pytest.raises(ValueError, match="complete trace"):
+            collect_metrics(sampled_result.trace)
+
+    def test_election_extraction_refuses_sampled_and_missing_traces(
+        self, base_config, sampled_result
+    ):
+        from repro.apps.leader_election import election_from_result
+
+        with pytest.raises(ValueError):
+            election_from_result(sampled_result)
+        trace_free = simulate(replace(base_config, trace_level=TraceLevel.NONE))
+        with pytest.raises(ValueError, match="TraceLevel.FULL"):
+            election_from_result(trace_free)
+
+    def test_metrics_expose_exact_activation_rounds_without_a_trace(self, base_config):
+        full = simulate(base_config)
+        trace_free = simulate(replace(base_config, trace_level=TraceLevel.NONE))
+        assert trace_free.metrics.activation_rounds == full.trace.activation_rounds
+
+
+class TestSpectrumWindow:
+    def test_bounded_window_keeps_aggregate_counters(self, params):
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=TrapdoorProtocol.factory(),
+            activation=StaggeredActivation(count=4, spacing=2),
+            adversary=RandomJammer(),
+            max_rounds=10_000,
+            seed=3,
+            spectrum_window=16,
+        )
+        unbounded = simulate(replace(config, spectrum_window=None))
+        bounded = simulate(config)
+        # The adversaries in these runs only consume aggregate statistics, so
+        # a bounded history window must not change the execution at all.
+        assert bounded.metrics == unbounded.metrics
+        assert bounded.report.synchronization_round == unbounded.report.synchronization_round
+
+
+def test_replay_trace_refuses_incomplete_traces(base_config):
+    sampled = simulate(
+        replace(base_config, trace_level=TraceLevel.SAMPLED, trace_sample_interval=10)
+    )
+    with pytest.raises(ValueError, match="complete trace"):
+        replay_trace(sampled.trace, MetricsObserver())
+
+
+def test_sampled_trace_guards_rounds_simulated_but_exposes_rounds_retained(base_config):
+    sampled = simulate(
+        replace(base_config, trace_level=TraceLevel.SAMPLED, trace_sample_interval=10)
+    )
+    with pytest.raises(ValueError, match="complete trace"):
+        sampled.trace.rounds_simulated
+    assert sampled.trace.rounds_retained == len(sampled.trace.records)

@@ -81,3 +81,38 @@ class TestCsvLog:
             rows = list(csv.DictReader(handle))
         assert any(row["output"] == "" for row in rows)
         assert any(row["output"] != "" for row in rows)
+
+
+class TestIncompleteTraceSerialization:
+    def test_sampled_trace_omits_round_derived_fields(self, params):
+        from dataclasses import replace
+
+        from repro.adversary.activation import StaggeredActivation
+        from repro.adversary.jammers import RandomJammer
+        from repro.engine.observers import TraceLevel
+        from repro.engine.simulator import SimulationConfig, simulate
+        from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=TrapdoorProtocol.factory(),
+            activation=StaggeredActivation(count=4, spacing=2),
+            adversary=RandomJammer(),
+            max_rounds=10_000,
+            seed=42,
+            trace_level=TraceLevel.SAMPLED,
+            trace_sample_interval=10,
+        )
+        result = simulate(config)
+        data = result_to_dict(result)
+        trace_section = data["trace"]
+        assert trace_section["complete"] is False
+        assert trace_section["rounds_simulated"] is None
+        assert trace_section["rounds_retained"] == len(result.trace.records)
+        for node in trace_section["nodes"]:
+            assert "sync_round" not in node and "sync_latency" not in node
+        # The exact numbers are available from the streamed metrics section.
+        assert data["metrics"]["rounds_simulated"] == result.rounds_simulated
+        assert data["metrics"]["sync_latencies"] == {
+            str(node): latency for node, latency in result.metrics.sync_latencies.items()
+        }
