@@ -16,9 +16,14 @@ from _bench_helpers import run_once
 from repro.adversary.activation import SimultaneousActivation
 from repro.adversary.jammers import NoInterference, RandomJammer
 from repro.adversary.oblivious import ObliviousSchedule
+from repro.campaigns.query import aggregate
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec, register_workload
+from repro.campaigns.store import ResultStore
 from repro.engine.runner import run_trials
 from repro.engine.simulator import SimulationConfig
 from repro.experiments.tables import render_table
+from repro.experiments.workloads import Workload
 from repro.params import ModelParameters
 from repro.protocols.good_samaritan.protocol import GoodSamaritanProtocol
 from repro.protocols.trapdoor.protocol import TrapdoorProtocol
@@ -92,39 +97,66 @@ def test_gs_beats_trapdoor_at_low_actual_disruption(benchmark, emit):
     assert speedups[-1] <= speedups[0] * 1.5
 
 
-def test_trapdoor_remains_competitive_under_full_budget_jamming(benchmark, emit):
+def _full_budget_workload(node_count: int) -> Workload:
+    """Worst-case §7 scenario: simultaneous start, full-budget random jammer."""
+    return Workload(
+        name="gs_full_budget_jam",
+        activation=SimultaneousActivation(count=node_count),
+        adversary=RandomJammer(),
+        description="simultaneous start, full-budget random jammer",
+    )
+
+
+register_workload("gs_full_budget_jam", _full_budget_workload)
+
+
+def test_trapdoor_remains_competitive_under_full_budget_jamming(benchmark, emit, tmp_path):
     """Under worst-case (adaptive, full-budget) jamming the Trapdoor protocol is
-    the safer choice — the Good Samaritan pays its log N overhead."""
+    the safer choice — the Good Samaritan pays its log N overhead.
+
+    This comparison runs *through the campaign layer*: both protocols form a
+    declarative grid whose cells persist in a result store, and the table is a
+    store aggregate grouped by protocol — cross-checked against a direct
+    ``run_trials`` call to prove the store reproduces the pre-migration
+    numbers exactly.
+    """
+    spec = CampaignSpec(
+        name="gs_vs_trapdoor_worst_case",
+        protocols=("trapdoor", "good-samaritan"),
+        workloads=("gs_full_budget_jam",),
+        frequencies=(PARAMS.frequencies,),
+        budgets=(PARAMS.disruption_budget,),
+        participants=(PARAMS.participant_bound,),
+        node_counts=(NODE_COUNT,),
+        seeds=2,
+        max_rounds=150_000,
+    )
 
     def run():
-        rows = []
-        for name, factory in (
-            ("trapdoor", TrapdoorProtocol.factory()),
-            ("good_samaritan", GoodSamaritanProtocol.factory()),
-        ):
-            config = SimulationConfig(
-                params=PARAMS,
-                protocol_factory=factory,
-                activation=SimultaneousActivation(count=NODE_COUNT),
-                adversary=RandomJammer(),
-                max_rounds=150_000,
-            )
-            summary = run_trials(config, seeds=2)
-            rows.append(
-                {
-                    "protocol": name,
-                    "mean_latency": summary.mean_latency,
-                    "max_latency": summary.max_latency,
-                    "liveness": summary.liveness_rate,
-                }
-            )
-        return rows
+        with ResultStore(tmp_path / "worst_case.db") as store:
+            CampaignRunner(spec, store).run()
+            return aggregate(store, spec.name, group_by=("protocol",))
 
     rows = run_once(benchmark, run)
     emit(render_table(rows, title="Full-budget random jamming — worst-case comparison", float_digits=1))
     assert all(row["liveness"] == 1.0 for row in rows)
     trapdoor = next(row for row in rows if row["protocol"] == "trapdoor")
-    samaritan = next(row for row in rows if row["protocol"] == "good_samaritan")
+    samaritan = next(row for row in rows if row["protocol"] == "good-samaritan")
     # The ordering flips (or at least the GS advantage disappears) under
     # worst-case interference: Trapdoor is no slower here.
     assert trapdoor["mean_latency"] <= samaritan["mean_latency"] * 1.2
+
+    # Store-backed aggregates are the pre-migration numbers: a direct run of
+    # the Trapdoor configuration must agree to the last bit.
+    direct = run_trials(
+        SimulationConfig(
+            params=PARAMS,
+            protocol_factory=TrapdoorProtocol.factory(),
+            activation=SimultaneousActivation(count=NODE_COUNT),
+            adversary=RandomJammer(),
+            max_rounds=150_000,
+        ),
+        seeds=2,
+    )
+    assert trapdoor["mean_latency"] == direct.mean_latency
+    assert trapdoor["max_latency"] == direct.max_latency

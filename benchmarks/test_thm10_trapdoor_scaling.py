@@ -6,6 +6,13 @@ Theorem 10: the Trapdoor Protocol synchronizes every node within
 worst-node latency over several seeds, and checks that the measured curves
 match the theorem's shape (single fitted constant, growing in the right
 direction) while staying within a small constant factor of the formula.
+
+The ``N``-scaling sweep runs *through the campaign layer*: the grid is a
+declarative :class:`~repro.campaigns.spec.CampaignSpec`, the measurements are
+persisted in a :class:`~repro.campaigns.store.ResultStore`, and the table is
+read back through :mod:`repro.campaigns.query` — with one cell cross-checked
+against a direct :func:`~repro.engine.runner.run_trials` call to prove the
+store reproduces the pre-migration numbers exactly.
 """
 
 from __future__ import annotations
@@ -15,38 +22,77 @@ from repro.adversary.activation import StaggeredActivation
 from repro.adversary.jammers import RandomJammer
 from repro.analysis.bounds import trapdoor_upper_bound
 from repro.analysis.fitting import fit_constant, monotonically_increasing
+from repro.campaigns.query import summary_for_cell
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec, register_workload
+from repro.campaigns.store import ResultStore
 from repro.experiments.tables import render_table
+from repro.experiments.workloads import Workload
 from repro.params import ModelParameters
 from repro.protocols.trapdoor.protocol import TrapdoorProtocol
 
 
-def test_thm10_scaling_in_participant_bound(benchmark, emit):
+def _thm10_workload(node_count: int) -> Workload:
+    """The Theorem 10 scenario: staggered arrivals, full-budget random jammer."""
+    return Workload(
+        name="thm10_staggered",
+        activation=StaggeredActivation(count=node_count, spacing=3),
+        adversary=RandomJammer(),
+        description="staggered arrivals every 3 rounds, full-budget random jammer",
+    )
+
+
+register_workload("thm10_staggered", _thm10_workload)
+
+
+def test_thm10_scaling_in_participant_bound(benchmark, emit, tmp_path):
     frequencies, budget = 8, 3
     participant_bounds = (16, 64, 256, 1024)
+    spec = CampaignSpec(
+        name="thm10_n_scaling",
+        protocols=("trapdoor",),
+        workloads=("thm10_staggered",),
+        frequencies=(frequencies,),
+        budgets=(budget,),
+        participants=participant_bounds,
+        node_counts=(8,),
+        seeds=3,
+        max_rounds=100_000,
+    )
 
     def run():
-        rows = []
-        for participant_bound in participant_bounds:
-            params = ModelParameters(frequencies, budget, participant_bound)
-            summary = measure(
-                params,
-                TrapdoorProtocol.factory(),
-                StaggeredActivation(count=8, spacing=3),
-                RandomJammer(),
-                seeds=3,
-            )
-            rows.append(
-                {
-                    "N": participant_bound,
-                    "measured_mean_latency": summary.mean_latency,
-                    "theorem10_shape": trapdoor_upper_bound(participant_bound, frequencies, budget),
-                    "agreement": summary.agreement_rate,
-                }
-            )
+        with ResultStore(tmp_path / "thm10.db") as store:
+            CampaignRunner(spec, store).run()
+            rows = []
+            for cell in spec.cells():
+                summary = summary_for_cell(store, cell.key)
+                rows.append(
+                    {
+                        "N": cell.params.participant_bound,
+                        "measured_mean_latency": summary.mean_latency,
+                        "theorem10_shape": trapdoor_upper_bound(
+                            cell.params.participant_bound, frequencies, budget
+                        ),
+                        "agreement": summary.agreement_rate,
+                    }
+                )
         return rows
 
     rows = run_once(benchmark, run)
     emit(render_table(rows, title="Theorem 10 — Trapdoor latency vs N (F=8, t=3)", float_digits=1))
+
+    # The store-backed numbers are the pre-migration numbers: an equivalent
+    # direct measurement of the N=64 cell must agree to the last bit.
+    direct = measure(
+        ModelParameters(frequencies, budget, 64),
+        TrapdoorProtocol.factory(),
+        StaggeredActivation(count=8, spacing=3),
+        RandomJammer(),
+        seeds=3,
+    )
+    migrated = next(row for row in rows if row["N"] == 64)
+    assert migrated["measured_mean_latency"] == direct.mean_latency
+    assert migrated["agreement"] == direct.agreement_rate
 
     measured = [row["measured_mean_latency"] for row in rows]
     predicted = [row["theorem10_shape"] for row in rows]

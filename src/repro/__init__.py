@@ -51,6 +51,12 @@ from repro.analysis import (
     theorem5_lower_bound,
     trapdoor_upper_bound,
 )
+from repro.campaigns import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    StoredSummary,
+)
 from repro.engine import (
     PropertyChecker,
     RoundObserver,
@@ -113,6 +119,10 @@ __all__ = [
     "theorem4_lower_bound",
     "theorem5_lower_bound",
     "trapdoor_upper_bound",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ResultStore",
+    "StoredSummary",
     "PropertyChecker",
     "RoundObserver",
     "SimulationConfig",

@@ -9,6 +9,7 @@ list), guaranteeing that nothing in the execution can influence it.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Iterable, Sequence
 
@@ -48,6 +49,18 @@ class ObliviousSchedule(InterferenceAdversary):
 
     def describe(self) -> str:
         return f"oblivious schedule ({len(self._schedule)} rounds)"
+
+    def identity(self) -> str:
+        """Content digest of the pre-committed schedule.
+
+        Two schedules of the same length but different disruption sets must
+        hash to different campaign-store keys, so the identity covers the
+        actual per-round sets, not just the length.
+        """
+        digest = hashlib.sha256()
+        for entry in self._schedule:
+            digest.update(repr(sorted(entry)).encode("utf-8"))
+        return f"ObliviousSchedule[{len(self._schedule)}]:{digest.hexdigest()[:16]}"
 
     @classmethod
     def pre_drawn(

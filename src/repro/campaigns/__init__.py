@@ -1,0 +1,56 @@
+"""Declarative, persistent, resumable sweep campaigns.
+
+The campaign subsystem gives the multi-seed trial runner a durable memory:
+
+* :mod:`repro.campaigns.spec` — :class:`CampaignSpec` describes a grid of
+  protocol × workload × parameters × seeds declaratively; every expanded
+  :class:`CampaignCell` has a stable content-hashed key.
+* :mod:`repro.campaigns.store` — :class:`ResultStore`, an SQLite-backed,
+  schema-versioned store with append-only per-trial rows, dedup by cell key,
+  and atomic per-cell commits.
+* :mod:`repro.campaigns.runner` — :class:`CampaignRunner` executes only the
+  cells the store is missing, checkpointing each, so an interrupted campaign
+  resumes exactly where it stopped.
+* :mod:`repro.campaigns.query` — group-by aggregation (success rates, round
+  counts, interpolated latency percentiles) straight from the store, in rows
+  the table/figure renderers consume directly.
+"""
+
+from repro.campaigns.query import (
+    GROUPABLE_DIMENSIONS,
+    StoredSummary,
+    aggregate,
+    cell_rows,
+    export_campaign,
+    summary_for_cell,
+)
+from repro.campaigns.runner import CampaignProgress, CampaignRunner
+from repro.campaigns.spec import (
+    SPEC_SCHEMA_VERSION,
+    CampaignCell,
+    CampaignSpec,
+    cell_key,
+    register_workload,
+    resolve_workload,
+)
+from repro.campaigns.store import STORE_SCHEMA_VERSION, ResultStore, TrialRecord
+
+__all__ = [
+    "GROUPABLE_DIMENSIONS",
+    "StoredSummary",
+    "aggregate",
+    "cell_rows",
+    "export_campaign",
+    "summary_for_cell",
+    "CampaignProgress",
+    "CampaignRunner",
+    "SPEC_SCHEMA_VERSION",
+    "CampaignCell",
+    "CampaignSpec",
+    "cell_key",
+    "register_workload",
+    "resolve_workload",
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "TrialRecord",
+]

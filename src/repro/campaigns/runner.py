@@ -1,0 +1,174 @@
+"""The resumable campaign runner.
+
+:class:`CampaignRunner` diffs a :class:`~repro.campaigns.spec.CampaignSpec`
+against a :class:`~repro.campaigns.store.ResultStore` and executes only the
+cells whose content-hashed keys are missing, checkpointing each completed
+cell atomically.  Kill the process at any point and re-run: the campaign
+resumes exactly where it stopped, and — because every execution derives all
+randomness from its own seed — the resumed results are bit-identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.campaigns.spec import CampaignCell, CampaignSpec
+from repro.campaigns.store import ResultStore, TrialRecord
+from repro.engine.observers import TraceLevel
+from repro.engine.runner import run_trials
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """The outcome of one :meth:`CampaignRunner.run` invocation.
+
+    Attributes
+    ----------
+    total:
+        Number of cells in the spec's grid.
+    already_complete:
+        Cells the store already held when the run started (skipped).
+    executed:
+        Cells this invocation ran and recorded.
+    remaining:
+        Cells still missing after this invocation (non-zero only when the run
+        was capped with ``max_cells``).
+    """
+
+    total: int
+    already_complete: int
+    executed: int
+    remaining: int
+
+    @property
+    def complete(self) -> bool:
+        """True once the store holds every cell of the spec."""
+        return self.remaining == 0
+
+    def describe(self) -> str:
+        """One-line progress summary for logs and the CLI."""
+        done = self.already_complete + self.executed
+        return (
+            f"{done}/{self.total} cells complete "
+            f"({self.executed} executed now, {self.already_complete} reused, "
+            f"{self.remaining} remaining)"
+        )
+
+
+class CampaignRunner:
+    """Executes the missing cells of a campaign spec against a store.
+
+    Parameters
+    ----------
+    spec:
+        The declarative grid to complete.
+    store:
+        The persistent store holding completed cells.
+    workers:
+        Worker processes per cell batch (forwarded to
+        :func:`~repro.engine.runner.run_trials`; parallel batches are
+        bit-identical to serial ones).
+    trace_level:
+        Per-trial trace retention.  Campaign cells persist only summary
+        scalars, so the default is :attr:`TraceLevel.NONE` — memory stays
+        flat no matter how large the grid is.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        workers: Optional[int] = None,
+        trace_level: TraceLevel = TraceLevel.NONE,
+    ) -> None:
+        self._spec = spec
+        self._store = store
+        self._workers = workers
+        self._trace_level = trace_level
+
+    @property
+    def spec(self) -> CampaignSpec:
+        """The spec this runner completes."""
+        return self._spec
+
+    def pending_cells(self) -> list[CampaignCell]:
+        """The spec's cells whose keys the store does not hold yet, in grid order."""
+        completed = self._store.completed_keys()
+        return [cell for cell in self._spec.cells() if cell.key not in completed]
+
+    def status(self) -> CampaignProgress:
+        """Current completion state without executing anything."""
+        cells = self._spec.cells()
+        completed = self._store.completed_keys()
+        done = sum(1 for cell in cells if cell.key in completed)
+        return CampaignProgress(
+            total=len(cells),
+            already_complete=done,
+            executed=0,
+            remaining=len(cells) - done,
+        )
+
+    def run(
+        self,
+        max_cells: Optional[int] = None,
+        on_cell: Optional[Callable[[CampaignCell, CampaignProgress], None]] = None,
+    ) -> CampaignProgress:
+        """Execute the missing cells (up to ``max_cells``), checkpointing each.
+
+        Parameters
+        ----------
+        max_cells:
+            Optional cap on how many cells to execute in this invocation —
+            the campaign can be completed incrementally across invocations.
+        on_cell:
+            Optional callback invoked after each cell commits, with the cell
+            and the progress so far (used by the CLI for live status lines).
+
+        Returns
+        -------
+        CampaignProgress
+            What happened: reused vs executed vs still remaining.
+        """
+        self._spec.validate_workloads()
+        self._store.register_campaign(self._spec.name, self._spec.to_json())
+        cells = self._spec.cells()
+        pending = self.pending_cells()
+        pending_keys = {cell.key for cell in pending}
+        # Cells another campaign already completed are reused, but this
+        # campaign must *claim* them so its own status/aggregates see them.
+        self._store.add_cells_to_campaign(
+            self._spec.name, [cell.key for cell in cells if cell.key not in pending_keys]
+        )
+        to_run = pending if max_cells is None else pending[:max_cells]
+
+        executed = 0
+        for cell in to_run:
+            summary = run_trials(
+                cell.config(),
+                seeds=cell.seeds,
+                workers=self._workers,
+                trace_level=self._trace_level,
+            )
+            records = [
+                TrialRecord.from_result(seed, result)
+                for seed, result in zip(summary.seeds, summary.results)
+            ]
+            self._store.record_cell(self._spec.name, cell.key, cell.describe_dict(), records)
+            executed += 1
+            if on_cell is not None:
+                progress = CampaignProgress(
+                    total=len(cells),
+                    already_complete=len(cells) - len(pending),
+                    executed=executed,
+                    remaining=len(pending) - executed,
+                )
+                on_cell(cell, progress)
+
+        return CampaignProgress(
+            total=len(cells),
+            already_complete=len(cells) - len(pending),
+            executed=executed,
+            remaining=len(pending) - executed,
+        )

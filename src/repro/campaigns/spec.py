@@ -1,0 +1,298 @@
+"""Declarative campaign specifications.
+
+A *campaign* is a grid of simulation cells — protocol × workload ×
+:class:`~repro.params.ModelParameters` × node count — each run across a fixed
+seed range.  :class:`CampaignSpec` describes the grid declaratively (names and
+numbers only, no live objects), so it can be serialized into the result store
+and re-expanded later to decide which cells are still missing.
+
+Every expanded :class:`CampaignCell` carries a *stable content-hashed key*:
+the SHA-256 of the cell's canonical JSON description.  Two cells with the same
+protocol, workload, parameters, seeds, and round cap have the same key in any
+process on any machine, which is what makes the store's dedup and the
+runner's resume logic exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.engine.simulator import SimulationConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments.workloads import SIMPLE_WORKLOADS, Workload
+from repro.params import ModelParameters
+from repro.protocols.registry import PROTOCOL_FACTORIES, protocol_factory
+
+#: Version of the cell-description layout.  Bumping it changes every cell key,
+#: forcing recomputation — do so whenever the meaning of a description field
+#: changes.
+SPEC_SCHEMA_VERSION = 1
+
+#: Workloads a campaign can name: the shared simple workloads plus anything a
+#: caller registers (benchmarks register their bespoke scenarios here).  The
+#: workload *name* is part of the cell identity, so a name must always mean
+#: the same scenario — re-registering a name overwrites the old binding and is
+#: only safe while no store holds results recorded under it.
+CAMPAIGN_WORKLOADS: dict[str, Callable[[int], Workload]] = dict(SIMPLE_WORKLOADS)
+
+
+def register_workload(name: str, factory: Callable[[int], Workload]) -> None:
+    """Register (or overwrite) a named workload for campaign use."""
+    CAMPAIGN_WORKLOADS[name] = factory
+
+
+def resolve_workload(name: str, node_count: int) -> Workload:
+    """Build the named workload for ``node_count`` nodes."""
+    try:
+        factory = CAMPAIGN_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGN_WORKLOADS))
+        raise ConfigurationError(f"unknown workload {name!r}; known: {known}") from None
+    return factory(node_count)
+
+
+def cell_key(description: Mapping[str, Any]) -> str:
+    """The stable content hash of a canonical cell description.
+
+    The description must be JSON-serializable; key order does not matter
+    (``sort_keys`` canonicalizes it).  The first 16 hex digits of the SHA-256
+    are plenty for dedup and keep the keys readable in tables.
+    """
+    canonical = json.dumps(description, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One fully resolved point of a campaign grid.
+
+    Attributes
+    ----------
+    protocol:
+        Registered protocol name (see :data:`~repro.protocols.registry.PROTOCOL_FACTORIES`).
+    workload:
+        Registered workload name (see :data:`CAMPAIGN_WORKLOADS`).
+    params:
+        The model parameters ``(F, t, N)``.
+    node_count:
+        How many devices the workload activates.
+    seeds:
+        The explicit seed list the cell runs.
+    max_rounds:
+        Per-execution round cap.
+    """
+
+    protocol: str
+    workload: str
+    params: ModelParameters
+    node_count: int
+    seeds: tuple[int, ...]
+    max_rounds: int
+
+    def describe_dict(self) -> dict[str, Any]:
+        """The canonical JSON-serializable description the key is hashed from."""
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "frequencies": self.params.frequencies,
+            "budget": self.params.disruption_budget,
+            "participants": self.params.participant_bound,
+            "node_count": self.node_count,
+            "seeds": list(self.seeds),
+            "max_rounds": self.max_rounds,
+        }
+
+    @property
+    def key(self) -> str:
+        """The stable content-hashed identity of this cell."""
+        return cell_key(self.describe_dict())
+
+    def label(self) -> str:
+        """Short human-readable label used in status output."""
+        return (
+            f"{self.protocol} × {self.workload} × {self.params.describe()}, "
+            f"n={self.node_count}, {len(self.seeds)} seeds"
+        )
+
+    def config(self) -> SimulationConfig:
+        """Resolve the cell into a runnable simulation configuration."""
+        workload = resolve_workload(self.workload, self.node_count)
+        return SimulationConfig(
+            params=self.params,
+            protocol_factory=protocol_factory(self.protocol),
+            activation=workload.activation,
+            adversary=workload.adversary,
+            max_rounds=self.max_rounds,
+        )
+
+
+def _as_tuple(value: Sequence[int] | int) -> tuple[int, ...]:
+    return (value,) if isinstance(value, int) else tuple(value)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep grid: protocols × workloads × (F, t, N) × node counts.
+
+    Attributes
+    ----------
+    name:
+        The campaign's name (the store groups cells under it).
+    protocols:
+        Registered protocol names.
+    workloads:
+        Registered workload names.
+    frequencies, budgets, participants:
+        The ``F``, ``t``, and ``N`` axes; every combination must satisfy the
+        model constraints (``t < F``, ``N ≥ 2``).
+    node_counts:
+        How many devices to activate (must not exceed any swept ``N``).
+    seeds:
+        Either a count ``k`` (seeds ``0 .. k−1``) or an explicit seed list,
+        applied to every cell.
+    max_rounds:
+        Per-execution round cap for every cell.
+    """
+
+    name: str
+    protocols: tuple[str, ...]
+    workloads: tuple[str, ...]
+    frequencies: tuple[int, ...]
+    budgets: tuple[int, ...]
+    participants: tuple[int, ...]
+    node_counts: tuple[int, ...]
+    seeds: tuple[int, ...] = field(default=(0, 1, 2))
+    max_rounds: int = 50_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "protocols", tuple(self.protocols))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "frequencies", _as_tuple(self.frequencies))
+        object.__setattr__(self, "budgets", _as_tuple(self.budgets))
+        object.__setattr__(self, "participants", _as_tuple(self.participants))
+        object.__setattr__(self, "node_counts", _as_tuple(self.node_counts))
+        seeds = self.seeds
+        object.__setattr__(
+            self, "seeds", tuple(range(seeds)) if isinstance(seeds, int) else tuple(seeds)
+        )
+        if not self.name:
+            raise ConfigurationError("a campaign needs a non-empty name")
+        for axis, values in (
+            ("protocols", self.protocols),
+            ("workloads", self.workloads),
+            ("frequencies", self.frequencies),
+            ("budgets", self.budgets),
+            ("participants", self.participants),
+            ("node_counts", self.node_counts),
+            ("seeds", self.seeds),
+        ):
+            if not values:
+                raise ConfigurationError(f"campaign axis {axis!r} must not be empty")
+        for protocol in self.protocols:
+            if protocol not in PROTOCOL_FACTORIES:
+                known = ", ".join(sorted(PROTOCOL_FACTORIES))
+                raise ConfigurationError(f"unknown protocol {protocol!r}; known: {known}")
+        if self.max_rounds < 1:
+            raise ConfigurationError(f"max_rounds must be positive, got {self.max_rounds}")
+
+    def validate_workloads(self) -> None:
+        """Check every workload name against the registry, failing fast.
+
+        Called by the runner before executing anything, so a typo surfaces
+        immediately instead of after hours of compute.  It is *not* part of
+        ``__post_init__`` because a spec loaded back from a store (e.g. for
+        ``campaign status``) may reference bespoke workloads the current
+        process never registered — status and diffing only need names.
+        """
+        unknown = [name for name in self.workloads if name not in CAMPAIGN_WORKLOADS]
+        if unknown:
+            known = ", ".join(sorted(CAMPAIGN_WORKLOADS))
+            raise ConfigurationError(
+                f"campaign {self.name!r} names unregistered workloads {unknown}; known: {known}"
+            )
+
+    def cells(self) -> tuple[CampaignCell, ...]:
+        """Expand the grid into cells, in deterministic axis order.
+
+        Invalid parameter combinations (``t ≥ F``, ``node_count > N``) raise
+        :class:`~repro.exceptions.ConfigurationError` — a spec is expected to
+        name only runnable cells.
+        """
+        expanded = []
+        for protocol, workload, f, t, n, node_count in itertools.product(
+            self.protocols,
+            self.workloads,
+            self.frequencies,
+            self.budgets,
+            self.participants,
+            self.node_counts,
+        ):
+            params = ModelParameters(
+                frequencies=f, disruption_budget=t, participant_bound=n
+            )
+            if node_count > n:
+                raise ConfigurationError(
+                    f"campaign {self.name!r} activates {node_count} nodes "
+                    f"but sweeps a participant bound of only N={n}"
+                )
+            expanded.append(
+                CampaignCell(
+                    protocol=protocol,
+                    workload=workload,
+                    params=params,
+                    node_count=node_count,
+                    seeds=self.seeds,
+                    max_rounds=self.max_rounds,
+                )
+            )
+        return tuple(expanded)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable description of the grid."""
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "name": self.name,
+            "protocols": list(self.protocols),
+            "workloads": list(self.workloads),
+            "frequencies": list(self.frequencies),
+            "budgets": list(self.budgets),
+            "participants": list(self.participants),
+            "node_counts": list(self.node_counts),
+            "seeds": list(self.seeds),
+            "max_rounds": self.max_rounds,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON form (stable across processes, used by the store)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        schema = data.get("schema", SPEC_SCHEMA_VERSION)
+        if schema != SPEC_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"campaign spec schema {schema} is not supported "
+                f"(this build writes schema {SPEC_SCHEMA_VERSION})"
+            )
+        return cls(
+            name=data["name"],
+            protocols=tuple(data["protocols"]),
+            workloads=tuple(data["workloads"]),
+            frequencies=tuple(data["frequencies"]),
+            budgets=tuple(data["budgets"]),
+            participants=tuple(data["participants"]),
+            node_counts=tuple(data["node_counts"]),
+            seeds=tuple(data["seeds"]),
+            max_rounds=data["max_rounds"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

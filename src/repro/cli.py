@@ -8,6 +8,9 @@ paper artefact inspected, without writing Python:
 * ``python -m repro trials`` — run the same configuration across many seeds
   (optionally on a worker-process pool, and trace-free) and print the
   distributional summary;
+* ``python -m repro campaign run|status|export`` — declare a persistent sweep
+  grid, execute only its missing cells into an SQLite result store (resumable
+  after interrupts), inspect completion, and export grouped aggregates;
 * ``python -m repro schedule`` — print the Figure 1 / Figure 2 schedule for a
   parameter point;
 * ``python -m repro experiments`` — list the registered paper artefacts and
@@ -40,33 +43,25 @@ from repro.analysis.bounds import (
     theorem5_lower_bound,
     trapdoor_upper_bound,
 )
+from repro.campaigns.query import aggregate, export_campaign
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CAMPAIGN_WORKLOADS, CampaignSpec
+from repro.campaigns.store import ResultStore
 from repro.engine.observers import TraceLevel
 from repro.engine.runner import run_trials
-from repro.engine.serialization import write_result_json, write_round_log_csv
+from repro.engine.serialization import write_result_json, write_round_log_csv, write_trials_json
 from repro.engine.simulator import SimulationConfig, simulate
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.tables import render_table
 from repro.experiments.workloads import SIMPLE_WORKLOADS
 from repro.params import ModelParameters
-from repro.protocols.baselines.decay_wakeup import DecayWakeupProtocol
-from repro.protocols.baselines.round_robin import RoundRobinSweepProtocol
-from repro.protocols.baselines.single_channel import SingleChannelAlohaProtocol
-from repro.protocols.baselines.uniform_wakeup import UniformWakeupProtocol
-from repro.protocols.fault_tolerant import FaultTolerantTrapdoorProtocol
-from repro.protocols.good_samaritan.protocol import GoodSamaritanProtocol
 from repro.protocols.good_samaritan.schedule import GoodSamaritanSchedule
+from repro.protocols.registry import PROTOCOL_FACTORIES
 from repro.protocols.trapdoor.epochs import TrapdoorSchedule
-from repro.protocols.trapdoor.protocol import TrapdoorProtocol
 
-PROTOCOLS = {
-    "trapdoor": lambda: TrapdoorProtocol.factory(),
-    "good-samaritan": lambda: GoodSamaritanProtocol.factory(),
-    "fault-tolerant-trapdoor": lambda: FaultTolerantTrapdoorProtocol.factory(),
-    "uniform-wakeup": lambda: UniformWakeupProtocol.factory(),
-    "decay-wakeup": lambda: DecayWakeupProtocol.factory(),
-    "single-channel": lambda: SingleChannelAlohaProtocol.factory(),
-    "round-robin": lambda: RoundRobinSweepProtocol.factory(),
-}
+#: The named protocol registry the scenario options draw from (shared with the
+#: campaign subsystem, so a protocol name means the same thing everywhere).
+PROTOCOLS = PROTOCOL_FACTORIES
 
 JAMMERS = {
     "none": NoInterference,
@@ -77,6 +72,25 @@ JAMMERS = {
     "reactive": ReactiveJammer,
     "low-band": LowBandJammer,
 }
+
+
+def _name_list(text: str) -> tuple[str, ...]:
+    """Parse a comma-separated list of names (argparse ``type=``)."""
+    names = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not names:
+        raise argparse.ArgumentTypeError(f"expected a comma-separated list, got {text!r}")
+    return names
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    """Parse a comma-separated list of integers (argparse ``type=``)."""
+    try:
+        values = tuple(int(part.strip()) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError(f"expected a comma-separated list, got {text!r}")
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,6 +142,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=TraceLevel.NONE.value,
         help="per-round history per trial (default: none — sweeps stream)",
     )
+    trials.add_argument("--json", type=str, default=None,
+                        help="write the batch summary (statistics + per-trial rows) as JSON here")
+
+    campaign = sub.add_parser(
+        "campaign", help="declarative persistent sweeps over a result store"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    camp_run = campaign_sub.add_parser(
+        "run", help="execute the missing cells of a campaign grid into a store"
+    )
+    camp_run.add_argument("--store", required=True, help="SQLite result store path")
+    camp_run.add_argument("--name", default="campaign", help="campaign name in the store")
+    camp_run.add_argument("--protocols", type=_name_list, default=("trapdoor",),
+                          help="comma-separated protocol names")
+    camp_run.add_argument("--workloads", type=_name_list, default=("crowded_cafe",),
+                          help="comma-separated workload names")
+    camp_run.add_argument("--frequencies", "-F", type=_int_list, default=(8,),
+                          help="comma-separated F values")
+    camp_run.add_argument("--budgets", "-t", type=_int_list, default=(3,),
+                          help="comma-separated t values")
+    camp_run.add_argument("--participants", "-N", type=_int_list, default=(64,),
+                          help="comma-separated N values")
+    camp_run.add_argument("--node-counts", type=_int_list, default=(8,),
+                          help="comma-separated activated-device counts")
+    camp_run.add_argument("--seeds", type=int, default=3, help="seeds per cell (0 .. k-1)")
+    camp_run.add_argument("--max-rounds", type=int, default=50_000)
+    camp_run.add_argument("--workers", type=int, default=1,
+                          help="worker processes per cell batch (1 = serial)")
+    camp_run.add_argument("--max-cells", type=int, default=None,
+                          help="cap on cells executed this invocation (resume later)")
+
+    camp_status = campaign_sub.add_parser("status", help="report completed/total cells")
+    camp_status.add_argument("--store", required=True)
+    camp_status.add_argument("--name", default=None,
+                             help="one campaign (default: every campaign in the store)")
+
+    camp_export = campaign_sub.add_parser(
+        "export", help="export a campaign's cells and aggregates as JSON"
+    )
+    camp_export.add_argument("--store", required=True)
+    camp_export.add_argument("--name", default="campaign")
+    camp_export.add_argument("--output", required=True, help="JSON file to write")
+    camp_export.add_argument("--group-by", type=_name_list, default=("protocol", "workload"),
+                             help="comma-separated grid dimensions to aggregate over")
 
     sched = sub.add_parser("schedule", help="print the Trapdoor / Good Samaritan schedule")
     sched.add_argument("--protocol", choices=["trapdoor", "good-samaritan"], default="trapdoor")
@@ -234,7 +293,89 @@ def _command_trials(args: argparse.Namespace) -> int:
     ]
     print()
     print(render_table(rows, title="Batch statistics", float_digits=2))
+    if args.json:
+        print(f"\nwrote JSON summary to {write_trials_json(summary, args.json)}")
     return 0 if summary.liveness_rate == 1.0 else 1
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _campaign_run,
+        "status": _campaign_status,
+        "export": _campaign_export,
+    }
+    with ResultStore(args.store) as store:
+        return handlers[args.campaign_command](args, store)
+
+
+def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
+    spec = CampaignSpec(
+        name=args.name,
+        protocols=args.protocols,
+        workloads=args.workloads,
+        frequencies=args.frequencies,
+        budgets=args.budgets,
+        participants=args.participants,
+        node_counts=args.node_counts,
+        seeds=args.seeds,
+        max_rounds=args.max_rounds,
+    )
+    runner = CampaignRunner(spec, store, workers=args.workers)
+    before = runner.status()
+    print(f"campaign  : {spec.name} ({before.total} cells, "
+          f"{len(spec.seeds)} seeds/cell, store {store.path})")
+    print(f"resume    : {before.already_complete} cells already complete")
+
+    def report(cell, progress):
+        print(f"  [{progress.already_complete + progress.executed}/{progress.total}] {cell.label()}")
+
+    progress = runner.run(max_cells=args.max_cells, on_cell=report)
+    print(f"progress  : {progress.describe()}")
+    if progress.complete:
+        print()
+        print(render_table(
+            aggregate(store, spec.name),
+            title=f"Campaign {spec.name} — aggregate by protocol × workload",
+            float_digits=1,
+        ))
+    return 0
+
+
+def _campaign_status(args: argparse.Namespace, store: ResultStore) -> int:
+    names = [args.name] if args.name else store.campaign_names()
+    if not names:
+        print(f"store {store.path} holds no campaigns")
+        return 1
+    rows = []
+    for name in names:
+        spec_json = store.spec_json_for(name)
+        completed = store.cell_count(name)
+        if spec_json is None:
+            # Store-backed harness sweeps have no declarative grid to diff
+            # against; report what has been recorded.
+            rows.append({"campaign": name, "completed": completed, "total": "-", "done": "-"})
+            continue
+        spec = CampaignSpec.from_json(spec_json)
+        total = len(spec.cells())
+        rows.append({
+            "campaign": name,
+            "completed": completed,
+            "total": total,
+            "done": f"{completed}/{total}",
+        })
+    print(render_table(rows, title=f"Campaign status — {store.path}"))
+    return 0
+
+
+def _campaign_export(args: argparse.Namespace, store: ResultStore) -> int:
+    path = export_campaign(store, args.name, args.output, group_by=args.group_by)
+    print(render_table(
+        aggregate(store, args.name, group_by=args.group_by),
+        title=f"Campaign {args.name} — aggregate by {' × '.join(args.group_by)}",
+        float_digits=1,
+    ))
+    print(f"\nwrote campaign export to {path}")
+    return 0
 
 
 def _command_schedule(args: argparse.Namespace) -> int:
@@ -295,6 +436,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "simulate": _command_simulate,
         "trials": _command_trials,
+        "campaign": _command_campaign,
         "schedule": _command_schedule,
         "experiments": _command_experiments,
         "bounds": _command_bounds,

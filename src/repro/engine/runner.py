@@ -20,6 +20,28 @@ from repro.engine.results import SimulationResult
 from repro.engine.simulator import SimulationConfig
 
 
+def interpolated_percentile(values: Sequence[float], fraction: float) -> float | None:
+    """The empirical percentile of ``values`` at ``fraction`` (in ``[0, 1]``).
+
+    Linearly interpolates between the order statistics (the convention of
+    ``numpy.percentile``'s default mode); returns ``None`` for an empty
+    sample.  Shared by the live :class:`TrialSummary` and the campaign
+    store's aggregation layer so both report identical percentiles.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    position = fraction * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
 @dataclass(frozen=True)
 class TrialSummary:
     """Summary statistics over a batch of same-configuration executions.
@@ -97,18 +119,7 @@ class TrialSummary:
         convention as ``numpy.percentile``'s default), so e.g. the median of
         ``[1, 2, 3, 4]`` is ``2.5`` rather than a nearest-rank rounding.
         """
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        latencies = sorted(self.latencies())
-        if not latencies:
-            return None
-        position = fraction * (len(latencies) - 1)
-        lower = math.floor(position)
-        upper = math.ceil(position)
-        if lower == upper:
-            return float(latencies[lower])
-        weight = position - lower
-        return latencies[lower] * (1.0 - weight) + latencies[upper] * weight
+        return interpolated_percentile(self.latencies(), fraction)
 
     def describe(self) -> str:
         """One-line summary used by experiment tables."""

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.engine.results import SimulationResult
+from repro.engine.runner import TrialSummary
 from repro.engine.trace import ExecutionTrace
 
 
@@ -130,6 +131,49 @@ def result_to_dict(result: SimulationResult, include_rounds: bool = False) -> di
             },
         },
     }
+
+
+def trial_summary_to_dict(summary: TrialSummary) -> dict[str, Any]:
+    """A JSON-serializable summary of a multi-seed trial batch.
+
+    Mirrors the statistics the ``trials`` CLI table prints (the aggregate),
+    plus one compact row per trial so the distribution can be re-derived
+    without re-running anything.
+    """
+    return {
+        "trials": summary.trials,
+        "seeds": list(summary.seeds),
+        "statistics": {
+            "liveness_rate": summary.liveness_rate,
+            "agreement_rate": summary.agreement_rate,
+            "safety_rate": summary.safety_rate,
+            "unique_leader_rate": summary.unique_leader_rate,
+            "mean_latency": summary.mean_latency,
+            "median_latency": summary.median_latency,
+            "p90_latency": summary.percentile_latency(0.9),
+            "max_latency": summary.max_latency,
+        },
+        "results": [
+            {
+                "seed": seed,
+                "synchronized": result.synchronized,
+                "agreement": result.agreement_holds,
+                "leader_count": result.leader_count,
+                "max_sync_latency": result.max_sync_latency,
+                "rounds_simulated": result.rounds_simulated,
+            }
+            for seed, result in zip(summary.seeds, summary.results)
+        ],
+    }
+
+
+def write_trials_json(summary: TrialSummary, path: str | Path) -> Path:
+    """Write a trial-batch summary as JSON and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(trial_summary_to_dict(summary), handle, indent=2)
+    return target
 
 
 def write_result_json(result: SimulationResult, path: str | Path, include_rounds: bool = False) -> Path:

@@ -4,12 +4,18 @@
 list of :class:`SweepPoint`s, runs each across a set of seeds through the
 simulation engine, and returns :class:`SweepResult`s carrying both the raw
 trial summaries and the derived statistics the tables print.
+
+:meth:`ExperimentHarness.run_sweep` can optionally be backed by a campaign
+:class:`~repro.campaigns.store.ResultStore`: points already recorded in the
+store are *not* re-executed — their statistics are read back (bit-identical,
+see :class:`~repro.campaigns.query.StoredSummary`), and newly executed points
+are checkpointed, making large sweeps accumulable and interruptible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.adversary.activation import ActivationSchedule
 from repro.adversary.base import InterferenceAdversary
@@ -19,7 +25,10 @@ from repro.engine.simulator import SimulationConfig
 from repro.exceptions import ExperimentError
 from repro.experiments.tables import render_table
 from repro.params import ModelParameters
-from repro.protocols.base import ProtocolFactory
+from repro.protocols.base import BoundProtocolFactory, ProtocolFactory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.campaigns.store import ResultStore
 
 
 @dataclass(frozen=True)
@@ -63,11 +72,14 @@ class SweepResult:
     point:
         The configuration that was run.
     summary:
-        The multi-seed trial summary.
+        The multi-seed trial summary: a live
+        :class:`~repro.engine.runner.TrialSummary`, or a statistically
+        identical :class:`~repro.campaigns.query.StoredSummary` when the
+        point was read back from a result store.
     """
 
     point: SweepPoint
-    summary: TrialSummary
+    summary: "TrialSummary | StoredSummary"
 
     def row(self) -> dict[str, object]:
         """The table row for this point (metadata plus headline statistics)."""
@@ -139,11 +151,108 @@ class ExperimentHarness:
         )
         return SweepResult(point=point, summary=summary)
 
-    def run_sweep(self, points: Sequence[SweepPoint]) -> list[SweepResult]:
-        """Run every point of a sweep, in order."""
+    def run_sweep(
+        self,
+        points: Sequence[SweepPoint],
+        store: "ResultStore | None" = None,
+        campaign: str = "harness-sweep",
+    ) -> list[SweepResult]:
+        """Run every point of a sweep, in order.
+
+        Parameters
+        ----------
+        points:
+            The sweep points.
+        store:
+            Optional campaign :class:`~repro.campaigns.store.ResultStore`.
+            Points whose content-hashed key the store already holds are read
+            back instead of re-executed (their
+            :class:`~repro.campaigns.query.StoredSummary` is statistically
+            identical to the live summary); newly executed points are
+            checkpointed one by one, so an interrupted sweep resumes where it
+            stopped.
+        campaign:
+            The campaign name the points are recorded under in the store.
+        """
         if not points:
             raise ExperimentError("a sweep needs at least one point")
-        return [self.run_point(point) for point in points]
+        if store is None:
+            return [self.run_point(point) for point in points]
+
+        from repro.campaigns.query import summary_for_cell
+        from repro.campaigns.store import TrialRecord
+
+        store.register_campaign(campaign)
+        results = []
+        for point in points:
+            key = self.point_key(point)
+            if store.has_cell(key):
+                store.add_cells_to_campaign(campaign, [key])
+                results.append(SweepResult(point=point, summary=summary_for_cell(store, key)))
+                continue
+            result = self.run_point(point)
+            records = [
+                TrialRecord.from_result(seed, trial)
+                for seed, trial in zip(result.summary.seeds, result.summary.results)
+            ]
+            store.record_cell(campaign, key, self._point_description(point), records)
+            results.append(result)
+        return results
+
+    def point_key(self, point: SweepPoint) -> str:
+        """The stable content-hashed store key of one sweep point.
+
+        The key covers everything that determines the point's statistics:
+        the configuration, the harness seeds, and the point's identity
+        fields.  It deliberately excludes ``workers`` and ``trace_level``
+        (they never change results).
+        """
+        from repro.campaigns.spec import cell_key
+
+        return cell_key(self._point_description(point))
+
+    def _point_description(self, point: SweepPoint) -> dict[str, object]:
+        """A canonical JSON-serializable description of a sweep point.
+
+        Live objects are reduced to stable text: the protocol factory must be
+        a :class:`~repro.protocols.base.BoundProtocolFactory` (closures have
+        no stable identity to hash), and activation schedules / adversaries
+        contribute their class and ``describe()`` string.  A per-seed
+        ``config_hook`` changes executions in ways no description can see, so
+        it is incompatible with the store-backed path.
+        """
+        if self._config_hook is not None:
+            raise ExperimentError(
+                "a config_hook customizes trials per seed, which a store key cannot "
+                "capture; run this sweep without a store (or fold the hook into the "
+                "point's adversary/activation)"
+            )
+        factory = point.protocol_factory
+        if not isinstance(factory, BoundProtocolFactory):
+            raise ExperimentError(
+                f"sweep point {point.label!r} uses a protocol factory of type "
+                f"{type(factory).__name__}, which has no stable identity to hash; "
+                "store-backed sweeps need a BoundProtocolFactory "
+                "(use Protocol.factory(...))"
+            )
+        seeds = self._seeds
+        seed_list = list(range(seeds)) if isinstance(seeds, int) else list(seeds)
+        protocol_class = factory.protocol_class
+        return {
+            "kind": "harness-point",
+            "label": point.label,
+            "protocol": f"{protocol_class.__module__}.{protocol_class.__qualname__}",
+            "protocol_args": repr(factory.args),
+            "activation": point.activation.identity(),
+            "adversary": point.adversary.identity(),
+            "frequencies": point.params.frequencies,
+            "budget": point.params.disruption_budget,
+            "participants": point.params.participant_bound,
+            "node_count": point.activation.node_count,
+            "max_rounds": point.max_rounds,
+            "seeds": seed_list,
+            "metadata": {str(k): repr(v) for k, v in sorted(point.metadata.items())},
+        }
 
     def render(self, results: Sequence[SweepResult], title: str | None = None) -> str:
         """Render sweep results as an ASCII table."""

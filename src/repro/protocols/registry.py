@@ -1,0 +1,48 @@
+"""The named protocol registry.
+
+Campaign specs, the CLI, and any other declarative surface refer to protocols
+by short names ("trapdoor", "good-samaritan", ...).  This registry is the one
+place those names are bound to factory constructors, so a name means the same
+protocol everywhere and a campaign cell's identity can be derived from the
+name alone.
+
+Each registry value is a zero-argument callable returning a *fresh* protocol
+factory (the built-in factories are picklable
+:class:`~repro.protocols.base.BoundProtocolFactory` objects, which is what
+lets campaign cells run on worker processes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.protocols.base import ProtocolFactory
+from repro.protocols.baselines.decay_wakeup import DecayWakeupProtocol
+from repro.protocols.baselines.round_robin import RoundRobinSweepProtocol
+from repro.protocols.baselines.single_channel import SingleChannelAlohaProtocol
+from repro.protocols.baselines.uniform_wakeup import UniformWakeupProtocol
+from repro.protocols.fault_tolerant import FaultTolerantTrapdoorProtocol
+from repro.protocols.good_samaritan.protocol import GoodSamaritanProtocol
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+#: name -> zero-argument constructor of a fresh (picklable) protocol factory.
+PROTOCOL_FACTORIES: dict[str, Callable[[], ProtocolFactory]] = {
+    "trapdoor": lambda: TrapdoorProtocol.factory(),
+    "good-samaritan": lambda: GoodSamaritanProtocol.factory(),
+    "fault-tolerant-trapdoor": lambda: FaultTolerantTrapdoorProtocol.factory(),
+    "uniform-wakeup": lambda: UniformWakeupProtocol.factory(),
+    "decay-wakeup": lambda: DecayWakeupProtocol.factory(),
+    "single-channel": lambda: SingleChannelAlohaProtocol.factory(),
+    "round-robin": lambda: RoundRobinSweepProtocol.factory(),
+}
+
+
+def protocol_factory(name: str) -> ProtocolFactory:
+    """Build a fresh factory for a registered protocol name."""
+    try:
+        constructor = PROTOCOL_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOL_FACTORIES))
+        raise ConfigurationError(f"unknown protocol {name!r}; known: {known}") from None
+    return constructor()

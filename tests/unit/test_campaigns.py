@@ -1,0 +1,429 @@
+"""Unit tests for the campaign subsystem: spec, store, runner, query, harness.
+
+The contract under test: a campaign is a *durable* sweep.  Cells are
+identified by stable content hashes, completed cells are never recomputed,
+an interrupted campaign resumes exactly where it stopped, and everything
+read back from the store is bit-identical to what a live run would report.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.campaigns.query import (
+    StoredSummary,
+    aggregate,
+    cell_rows,
+    export_campaign,
+    summary_for_cell,
+)
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import SPEC_SCHEMA_VERSION, CampaignSpec, cell_key, register_workload
+from repro.campaigns.store import ResultStore, TrialRecord
+from repro.engine.runner import run_trials
+from repro.exceptions import ConfigurationError, ExperimentError
+from repro.experiments.harness import ExperimentHarness, SweepPoint
+from repro.experiments.workloads import quiet_start
+from repro.params import ModelParameters
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+
+def tiny_spec(name: str = "tiny", **overrides) -> CampaignSpec:
+    """A 4-cell grid that runs in well under a second."""
+    fields = dict(
+        name=name,
+        protocols=("trapdoor",),
+        workloads=("quiet_start",),
+        frequencies=(4,),
+        budgets=(1,),
+        participants=(8, 16),
+        node_counts=(2, 3),
+        seeds=2,
+        max_rounds=5_000,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestSpec:
+    def test_grid_expands_in_deterministic_order(self):
+        cells = tiny_spec().cells()
+        assert len(cells) == 4
+        assert [(c.params.participant_bound, c.node_count) for c in cells] == [
+            (8, 2), (8, 3), (16, 2), (16, 3),
+        ]
+        assert all(cell.seeds == (0, 1) for cell in cells)
+
+    def test_cell_keys_are_stable_across_expansions(self):
+        first = [cell.key for cell in tiny_spec().cells()]
+        second = [cell.key for cell in tiny_spec().cells()]
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    def test_cell_key_covers_every_identity_field(self):
+        base = tiny_spec().cells()[0]
+        base_keys = {cell.key for cell in tiny_spec().cells()}
+        for overrides in (
+            dict(max_rounds=6_000),
+            dict(seeds=3),
+            dict(protocols=("good-samaritan",)),
+            dict(workloads=("crowded_cafe",)),
+            dict(frequencies=(8,)),
+        ):
+            changed = {cell.key for cell in tiny_spec(**overrides).cells()}
+            assert changed.isdisjoint(base_keys), (overrides, base.key)
+
+    def test_cell_key_is_content_hash_of_description(self):
+        cell = tiny_spec().cells()[0]
+        assert cell.key == cell_key(cell.describe_dict())
+        assert cell.describe_dict()["schema"] == SPEC_SCHEMA_VERSION
+
+    def test_spec_json_round_trip(self):
+        spec = tiny_spec()
+        rebuilt = CampaignSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert [c.key for c in rebuilt.cells()] == [c.key for c in spec.cells()]
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            tiny_spec(protocols=("flux-capacitor",))
+
+    def test_unknown_workload_rejected_at_cell_resolution(self):
+        spec = tiny_spec(workloads=("does_not_exist",))
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            spec.cells()[0].config()
+
+    def test_node_count_above_participant_bound_rejected(self):
+        with pytest.raises(ConfigurationError, match="participant bound"):
+            tiny_spec(participants=(8,), node_counts=(9,)).cells()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            tiny_spec(workloads=())
+
+    def test_registered_workload_resolves(self):
+        register_workload("campaign_test_quiet", quiet_start)
+        spec = tiny_spec(workloads=("campaign_test_quiet",))
+        config = spec.cells()[0].config()
+        assert config.activation.node_count == 2
+
+
+class TestStore:
+    def test_record_and_read_back(self, tmp_path):
+        store = ResultStore(tmp_path / "store.db")
+        records = [
+            TrialRecord(seed=0, synchronized=True, agreement=True, safety=True,
+                        leader_count=1, max_sync_latency=40, rounds_simulated=41),
+            TrialRecord(seed=1, synchronized=False, agreement=True, safety=True,
+                        leader_count=0, max_sync_latency=None, rounds_simulated=99),
+        ]
+        assert store.record_cell("c", "k1", {"protocol": "trapdoor"}, records)
+        assert store.trial_records("k1") == tuple(records)
+        assert store.cell_description("k1") == {"protocol": "trapdoor"}
+        assert store.completed_keys() == {"k1"}
+
+    def test_dedup_by_cell_key(self, tmp_path):
+        store = ResultStore(tmp_path / "store.db")
+        record = TrialRecord(seed=0, synchronized=True, agreement=True, safety=True,
+                             leader_count=1, max_sync_latency=10, rounds_simulated=10)
+        assert store.record_cell("c", "k1", {}, [record])
+        # A second recording under the same key stores nothing new — the key
+        # *is* the identity — but the second campaign gains the attribution.
+        # (INSERT OR IGNORE inside one transaction also makes the
+        # two-processes-race on the same cell benign: the loser lands here.)
+        assert not store.record_cell("other", "k1", {}, [record])
+        assert store.cell_count() == 1
+        assert store.completed_keys("c") == {"k1"}
+        assert store.completed_keys("other") == {"k1"}
+        assert store.trial_records("k1") == (record,)
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "store.db"
+        with ResultStore(path) as store:
+            store.record_cell("c", "k1", {"x": 1}, [
+                TrialRecord(seed=0, synchronized=True, agreement=True, safety=True,
+                            leader_count=1, max_sync_latency=10, rounds_simulated=10)
+            ])
+        with ResultStore(path) as reopened:
+            assert reopened.completed_keys() == {"k1"}
+            assert reopened.trial_records("k1")[0].max_sync_latency == 10
+
+    def test_cell_commit_is_atomic(self, tmp_path):
+        """A failure mid-write must leave neither the cell nor any trial rows."""
+        store = ResultStore(tmp_path / "store.db")
+        good = TrialRecord(seed=0, synchronized=True, agreement=True, safety=True,
+                           leader_count=1, max_sync_latency=10, rounds_simulated=10)
+        torn = TrialRecord(seed=1, synchronized=True, agreement=True, safety=True,
+                           leader_count=None, max_sync_latency=10, rounds_simulated=10)
+        with pytest.raises(sqlite3.IntegrityError):
+            store.record_cell("c", "k1", {}, [good, torn])
+        assert store.cell_count() == 0
+        assert store.trial_records("k1") == ()
+        assert store.completed_keys("c") == set()
+        # The failed attempt leaves the store fully usable.
+        assert store.record_cell("c", "k1", {}, [good])
+
+    def test_schema_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "store.db"
+        ResultStore(path).close()
+        connection = sqlite3.connect(path)
+        with connection:
+            connection.execute("UPDATE meta SET value = '999' WHERE key = 'schema_version'")
+        connection.close()
+        with pytest.raises(ConfigurationError, match="schema version 999"):
+            ResultStore(path)
+
+    def test_campaign_reregistration_with_different_spec_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "store.db")
+        store.register_campaign("c", tiny_spec().to_json())
+        store.register_campaign("c", tiny_spec().to_json())  # same spec: no-op
+        with pytest.raises(ExperimentError, match="different spec"):
+            store.register_campaign("c", tiny_spec(max_rounds=9_999).to_json())
+
+    def test_empty_cell_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store.db")
+        with pytest.raises(ExperimentError, match="no trial records"):
+            store.record_cell("c", "k1", {}, [])
+
+
+class TestRunnerResume:
+    def test_one_shot_run_completes_every_cell(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store.db")
+        progress = CampaignRunner(spec, store).run()
+        assert progress.complete
+        assert (progress.total, progress.executed, progress.already_complete) == (4, 4, 0)
+        assert store.completed_keys() == {cell.key for cell in spec.cells()}
+
+    def test_interrupted_campaign_resumes_with_only_missing_cells(self, tmp_path, monkeypatch):
+        """The acceptance scenario: abort mid-way, rerun, get identical aggregates."""
+        spec = tiny_spec()
+
+        # One uninterrupted reference run.
+        reference_store = ResultStore(tmp_path / "reference.db")
+        CampaignRunner(spec, reference_store).run()
+
+        # The same campaign, aborted after 2 of 4 cells.
+        resumed_store = ResultStore(tmp_path / "resumed.db")
+        first = CampaignRunner(spec, resumed_store).run(max_cells=2)
+        assert not first.complete
+        assert (first.executed, first.remaining) == (2, 2)
+        assert resumed_store.cell_count() == 2
+
+        # The rerun must execute exactly the missing cells — count the actual
+        # trial batches, not just the reported progress.
+        executed_batches = []
+        import repro.campaigns.runner as runner_module
+        real_run_trials = runner_module.run_trials
+
+        def counting_run_trials(config, **kwargs):
+            executed_batches.append(config)
+            return real_run_trials(config, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_trials", counting_run_trials)
+        second = CampaignRunner(spec, resumed_store).run()
+        assert second.complete
+        assert (second.executed, second.already_complete) == (2, 2)
+        assert len(executed_batches) == 2
+
+        # And the final aggregates are identical to the uninterrupted run.
+        group_by = ("protocol", "participants", "node_count")
+        assert aggregate(resumed_store, spec.name, group_by=group_by) == aggregate(
+            reference_store, spec.name, group_by=group_by
+        )
+        for cell in spec.cells():
+            assert resumed_store.trial_records(cell.key) == reference_store.trial_records(cell.key)
+
+    def test_rerunning_a_complete_campaign_executes_nothing(self, tmp_path, monkeypatch):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store.db")
+        CampaignRunner(spec, store).run()
+
+        import repro.campaigns.runner as runner_module
+        def forbid(*args, **kwargs):  # pragma: no cover - only on regression
+            raise AssertionError("a complete campaign must not re-execute cells")
+
+        monkeypatch.setattr(runner_module, "run_trials", forbid)
+        progress = CampaignRunner(spec, store).run()
+        assert progress.complete
+        assert (progress.executed, progress.already_complete) == (0, 4)
+
+    def test_status_reports_completion_without_executing(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store.db")
+        runner = CampaignRunner(spec, store)
+        assert (runner.status().already_complete, runner.status().total) == (0, 4)
+        runner.run(max_cells=3)
+        status = runner.status()
+        assert (status.already_complete, status.remaining, status.total) == (3, 1, 4)
+
+    def test_overlapping_specs_share_cells(self, tmp_path):
+        """Two campaigns with a common sub-grid reuse each other's cells."""
+        store = ResultStore(tmp_path / "store.db")
+        CampaignRunner(tiny_spec(name="first", participants=(8,)), store).run()
+        progress = CampaignRunner(tiny_spec(name="second"), store).run()
+        # The (N=8) half of the 2×2 grid is shared with the first campaign.
+        assert (progress.total, progress.already_complete, progress.executed) == (4, 2, 2)
+        # Reused cells are *claimed*: the second campaign's own status,
+        # aggregates, and exports cover its full grid, not just what it ran.
+        assert store.cell_count("second") == 4
+        rows = aggregate(store, "second", group_by=("participants",))
+        assert [(row["participants"], row["trials"]) for row in rows] == [(8, 4), (16, 4)]
+
+    def test_identical_spec_under_new_name_reuses_everything(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store.db")
+        CampaignRunner(tiny_spec(name="first"), store).run()
+
+        import repro.campaigns.runner as runner_module
+        def forbid(*args, **kwargs):  # pragma: no cover - only on regression
+            raise AssertionError("a fully shared grid must not re-execute")
+
+        monkeypatch.setattr(runner_module, "run_trials", forbid)
+        progress = CampaignRunner(tiny_spec(name="twin"), store).run()
+        assert progress.complete and progress.executed == 0
+        assert aggregate(store, "twin") == aggregate(store, "first")
+
+    def test_unregistered_workload_fails_before_any_execution(self, tmp_path, monkeypatch):
+        spec = tiny_spec(workloads=("quiet_start", "quiet_stat"))
+        store = ResultStore(tmp_path / "store.db")
+
+        import repro.campaigns.runner as runner_module
+        def forbid(*args, **kwargs):  # pragma: no cover - only on regression
+            raise AssertionError("nothing may execute before workload validation")
+
+        monkeypatch.setattr(runner_module, "run_trials", forbid)
+        with pytest.raises(ConfigurationError, match="quiet_stat"):
+            CampaignRunner(spec, store).run()
+        assert store.cell_count() == 0
+
+
+class TestQuery:
+    def test_stored_summary_matches_live_trial_summary_exactly(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store.db")
+        CampaignRunner(spec, store).run()
+        for cell in spec.cells():
+            live = run_trials(cell.config(), seeds=cell.seeds)
+            stored = summary_for_cell(store, cell.key)
+            assert stored.trials == live.trials
+            assert stored.seeds == live.seeds
+            assert stored.latencies() == live.latencies()
+            assert stored.liveness_rate == live.liveness_rate
+            assert stored.agreement_rate == live.agreement_rate
+            assert stored.safety_rate == live.safety_rate
+            assert stored.unique_leader_rate == live.unique_leader_rate
+            assert stored.mean_latency == live.mean_latency
+            assert stored.median_latency == live.median_latency
+            assert stored.max_latency == live.max_latency
+            assert stored.percentile_latency(0.9) == live.percentile_latency(0.9)
+            assert stored.describe() == live.describe()
+
+    def test_aggregate_groups_and_pools_trials(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store.db")
+        CampaignRunner(spec, store).run()
+        rows = aggregate(store, spec.name, group_by=("participants",))
+        assert [row["participants"] for row in rows] == [8, 16]
+        # Each group pools two cells × two seeds.
+        assert all(row["trials"] == 4 for row in rows)
+        collapsed = aggregate(store, spec.name, group_by=("protocol",))
+        assert len(collapsed) == 1 and collapsed[0]["trials"] == 8
+
+    def test_aggregate_unknown_dimension_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "store.db")
+        with pytest.raises(ExperimentError, match="cannot group by"):
+            aggregate(store, group_by=("flavour",))
+
+    def test_aggregate_empty_store_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "store.db")
+        with pytest.raises(ExperimentError, match="no completed cells"):
+            aggregate(store)
+
+    def test_cell_rows_carry_grid_coordinates(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store.db")
+        CampaignRunner(spec, store).run()
+        rows = cell_rows(store, spec.name)
+        assert len(rows) == 4
+        assert {row["protocol"] for row in rows} == {"trapdoor"}
+        assert {row["participants"] for row in rows} == {8, 16}
+        assert all("p90_latency" in row and "liveness" in row for row in rows)
+
+    def test_export_writes_spec_cells_and_aggregates(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store.db")
+        CampaignRunner(spec, store).run()
+        path = export_campaign(store, spec.name, tmp_path / "out" / "export.json")
+        document = json.loads(path.read_text())
+        assert document["campaign"] == spec.name
+        assert document["spec"]["participants"] == [8, 16]
+        assert len(document["cells"]) == 4
+        assert document["aggregates"][0]["trials"] == 8
+
+
+class TestHarnessStorePath:
+    @staticmethod
+    def points():
+        params = ModelParameters(frequencies=4, disruption_budget=1, participant_bound=8)
+        workload = quiet_start(2)
+        return [
+            SweepPoint(
+                label=f"N={n}",
+                params=ModelParameters(4, 1, n),
+                protocol_factory=TrapdoorProtocol.factory(),
+                activation=workload.activation,
+                adversary=workload.adversary,
+                max_rounds=5_000,
+                metadata={"N": n},
+            )
+            for n in (8, 16)
+        ], params
+
+    def test_store_backed_sweep_records_then_reads_back(self, tmp_path, monkeypatch):
+        points, _ = self.points()
+        store = ResultStore(tmp_path / "sweep.db")
+        harness = ExperimentHarness(seeds=2)
+        live = harness.run_sweep(points, store=store, campaign="sweep")
+        assert store.cell_count("sweep") == 2
+
+        # Second run: nothing executes, summaries come from the store and
+        # carry identical statistics (so .row() feeds the same tables).
+        def forbid(point):  # pragma: no cover - only on regression
+            raise AssertionError("a stored point must not re-execute")
+
+        monkeypatch.setattr(harness, "run_point", forbid)
+        stored = harness.run_sweep(points, store=store, campaign="sweep")
+        assert all(isinstance(result.summary, StoredSummary) for result in stored)
+        assert [result.row() for result in stored] == [result.row() for result in live]
+        assert harness.latencies(stored) == harness.latencies(live)
+
+    def test_point_keys_distinguish_configurations(self):
+        points, _ = self.points()
+        harness = ExperimentHarness(seeds=2)
+        assert harness.point_key(points[0]) != harness.point_key(points[1])
+        assert harness.point_key(points[0]) == ExperimentHarness(seeds=2).point_key(points[0])
+        assert harness.point_key(points[0]) != ExperimentHarness(seeds=3).point_key(points[0])
+
+    def test_closure_factory_rejected_for_store_path(self, tmp_path):
+        points, _ = self.points()
+        bad = SweepPoint(
+            label="closure",
+            params=points[0].params,
+            protocol_factory=lambda context: TrapdoorProtocol(context),
+            activation=points[0].activation,
+            adversary=points[0].adversary,
+        )
+        harness = ExperimentHarness(seeds=2)
+        with pytest.raises(ExperimentError, match="no stable identity"):
+            harness.run_sweep([bad], store=ResultStore(tmp_path / "s.db"))
+        # Without a store the closure factory keeps working as before.
+        assert harness.run_sweep([bad])[0].summary.trials == 2
+
+    def test_config_hook_rejected_for_store_path(self, tmp_path):
+        points, _ = self.points()
+        harness = ExperimentHarness(seeds=2, config_hook=lambda config, seed: config)
+        with pytest.raises(ExperimentError, match="config_hook"):
+            harness.run_sweep(points, store=ResultStore(tmp_path / "s.db"))

@@ -163,6 +163,25 @@ class TestTraceLevelAndTrials:
                 cell.strip() for cell in sampled_cells
             ]
 
+    def test_trials_json_export(self, tmp_path, capsys):
+        json_path = tmp_path / "trials.json"
+        exit_code = main(
+            [
+                "trials",
+                "-N", "32", "--nodes", "4", "--workload", "quiet_start",
+                "--trials", "3", "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        assert "wrote JSON summary" in capsys.readouterr().out
+        data = json.loads(json_path.read_text())
+        assert data["trials"] == 3
+        assert data["seeds"] == [0, 1, 2]
+        assert data["statistics"]["liveness_rate"] == 1.0
+        assert data["statistics"]["p90_latency"] is not None
+        assert len(data["results"]) == 3
+        assert all(row["synchronized"] for row in data["results"])
+
     def test_trials_command_prints_batch_statistics(self, capsys):
         exit_code = main(
             [
@@ -183,3 +202,53 @@ class TestTraceLevelAndTrials:
         assert exit_code == 0
         assert "Batch statistics" in output
         assert "p90 latency" in output
+
+
+class TestCampaignCommands:
+    GRID = [
+        "--protocols", "trapdoor", "--workloads", "quiet_start",
+        "-F", "4", "-t", "1", "-N", "8", "--node-counts", "2,3",
+        "--seeds", "2", "--max-rounds", "5000",
+    ]
+
+    def test_run_status_export_walkthrough(self, tmp_path, capsys):
+        store = str(tmp_path / "campaign.db")
+        export = str(tmp_path / "export.json")
+
+        assert main(["campaign", "run", "--store", store, "--name", "demo", *self.GRID]) == 0
+        output = capsys.readouterr().out
+        assert "2/2 cells complete (2 executed now, 0 reused, 0 remaining)" in output
+        assert "aggregate by protocol × workload" in output
+
+        assert main(["campaign", "status", "--store", store]) == 0
+        assert "2/2" in capsys.readouterr().out
+
+        assert main([
+            "campaign", "export", "--store", store, "--name", "demo",
+            "--output", export, "--group-by", "protocol,node_count",
+        ]) == 0
+        assert "wrote campaign export" in capsys.readouterr().out
+        document = json.loads((tmp_path / "export.json").read_text())
+        assert document["campaign"] == "demo"
+        assert len(document["cells"]) == 2
+        assert [row["node_count"] for row in document["aggregates"]] == [2, 3]
+
+    def test_run_resumes_after_capped_invocation(self, tmp_path, capsys):
+        store = str(tmp_path / "campaign.db")
+        args = ["campaign", "run", "--store", store, "--name", "demo", *self.GRID]
+
+        assert main([*args, "--max-cells", "1"]) == 0
+        first = capsys.readouterr().out
+        assert "1/2 cells complete (1 executed now, 0 reused, 1 remaining)" in first
+
+        assert main(["campaign", "status", "--store", store, "--name", "demo"]) == 0
+        assert "1/2" in capsys.readouterr().out
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "1 cells already complete" in second
+        assert "2/2 cells complete (1 executed now, 1 reused, 0 remaining)" in second
+
+    def test_status_on_empty_store_fails(self, tmp_path, capsys):
+        assert main(["campaign", "status", "--store", str(tmp_path / "empty.db")]) == 1
+        assert "no campaigns" in capsys.readouterr().out
