@@ -28,12 +28,14 @@ Quick start::
 from repro.adversary import (
     ActivationSchedule,
     BurstyJammer,
+    CyclicObliviousSchedule,
     ExplicitActivation,
     FixedBandJammer,
     InterferenceAdversary,
     LowBandJammer,
     NoInterference,
     ObliviousSchedule,
+    PolicyJammer,
     RandomActivation,
     RandomJammer,
     ReactiveJammer,
@@ -77,6 +79,12 @@ from repro.exceptions import (
     SimulationError,
 )
 from repro.params import ModelParameters
+from repro.search import (
+    SearchObjective,
+    SearchSpec,
+    StrategySearch,
+    StrategySpace,
+)
 from repro.protocols import (
     DecayWakeupProtocol,
     FaultTolerantTrapdoorProtocol,
@@ -99,12 +107,14 @@ __version__ = "1.0.0"
 __all__ = [
     "ActivationSchedule",
     "BurstyJammer",
+    "CyclicObliviousSchedule",
     "ExplicitActivation",
     "FixedBandJammer",
     "InterferenceAdversary",
     "LowBandJammer",
     "NoInterference",
     "ObliviousSchedule",
+    "PolicyJammer",
     "RandomActivation",
     "RandomJammer",
     "ReactiveJammer",
@@ -139,6 +149,10 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "ModelParameters",
+    "SearchObjective",
+    "SearchSpec",
+    "StrategySearch",
+    "StrategySpace",
     "DecayWakeupProtocol",
     "FaultTolerantTrapdoorProtocol",
     "GoodSamaritanConfig",

@@ -19,7 +19,9 @@ from repro.adversary.jammers import (
     SweepJammer,
     TwoNodeProductJammer,
 )
-from repro.adversary.oblivious import ObliviousSchedule
+from repro.adversary.oblivious import CyclicObliviousSchedule, ObliviousSchedule
+from repro.adversary.policy import POLICY_ACTIONS, PolicyJammer
+from repro.adversary.registry import ADVERSARY_FACTORIES
 
 __all__ = [
     "ActivationSchedule",
@@ -39,5 +41,9 @@ __all__ = [
     "ReactiveJammer",
     "SweepJammer",
     "TwoNodeProductJammer",
+    "ADVERSARY_FACTORIES",
+    "CyclicObliviousSchedule",
     "ObliviousSchedule",
+    "POLICY_ACTIONS",
+    "PolicyJammer",
 ]

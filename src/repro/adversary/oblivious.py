@@ -60,7 +60,12 @@ class ObliviousSchedule(InterferenceAdversary):
         digest = hashlib.sha256()
         for entry in self._schedule:
             digest.update(repr(sorted(entry)).encode("utf-8"))
-        return f"ObliviousSchedule[{len(self._schedule)}]:{digest.hexdigest()[:16]}"
+        return f"{type(self).__qualname__}[{len(self._schedule)}]:{digest.hexdigest()[:16]}"
+
+    @property
+    def schedule(self) -> tuple[frozenset[Frequency], ...]:
+        """The pre-committed per-round disruption sets."""
+        return self._schedule
 
     @classmethod
     def pre_drawn(
@@ -106,3 +111,27 @@ class ObliviousSchedule(InterferenceAdversary):
             )
             schedule.append(inner.choose_disruption(context))
         return cls(schedule)
+
+
+class CyclicObliviousSchedule(ObliviousSchedule):
+    """An oblivious adversary that replays a fixed schedule *cyclically*.
+
+    Where :class:`ObliviousSchedule` repeats its final entry forever, this
+    variant wraps around — round ``r`` plays entry ``(r − 1) mod period`` — so
+    a short periodic disruption pattern covers executions of any length.  This
+    is the decoded form of the strategy search's bounded oblivious genomes
+    (:class:`repro.search.space.ObliviousGenome`): the genome stores one
+    period, the decoded adversary tiles it over the whole execution.
+
+    The content-digest :meth:`~ObliviousSchedule.identity` is inherited; it
+    already distinguishes the cyclic class from the truncating one because it
+    embeds the concrete class name.
+    """
+
+    def choose_disruption(self, context: AdversaryContext) -> frozenset[Frequency]:
+        if not self._schedule:
+            return frozenset()
+        return self._schedule[(context.global_round - 1) % len(self._schedule)]
+
+    def describe(self) -> str:
+        return f"cyclic oblivious schedule (period {len(self._schedule)})"

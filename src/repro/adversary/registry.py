@@ -1,0 +1,77 @@
+"""The named adversary registry.
+
+The CLI, the campaign subsystem, and the adversarial strategy search all refer
+to interference adversaries by short names ("random", "sweep", "reactive",
+...).  This registry is the one place those names are bound to constructors —
+mirroring :mod:`repro.protocols.registry` — so a jammer name means the same
+adversary everywhere and a content-hashed store key derived from a name is
+stable across subsystems.
+
+Each registry value is a callable returning a *fresh* adversary; parametric
+jammers accept their dataclass fields as keyword overrides through
+:func:`resolve` (e.g. ``resolve("sweep", step=2)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.adversary.base import InterferenceAdversary
+from repro.adversary.jammers import (
+    BurstyJammer,
+    FixedBandJammer,
+    LowBandJammer,
+    NoInterference,
+    RandomJammer,
+    ReactiveJammer,
+    SweepJammer,
+    TwoNodeProductJammer,
+)
+from repro.exceptions import ConfigurationError
+
+#: name -> constructor of a fresh adversary (keyword overrides allowed).
+ADVERSARY_FACTORIES: dict[str, Callable[..., InterferenceAdversary]] = {
+    "none": NoInterference,
+    "random": RandomJammer,
+    "fixed-band": FixedBandJammer,
+    "sweep": SweepJammer,
+    "bursty": BurstyJammer,
+    "reactive": ReactiveJammer,
+    "low-band": LowBandJammer,
+    "two-node-product": TwoNodeProductJammer,
+}
+
+
+def names() -> tuple[str, ...]:
+    """All registered adversary names, sorted."""
+    return tuple(sorted(ADVERSARY_FACTORIES))
+
+
+def resolve(name: str, **overrides: object) -> InterferenceAdversary:
+    """Build a fresh adversary for a registered name.
+
+    Parameters
+    ----------
+    name:
+        A registered adversary name.
+    overrides:
+        Optional constructor keyword arguments (e.g. ``step=2`` for the sweep
+        jammer).  Unknown keywords raise ``TypeError``, exactly as direct
+        construction would.
+    """
+    try:
+        factory = ADVERSARY_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(names())
+        raise ConfigurationError(f"unknown adversary {name!r}; known: {known}") from None
+    return factory(**overrides)
+
+
+def register(name: str, factory: Callable[..., InterferenceAdversary]) -> None:
+    """Register (or overwrite) a named adversary constructor.
+
+    The name becomes part of content-hashed store keys wherever it is used, so
+    a name must always mean the same behaviour — overwriting is only safe
+    while no store holds results recorded under it.
+    """
+    ADVERSARY_FACTORIES[name] = factory

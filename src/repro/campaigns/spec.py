@@ -15,12 +15,14 @@ runner's resume logic exact.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.adversary.registry import resolve as resolve_adversary
 from repro.engine.simulator import SimulationConfig
 from repro.exceptions import ConfigurationError
 from repro.experiments.workloads import SIMPLE_WORKLOADS, Workload
@@ -43,6 +45,36 @@ CAMPAIGN_WORKLOADS: dict[str, Callable[[int], Workload]] = dict(SIMPLE_WORKLOADS
 def register_workload(name: str, factory: Callable[[int], Workload]) -> None:
     """Register (or overwrite) a named workload for campaign use."""
     CAMPAIGN_WORKLOADS[name] = factory
+
+
+def workload_with_adversary(base: str, adversary_name: str) -> str:
+    """Register and return the derived workload ``"{base}@{adversary}"``.
+
+    The derived workload keeps ``base``'s activation pattern but swaps its
+    interference for the named adversary from the shared
+    :mod:`adversary registry <repro.adversary.registry>`.  The mapping from
+    derived name to behaviour is deterministic, so the name is safe to use in
+    content-hashed cell keys: any process that re-derives it (e.g. a resumed
+    ``campaign run --jammers`` invocation) re-registers the same scenario.
+    Registration is idempotent.
+    """
+    if base not in CAMPAIGN_WORKLOADS:
+        known = ", ".join(sorted(CAMPAIGN_WORKLOADS))
+        raise ConfigurationError(f"unknown workload {base!r}; known: {known}")
+    adversary = resolve_adversary(adversary_name)  # fail fast on unknown names
+    name = f"{base}@{adversary_name}"
+
+    def factory(node_count: int) -> Workload:
+        base_workload = CAMPAIGN_WORKLOADS[base](node_count)
+        return dataclasses.replace(
+            base_workload,
+            name=name,
+            adversary=resolve_adversary(adversary_name),
+            description=f"{base_workload.description}; adversary overridden: {adversary.describe()}",
+        )
+
+    register_workload(name, factory)
+    return name
 
 
 def resolve_workload(name: str, node_count: int) -> Workload:

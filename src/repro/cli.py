@@ -10,7 +10,12 @@ paper artefact inspected, without writing Python:
   distributional summary;
 * ``python -m repro campaign run|status|export`` — declare a persistent sweep
   grid, execute only its missing cells into an SQLite result store (resumable
-  after interrupts), inspect completion, and export grouped aggregates;
+  after interrupts), inspect completion (``status --json`` for scripts), and
+  export grouped aggregates;
+* ``python -m repro search run|status|export`` — hunt worst-case interference
+  strategies for a pinned configuration with a seeded optimizer, checkpointing
+  every evaluation into the result store (kill and re-run to resume exactly),
+  and export the best-found strategy as JSON;
 * ``python -m repro schedule`` — print the Figure 1 / Figure 2 schedule for a
   parameter point;
 * ``python -m repro experiments`` — list the registered paper artefacts and
@@ -22,19 +27,12 @@ paper artefact inspected, without writing Python:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from typing import Sequence
 
-from repro.adversary.jammers import (
-    BurstyJammer,
-    FixedBandJammer,
-    LowBandJammer,
-    NoInterference,
-    RandomJammer,
-    ReactiveJammer,
-    SweepJammer,
-)
+from repro.adversary.registry import ADVERSARY_FACTORIES
 from repro.analysis.bounds import (
     good_samaritan_adaptive_bound,
     good_samaritan_worst_case_bound,
@@ -45,7 +43,7 @@ from repro.analysis.bounds import (
 )
 from repro.campaigns.query import aggregate, export_campaign
 from repro.campaigns.runner import CampaignRunner
-from repro.campaigns.spec import CAMPAIGN_WORKLOADS, CampaignSpec
+from repro.campaigns.spec import CAMPAIGN_WORKLOADS, CampaignSpec, workload_with_adversary
 from repro.campaigns.store import ResultStore
 from repro.engine.observers import TraceLevel
 from repro.engine.runner import run_trials
@@ -58,20 +56,18 @@ from repro.params import ModelParameters
 from repro.protocols.good_samaritan.schedule import GoodSamaritanSchedule
 from repro.protocols.registry import PROTOCOL_FACTORIES
 from repro.protocols.trapdoor.epochs import TrapdoorSchedule
+from repro.search.checkpoint import SearchSpec, is_search_spec_json
+from repro.search.objective import OBJECTIVE_METRICS, SearchObjective
+from repro.search.optimizers import OPTIMIZERS
+from repro.search.runner import StrategySearch, export_search, search_status
 
 #: The named protocol registry the scenario options draw from (shared with the
 #: campaign subsystem, so a protocol name means the same thing everywhere).
 PROTOCOLS = PROTOCOL_FACTORIES
 
-JAMMERS = {
-    "none": NoInterference,
-    "random": RandomJammer,
-    "fixed-band": FixedBandJammer,
-    "sweep": SweepJammer,
-    "bursty": BurstyJammer,
-    "reactive": ReactiveJammer,
-    "low-band": LowBandJammer,
-}
+#: The named adversary registry (shared with campaigns and the strategy
+#: search, so a jammer name means the same adversary everywhere).
+JAMMERS = ADVERSARY_FACTORIES
 
 
 def _name_list(text: str) -> tuple[str, ...]:
@@ -159,6 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated protocol names")
     camp_run.add_argument("--workloads", type=_name_list, default=("crowded_cafe",),
                           help="comma-separated workload names")
+    camp_run.add_argument("--jammers", type=_name_list, default=None,
+                          help="cross every workload with these registered jammers "
+                               "(derived workloads 'workload@jammer')")
     camp_run.add_argument("--frequencies", "-F", type=_int_list, default=(8,),
                           help="comma-separated F values")
     camp_run.add_argument("--budgets", "-t", type=_int_list, default=(3,),
@@ -178,6 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
     camp_status.add_argument("--store", required=True)
     camp_status.add_argument("--name", default=None,
                              help="one campaign (default: every campaign in the store)")
+    camp_status.add_argument("--json", action="store_true",
+                             help="machine-readable output for CI and scripts")
 
     camp_export = campaign_sub.add_parser(
         "export", help="export a campaign's cells and aggregates as JSON"
@@ -187,6 +188,58 @@ def build_parser() -> argparse.ArgumentParser:
     camp_export.add_argument("--output", required=True, help="JSON file to write")
     camp_export.add_argument("--group-by", type=_name_list, default=("protocol", "workload"),
                              help="comma-separated grid dimensions to aggregate over")
+
+    search = sub.add_parser(
+        "search", help="hunt worst-case interference strategies for a pinned configuration"
+    )
+    search_sub = search.add_subparsers(dest="search_command", required=True)
+
+    srch_run = search_sub.add_parser(
+        "run", help="run (or resume) an adversarial strategy search into a store"
+    )
+    srch_run.add_argument("--store", required=True, help="SQLite result store path")
+    srch_run.add_argument("--name", default="search", help="search name in the store")
+    srch_run.add_argument("--protocol", choices=sorted(PROTOCOLS), default="trapdoor")
+    srch_run.add_argument("--workload", choices=sorted(CAMPAIGN_WORKLOADS), default="quiet_start",
+                          help="activation pattern (its adversary is overridden by candidates)")
+    srch_run.add_argument("--frequencies", "-F", type=int, default=8)
+    srch_run.add_argument("--budget", "-t", type=int, default=3)
+    srch_run.add_argument("--participants", "-N", type=int, default=64)
+    srch_run.add_argument("--nodes", "-n", type=int, default=8,
+                          help="number of activated devices")
+    srch_run.add_argument("--seeds", type=int, default=5, help="seeds per candidate (0 .. k-1)")
+    srch_run.add_argument("--max-rounds", type=int, default=20_000)
+    srch_run.add_argument("--metric", choices=OBJECTIVE_METRICS, default="median_latency",
+                          help="objective the search maximizes")
+    srch_run.add_argument("--optimizer", choices=sorted(OPTIMIZERS), default="hill-climb")
+    srch_run.add_argument("--population", type=int, default=8,
+                          help="candidates per optimizer generation")
+    srch_run.add_argument("--generations", type=int, default=4,
+                          help="optimizer generations after the warm start")
+    srch_run.add_argument("--master-seed", type=int, default=0,
+                          help="the one seed all proposal randomness derives from")
+    srch_run.add_argument("--no-warm-start", action="store_true",
+                          help="skip seeding generation 0 with the hand-written jammers")
+    srch_run.add_argument("--workers", type=int, default=1,
+                          help="worker processes per candidate's seed batch (1 = serial)")
+    srch_run.add_argument("--max-evaluations", type=int, default=None,
+                          help="cap on live evaluations this invocation (resume later)")
+
+    srch_status = search_sub.add_parser("status", help="report a stored search's progress")
+    srch_status.add_argument("--store", required=True)
+    srch_status.add_argument("--name", default=None,
+                             help="one search (default: every search in the store)")
+    srch_status.add_argument("--json", action="store_true",
+                             help="machine-readable output for CI and scripts")
+
+    srch_export = search_sub.add_parser(
+        "export", help="export the best-found strategies as JSON"
+    )
+    srch_export.add_argument("--store", required=True)
+    srch_export.add_argument("--name", default="search")
+    srch_export.add_argument("--output", required=True, help="JSON file to write")
+    srch_export.add_argument("--top", type=int, default=10,
+                             help="how many top strategies to include")
 
     sched = sub.add_parser("schedule", help="print the Trapdoor / Good Samaritan schedule")
     sched.add_argument("--protocol", choices=["trapdoor", "good-samaritan"], default="trapdoor")
@@ -309,10 +362,17 @@ def _command_campaign(args: argparse.Namespace) -> int:
 
 
 def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
+    workloads = args.workloads
+    if args.jammers:
+        workloads = tuple(
+            workload_with_adversary(base, jammer)
+            for base in args.workloads
+            for jammer in args.jammers
+        )
     spec = CampaignSpec(
         name=args.name,
         protocols=args.protocols,
-        workloads=args.workloads,
+        workloads=workloads,
         frequencies=args.frequencies,
         budgets=args.budgets,
         participants=args.participants,
@@ -344,25 +404,35 @@ def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
 def _campaign_status(args: argparse.Namespace, store: ResultStore) -> int:
     names = [args.name] if args.name else store.campaign_names()
     if not names:
-        print(f"store {store.path} holds no campaigns")
+        if args.json:
+            print(json.dumps({"store": store.path, "campaigns": []}))
+        else:
+            print(f"store {store.path} holds no campaigns")
         return 1
-    rows = []
+    entries = []
     for name in names:
         spec_json = store.spec_json_for(name)
         completed = store.cell_count(name)
-        if spec_json is None:
-            # Store-backed harness sweeps have no declarative grid to diff
-            # against; report what has been recorded.
-            rows.append({"campaign": name, "completed": completed, "total": "-", "done": "-"})
-            continue
-        spec = CampaignSpec.from_json(spec_json)
-        total = len(spec.cells())
-        rows.append({
-            "campaign": name,
-            "completed": completed,
-            "total": total,
-            "done": f"{completed}/{total}",
-        })
+        total = None
+        if spec_json is not None and not is_search_spec_json(spec_json):
+            # Store-backed harness sweeps and adversary searches have no
+            # declarative grid to diff against; report what has been recorded.
+            total = len(CampaignSpec.from_json(spec_json).cells())
+        entries.append({"campaign": name, "completed": completed, "total": total})
+    if args.json:
+        print(json.dumps({"store": store.path, "campaigns": entries}, indent=2))
+        return 0
+    rows = [
+        {
+            "campaign": entry["campaign"],
+            "completed": entry["completed"],
+            "total": entry["total"] if entry["total"] is not None else "-",
+            "done": (
+                f"{entry['completed']}/{entry['total']}" if entry["total"] is not None else "-"
+            ),
+        }
+        for entry in entries
+    ]
     print(render_table(rows, title=f"Campaign status — {store.path}"))
     return 0
 
@@ -375,6 +445,99 @@ def _campaign_export(args: argparse.Namespace, store: ResultStore) -> int:
         float_digits=1,
     ))
     print(f"\nwrote campaign export to {path}")
+    return 0
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _search_run,
+        "status": _search_status,
+        "export": _search_export,
+    }
+    with ResultStore(args.store) as store:
+        return handlers[args.search_command](args, store)
+
+
+def _search_run(args: argparse.Namespace, store: ResultStore) -> int:
+    objective = SearchObjective(
+        protocol=args.protocol,
+        workload=args.workload,
+        frequencies=args.frequencies,
+        budget=args.budget,
+        participants=args.participants,
+        node_count=args.nodes,
+        seeds=args.seeds,
+        max_rounds=args.max_rounds,
+        metric=args.metric,
+    )
+    spec = SearchSpec(
+        name=args.name,
+        objective=objective,
+        optimizer=args.optimizer,
+        population=args.population,
+        generations=args.generations,
+        master_seed=args.master_seed,
+        warm_start=not args.no_warm_start,
+    )
+    search = StrategySearch(spec, store, workers=args.workers)
+    print(f"search    : {spec.name} (store {store.path})")
+    print(f"objective : {objective.describe()}")
+    print(f"optimizer : {spec.optimizer}, population {spec.population}, "
+          f"{spec.generations} generation(s), master seed {spec.master_seed}")
+    print(f"resume    : {store.cell_count(spec.name)} evaluation(s) already stored")
+
+    def report(outcome):
+        source = "cached" if outcome.reused else "evaluated"
+        print(f"  [gen {outcome.generation}] {outcome.genome.describe():<42} "
+              f"score {outcome.score:>10.1f}  ({source}, {outcome.key})")
+
+    result = search.run(max_evaluations=args.max_evaluations, on_candidate=report)
+    print(f"progress  : {result.describe()}")
+    if result.best is not None:
+        print(f"best      : {result.best.genome.describe()} "
+              f"(score {result.best.score:g}, key {result.best.key})")
+    return 0
+
+
+def _search_status(args: argparse.Namespace, store: ResultStore) -> int:
+    if args.name:
+        names = [args.name]
+    else:
+        names = [
+            name for name in store.campaign_names()
+            if is_search_spec_json(store.spec_json_for(name))
+        ]
+    if not names:
+        if args.json:
+            print(json.dumps({"store": store.path, "searches": []}))
+        else:
+            print(f"store {store.path} holds no searches")
+        return 1
+    entries = [search_status(store, name) for name in names]
+    if args.json:
+        print(json.dumps({"store": store.path, "searches": entries}, indent=2))
+        return 0
+    rows = [
+        {
+            "search": entry["search"],
+            "optimizer": entry["optimizer"],
+            "metric": entry["metric"],
+            "evaluations": entry["evaluations"],
+            "best_score": entry["best_score"],
+            "best_strategy": entry["best_strategy"] or "-",
+        }
+        for entry in entries
+    ]
+    print(render_table(rows, title=f"Search status — {store.path}", float_digits=1))
+    return 0
+
+
+def _search_export(args: argparse.Namespace, store: ResultStore) -> int:
+    path = export_search(store, args.name, args.output, top=args.top)
+    status = search_status(store, args.name)
+    print(f"search    : {args.name} ({status['evaluations']} evaluations)")
+    print(f"best      : {status['best_strategy']} (score {status['best_score']:g})")
+    print(f"\nwrote search export to {path}")
     return 0
 
 
@@ -437,6 +600,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _command_simulate,
         "trials": _command_trials,
         "campaign": _command_campaign,
+        "search": _command_search,
         "schedule": _command_schedule,
         "experiments": _command_experiments,
         "bounds": _command_bounds,

@@ -126,6 +126,13 @@ EXPERIMENTS: tuple[ExperimentSpec, ...] = (
         benchmark_module="benchmarks/test_ablation_final_epoch.py",
         modules=("repro.protocols.trapdoor.config",),
     ),
+    ExperimentSpec(
+        identifier="searched_adversary",
+        paper_artefact="Worst-case adversary quantifier (Theorems 1, 10, 18)",
+        claim="Machine-searched disruption strategies are at least as strong as every hand-written jammer",
+        benchmark_module="benchmarks/test_searched_adversary.py",
+        modules=("repro.search.space", "repro.search.optimizers", "repro.search.runner"),
+    ),
 )
 
 

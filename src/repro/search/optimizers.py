@@ -1,0 +1,298 @@
+"""Search optimizers: deterministic ask/tell strategy proposers.
+
+Every optimizer follows the same protocol.  The driver calls
+:meth:`StrategyOptimizer.ask` to get generation ``g``'s candidate genomes,
+evaluates them (deduplicating against the checkpoint store), and feeds the
+scored outcomes back through :meth:`StrategyOptimizer.tell`.  Three
+properties make search runs exactly reproducible and resumable:
+
+* **one master seed** — all randomness flows through per-``(generation,
+  candidate)`` streams derived by hashing the master seed, never through
+  shared mutable RNG state, so proposals do not depend on how many
+  evaluations were served from cache;
+* **generation 0 is the warm start** — when enabled, every optimizer's first
+  generation is the registry of hand-written jammers
+  (:meth:`~repro.search.space.StrategySpace.warm_start`), so the best-found
+  strategy can never be worse than the best hand-written one;
+* **state is a pure function of told outcomes** — resuming replays the
+  stored evaluations through ``tell`` and lands in exactly the state an
+  uninterrupted run would have.
+
+Optimizers:
+
+* :class:`RandomSearch` — a fresh sample of the space every generation.
+* :class:`HillClimb` — (1+λ): λ mutations of the best genome told so far.
+* :class:`CrossEntropyMethod` — per-(slot, frequency) inclusion
+  probabilities over fixed-period oblivious schedules, updated towards the
+  elite fraction each generation.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import ClassVar, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.search.space import ObliviousGenome, StrategyGenome, StrategySpace
+
+
+def derived_rng(master_seed: int, *tags: object) -> random.Random:
+    """A dedicated random stream derived from the master seed and a tag path.
+
+    Hashing (rather than offsetting) the seed keeps streams independent and
+    makes each proposal a function of *which* candidate it is, not of how
+    many RNG draws earlier candidates consumed.
+    """
+    text = ":".join(str(part) for part in (master_seed, *tags))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One scored candidate, as fed back to the optimizer.
+
+    Attributes
+    ----------
+    genome:
+        The candidate strategy.
+    key:
+        Its content-hashed checkpoint key.
+    score:
+        The objective score (higher = more disruptive).
+    generation:
+        The generation the candidate was proposed in.
+    index:
+        Its position within the generation.
+    reused:
+        Whether the evaluation was served from the checkpoint store.
+    """
+
+    genome: StrategyGenome
+    key: str
+    score: float
+    generation: int
+    index: int
+    reused: bool = False
+
+
+class StrategyOptimizer(abc.ABC):
+    """Base class: binds a space + master seed, handles the warm start."""
+
+    #: Registry name of the optimizer (part of the persisted search spec).
+    name: ClassVar[str]
+
+    def __init__(self, population: int = 8) -> None:
+        if population < 1:
+            raise ConfigurationError(f"population must be positive, got {population}")
+        self._population = population
+        self._space: StrategySpace | None = None
+        self._master_seed = 0
+        self._warm_start = True
+
+    @property
+    def population(self) -> int:
+        """Candidates proposed per (post-warm-start) generation."""
+        return self._population
+
+    def bind(self, space: StrategySpace, master_seed: int, warm_start: bool = True) -> None:
+        """Attach the space and master seed before the first ``ask``."""
+        self._space = space
+        self._master_seed = master_seed
+        self._warm_start = warm_start
+
+    @property
+    def space(self) -> StrategySpace:
+        if self._space is None:
+            raise ConfigurationError("optimizer must be bound to a space before use")
+        return self._space
+
+    def rng(self, *tags: object) -> random.Random:
+        """A per-tag random stream under this optimizer's master seed."""
+        return derived_rng(self._master_seed, self.name, *tags)
+
+    def ask(self, generation: int) -> list[StrategyGenome]:
+        """Generation ``g``'s candidates (generation 0 = warm start, if enabled)."""
+        if generation == 0 and self._warm_start:
+            return self.space.warm_start()
+        return self._ask(generation)
+
+    def tell(self, generation: int, outcomes: Sequence[CandidateOutcome]) -> None:
+        """Feed a completed generation's scores back into the optimizer."""
+        self._tell(generation, outcomes)
+
+    @abc.abstractmethod
+    def _ask(self, generation: int) -> list[StrategyGenome]:
+        """Propose a non-warm-start generation."""
+
+    def _tell(self, generation: int, outcomes: Sequence[CandidateOutcome]) -> None:
+        """Default: stateless — subclasses override to learn from scores."""
+
+
+class RandomSearch(StrategyOptimizer):
+    """Pure random search: every generation is a fresh sample of the space."""
+
+    name = "random"
+
+    def _ask(self, generation: int) -> list[StrategyGenome]:
+        return [
+            self.space.sample(self.rng(generation, index))
+            for index in range(self._population)
+        ]
+
+
+class HillClimb(StrategyOptimizer):
+    """(1+λ) hill-climbing from the best genome told so far.
+
+    Ties keep the incumbent (strict improvement replaces it), so the climb is
+    deterministic regardless of proposal order quirks.
+    """
+
+    name = "hill-climb"
+
+    def __init__(self, population: int = 8) -> None:
+        super().__init__(population)
+        self._best: CandidateOutcome | None = None
+
+    @property
+    def best(self) -> CandidateOutcome | None:
+        """The incumbent the next generation mutates (None before any tell)."""
+        return self._best
+
+    def _ask(self, generation: int) -> list[StrategyGenome]:
+        if self._best is None:
+            # Nothing told yet (warm start disabled): explore randomly.
+            return [
+                self.space.sample(self.rng(generation, index))
+                for index in range(self._population)
+            ]
+        return [
+            self.space.mutate(self._best.genome, self.rng(generation, index))
+            for index in range(self._population)
+        ]
+
+    def _tell(self, generation: int, outcomes: Sequence[CandidateOutcome]) -> None:
+        for outcome in outcomes:
+            if self._best is None or outcome.score > self._best.score:
+                self._best = outcome
+
+
+class CrossEntropyMethod(StrategyOptimizer):
+    """Cross-entropy over fixed-period oblivious schedules.
+
+    The distribution is one inclusion probability per (period slot,
+    frequency).  Each generation samples exactly-``t``-sized disruption sets
+    slot by slot (weighted, without replacement), then shifts the
+    probabilities towards the frequency-inclusion rates of the elite
+    fraction.  Genomes from other families (e.g. the warm start) are ignored
+    by the update but still compete for best-found in the driver.
+    """
+
+    name = "cross-entropy"
+
+    def __init__(
+        self,
+        population: int = 8,
+        elite_fraction: float = 0.25,
+        smoothing: float = 0.7,
+    ) -> None:
+        super().__init__(population)
+        if not 0.0 < elite_fraction <= 1.0:
+            raise ConfigurationError(f"elite_fraction must be in (0, 1], got {elite_fraction}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(f"smoothing must be in (0, 1], got {smoothing}")
+        self._elite_fraction = elite_fraction
+        self._smoothing = smoothing
+        self._probabilities: list[list[float]] | None = None
+
+    def _ensure_probabilities(self) -> list[list[float]]:
+        if self._probabilities is None:
+            params = self.space.params
+            initial = min(0.95, max(0.05, params.disruption_budget / params.frequencies))
+            self._probabilities = [
+                [initial] * params.frequencies for _ in range(self.space.cem_period)
+            ]
+        return self._probabilities
+
+    @property
+    def probabilities(self) -> list[list[float]]:
+        """The current per-(slot, frequency) inclusion probabilities."""
+        return [row[:] for row in self._ensure_probabilities()]
+
+    def _sample_slot(self, probabilities: list[float], rng: random.Random) -> tuple[int, ...]:
+        """Weighted sampling of exactly ``t`` distinct frequencies for one slot."""
+        budget = self.space.params.disruption_budget
+        remaining = {
+            frequency: max(probabilities[frequency - 1], 1e-9)
+            for frequency in self.space.params.band.all_frequencies()
+        }
+        chosen: list[int] = []
+        while remaining and len(chosen) < budget:
+            total = sum(remaining.values())
+            target = rng.random() * total
+            cumulative = 0.0
+            picked = None
+            for frequency in sorted(remaining):
+                cumulative += remaining[frequency]
+                if cumulative >= target:
+                    picked = frequency
+                    break
+            if picked is None:  # numeric edge: take the last one
+                picked = max(remaining)
+            chosen.append(picked)
+            del remaining[picked]
+        return tuple(sorted(chosen))
+
+    def _ask(self, generation: int) -> list[StrategyGenome]:
+        probabilities = self._ensure_probabilities()
+        genomes: list[StrategyGenome] = []
+        for index in range(self._population):
+            rng = self.rng(generation, index)
+            sets = tuple(self._sample_slot(row, rng) for row in probabilities)
+            genomes.append(ObliviousGenome(period_sets=sets))
+        return genomes
+
+    def _tell(self, generation: int, outcomes: Sequence[CandidateOutcome]) -> None:
+        probabilities = self._ensure_probabilities()
+        period = self.space.cem_period
+        eligible = [
+            outcome
+            for outcome in outcomes
+            if isinstance(outcome.genome, ObliviousGenome)
+            and len(outcome.genome.period_sets) == period
+        ]
+        if not eligible:
+            return
+        ranked = sorted(enumerate(eligible), key=lambda pair: (-pair[1].score, pair[0]))
+        elite_count = max(1, round(self._elite_fraction * len(eligible)))
+        elites = [outcome for _index, outcome in ranked[:elite_count]]
+        for slot in range(period):
+            for frequency in self.space.params.band.all_frequencies():
+                rate = sum(
+                    1 for outcome in elites if frequency in outcome.genome.period_sets[slot]
+                ) / len(elites)
+                blended = (1.0 - self._smoothing) * probabilities[slot][frequency - 1] + (
+                    self._smoothing * rate
+                )
+                probabilities[slot][frequency - 1] = min(0.98, max(0.02, blended))
+
+
+#: name -> optimizer class, the namespace the search spec and CLI use.
+OPTIMIZERS: dict[str, type[StrategyOptimizer]] = {
+    RandomSearch.name: RandomSearch,
+    HillClimb.name: HillClimb,
+    CrossEntropyMethod.name: CrossEntropyMethod,
+}
+
+
+def make_optimizer(name: str, population: int = 8) -> StrategyOptimizer:
+    """Build a registered optimizer by name."""
+    try:
+        optimizer_class = OPTIMIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(OPTIMIZERS))
+        raise ConfigurationError(f"unknown optimizer {name!r}; known: {known}") from None
+    return optimizer_class(population=population)

@@ -1,0 +1,247 @@
+"""The resumable search driver, plus status and export read-backs.
+
+:class:`StrategySearch` runs the ask–evaluate–tell loop: each generation's
+candidates are looked up in the checkpoint store first (content-hashed
+dedup), only the missing ones are evaluated live (multi-seed, optionally on a
+worker pool), and every fresh evaluation is committed atomically before the
+next one starts.  Kill the process anywhere and re-run the same spec on the
+same store: cached generations replay instantly, proposals re-derive from the
+master seed, and the resumed search is bit-identical to an uninterrupted one
+— same candidates, same scores, same best strategy.
+
+:func:`search_status` and :func:`export_search` reconstruct a search's state
+purely from the store (no live evaluation), which is what the CLI's
+``search status`` / ``search export`` subcommands print.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.campaigns.store import ResultStore
+from repro.exceptions import ExperimentError
+from repro.search.checkpoint import SearchCheckpoint, SearchSpec
+from repro.search.optimizers import CandidateOutcome, make_optimizer
+from repro.search.space import StrategySpace
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """The outcome of one :meth:`StrategySearch.run` invocation.
+
+    Attributes
+    ----------
+    spec:
+        The search spec that ran.
+    best:
+        The best-scoring candidate seen (ties keep the earliest), or None
+        when the run stopped before any evaluation.
+    evaluations_total:
+        Distinct candidates in the store after this invocation.
+    executed:
+        Candidates evaluated live by this invocation.
+    reused:
+        Candidate lookups served from the checkpoint store.
+    generations_completed:
+        Fully processed generations (including the warm start).
+    complete:
+        True once every generation of the spec has been processed.
+    """
+
+    spec: SearchSpec
+    best: Optional[CandidateOutcome]
+    evaluations_total: int
+    executed: int
+    reused: int
+    generations_completed: int
+    complete: bool
+
+    def describe(self) -> str:
+        """One-line progress summary for logs and the CLI."""
+        state = "complete" if self.complete else "stopped (resume by re-running)"
+        best = f"best score {self.best.score:g}" if self.best is not None else "no best yet"
+        return (
+            f"{self.generations_completed} generation(s), {self.evaluations_total} "
+            f"evaluation(s) stored ({self.executed} executed now, {self.reused} reused); "
+            f"{best}; {state}"
+        )
+
+
+class StrategySearch:
+    """Runs a search spec against a checkpoint store.
+
+    Parameters
+    ----------
+    spec:
+        The declarative search description.
+    store:
+        The persistent result store evaluations checkpoint into.
+    workers:
+        Worker processes per candidate's seed batch (forwarded to
+        :func:`~repro.engine.runner.run_trials`; never changes results).
+    """
+
+    def __init__(self, spec: SearchSpec, store: ResultStore, workers: Optional[int] = None) -> None:
+        self._spec = spec
+        self._checkpoint = SearchCheckpoint(store, spec)
+        self._workers = workers
+
+    @property
+    def spec(self) -> SearchSpec:
+        """The spec this search completes."""
+        return self._spec
+
+    def run(
+        self,
+        max_evaluations: Optional[int] = None,
+        on_candidate: Optional[Callable[[CandidateOutcome], None]] = None,
+    ) -> SearchResult:
+        """Run (or resume) the search.
+
+        Parameters
+        ----------
+        max_evaluations:
+            Optional cap on *live* evaluations this invocation (cache hits are
+            free) — the search budget can be spent incrementally across
+            invocations, and an interrupt between two candidates is
+            indistinguishable from hitting the cap.
+        on_candidate:
+            Optional callback invoked after each candidate is scored (used by
+            the CLI for live status lines).
+        """
+        spec = self._spec
+        objective = spec.objective
+        self._checkpoint.register()
+        space = StrategySpace(params=objective.params)
+        optimizer = make_optimizer(spec.optimizer, spec.population)
+        optimizer.bind(space, spec.master_seed, warm_start=spec.warm_start)
+
+        best: Optional[CandidateOutcome] = None
+        executed = 0
+        reused = 0
+        generations_completed = 0
+        stopped = False
+        for generation in range(spec.generations + 1):
+            outcomes: list[CandidateOutcome] = []
+            for index, genome in enumerate(optimizer.ask(generation)):
+                key = self._checkpoint.key_for(genome)
+                records = self._checkpoint.stored_records(key)
+                if records is None:
+                    if max_evaluations is not None and executed >= max_evaluations:
+                        stopped = True
+                        break
+                    evaluation = objective.evaluate(genome, workers=self._workers)
+                    records = evaluation.records
+                    self._checkpoint.record(genome, generation, key, records)
+                    executed += 1
+                    was_reused = False
+                else:
+                    # Sharing a store across searches can serve a cache hit the
+                    # campaign attribution does not cover yet — claim it so
+                    # status/export read-backs see every candidate.
+                    self._checkpoint.claim(key)
+                    reused += 1
+                    was_reused = True
+                outcome = CandidateOutcome(
+                    genome=genome,
+                    key=key,
+                    score=objective.score_records(records),
+                    generation=generation,
+                    index=index,
+                    reused=was_reused,
+                )
+                outcomes.append(outcome)
+                if best is None or outcome.score > best.score:
+                    best = outcome
+                if on_candidate is not None:
+                    on_candidate(outcome)
+            if stopped:
+                break
+            optimizer.tell(generation, outcomes)
+            generations_completed = generation + 1
+
+        return SearchResult(
+            spec=spec,
+            best=best,
+            evaluations_total=self._checkpoint.evaluation_count(),
+            executed=executed,
+            reused=reused,
+            generations_completed=generations_completed,
+            complete=not stopped,
+        )
+
+
+def _scored_evaluations(checkpoint: SearchCheckpoint) -> list[dict[str, Any]]:
+    """All stored evaluations as rows, in evaluation order, with scores."""
+    objective = checkpoint.spec.objective
+    rows = []
+    for key, genome, generation, records in checkpoint.iter_evaluations():
+        effective = objective.effective_latencies(records)
+        rows.append(
+            {
+                "key": key,
+                "kind": genome.kind,
+                "strategy": genome.describe(),
+                "genome": genome.to_dict(),
+                "generation": generation,
+                "score": objective.score_records(records),
+                "trials": len(records),
+                "failures": sum(1 for record in records if not record.synchronized),
+                "max_effective_latency": max(effective),
+            }
+        )
+    return rows
+
+
+def search_status(store: ResultStore, name: str) -> dict[str, Any]:
+    """A machine-readable status snapshot of one stored search."""
+    checkpoint = SearchCheckpoint.load(store, name)
+    spec = checkpoint.spec
+    rows = _scored_evaluations(checkpoint)
+    best = max(rows, key=lambda row: row["score"], default=None) if rows else None
+    return {
+        "search": name,
+        "objective": spec.objective.describe(),
+        "metric": spec.objective.metric,
+        "optimizer": spec.optimizer,
+        "population": spec.population,
+        "generations": spec.generations,
+        "master_seed": spec.master_seed,
+        "evaluations": len(rows),
+        "best_score": best["score"] if best else None,
+        "best_strategy": best["strategy"] if best else None,
+        "best_key": best["key"] if best else None,
+    }
+
+
+def export_search(
+    store: ResultStore, name: str, path: str | Path, top: int = 10
+) -> Path:
+    """Write a search's spec, best strategy, and top-``top`` table as JSON.
+
+    The best strategy's full genome description is included, so an exported
+    strategy can be rebuilt with
+    :func:`~repro.search.space.genome_from_dict` and replayed anywhere.
+    """
+    checkpoint = SearchCheckpoint.load(store, name)
+    rows = _scored_evaluations(checkpoint)
+    if not rows:
+        raise ExperimentError(f"search {name!r} in store {store.path!r} has no evaluations yet")
+    # Stable ranking: score descending, earliest evaluation wins ties.
+    ranked = sorted(enumerate(rows), key=lambda pair: (-pair[1]["score"], pair[0]))
+    ordered = [row for _index, row in ranked]
+    document = {
+        "search": name,
+        "spec": checkpoint.spec.to_dict(),
+        "evaluations": len(rows),
+        "best": ordered[0],
+        "top": ordered[: max(1, top)],
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    return target

@@ -1,0 +1,138 @@
+"""Unit tests for the search optimizers (determinism, warm start, learning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.registry import names as adversary_names
+from repro.exceptions import ConfigurationError
+from repro.params import ModelParameters
+from repro.search.optimizers import (
+    OPTIMIZERS,
+    CandidateOutcome,
+    CrossEntropyMethod,
+    HillClimb,
+    RandomSearch,
+    derived_rng,
+    make_optimizer,
+)
+from repro.search.space import ObliviousGenome, ParametricGenome, StrategySpace
+
+PARAMS = ModelParameters(frequencies=4, disruption_budget=2, participant_bound=16)
+
+
+def space():
+    return StrategySpace(params=PARAMS)
+
+
+def outcome(genome, score, generation=0, index=0):
+    return CandidateOutcome(
+        genome=genome, key=genome.key, score=score, generation=generation, index=index
+    )
+
+
+class TestProtocol:
+    def test_registry_and_factory(self):
+        assert set(OPTIMIZERS) == {"random", "hill-climb", "cross-entropy"}
+        assert isinstance(make_optimizer("random", population=3), RandomSearch)
+        with pytest.raises(ConfigurationError, match="unknown optimizer"):
+            make_optimizer("simulated-annealing")
+        with pytest.raises(ConfigurationError, match="population"):
+            make_optimizer("random", population=0)
+
+    def test_derived_rng_streams_are_independent_and_stable(self):
+        assert derived_rng(7, "a", 1).random() == derived_rng(7, "a", 1).random()
+        assert derived_rng(7, "a", 1).random() != derived_rng(7, "a", 2).random()
+        assert derived_rng(7, "a", 1).random() != derived_rng(8, "a", 1).random()
+
+    @pytest.mark.parametrize("name", sorted(OPTIMIZERS))
+    def test_generation_zero_is_the_warm_start(self, name):
+        optimizer = make_optimizer(name, population=3)
+        optimizer.bind(space(), master_seed=1)
+        warm = optimizer.ask(0)
+        assert [genome.name for genome in warm] == list(adversary_names())
+
+    @pytest.mark.parametrize("name", sorted(OPTIMIZERS))
+    def test_proposals_are_deterministic_from_the_master_seed(self, name):
+        def propose(seed):
+            optimizer = make_optimizer(name, population=4)
+            optimizer.bind(space(), master_seed=seed, warm_start=False)
+            first = optimizer.ask(0)
+            optimizer.tell(0, [outcome(genome, float(i)) for i, genome in enumerate(first)])
+            return first, optimizer.ask(1)
+
+        assert propose(11) == propose(11)
+        assert propose(11) != propose(12)
+
+    def test_unbound_optimizer_refuses_to_ask(self):
+        with pytest.raises(ConfigurationError, match="bound"):
+            make_optimizer("random").ask(1)
+
+
+class TestHillClimb:
+    def test_best_updates_only_on_strict_improvement(self):
+        climber = HillClimb(population=2)
+        climber.bind(space(), master_seed=0)
+        first = outcome(ParametricGenome(name="sweep"), 10.0)
+        tied = outcome(ParametricGenome(name="random"), 10.0, index=1)
+        climber.tell(0, [first, tied])
+        assert climber.best is first
+        better = outcome(ParametricGenome(name="bursty"), 11.0, generation=1)
+        climber.tell(1, [better])
+        assert climber.best is better
+
+    def test_asks_mutations_of_the_incumbent(self):
+        climber = HillClimb(population=3)
+        climber.bind(space(), master_seed=0)
+        incumbent = ParametricGenome(name="sweep", overrides=(("step", 2),))
+        climber.tell(0, [outcome(incumbent, 5.0)])
+        proposals = climber.ask(1)
+        assert len(proposals) == 3
+        # Sweep mutations stay in the sweep family with a nudged step.
+        for proposal in proposals:
+            assert isinstance(proposal, ParametricGenome)
+            assert proposal.name == "sweep"
+
+
+class TestCrossEntropy:
+    def test_asks_fixed_period_full_budget_oblivious_genomes(self):
+        cem = CrossEntropyMethod(population=5)
+        cem.bind(space(), master_seed=3, warm_start=False)
+        for genome in cem.ask(0):
+            assert isinstance(genome, ObliviousGenome)
+            assert len(genome.period_sets) == space().cem_period
+            for entry in genome.period_sets:
+                assert len(entry) == PARAMS.disruption_budget
+
+    def test_probabilities_move_towards_the_elites(self):
+        cem = CrossEntropyMethod(population=4, elite_fraction=0.25, smoothing=0.5)
+        cem.bind(space(), master_seed=3, warm_start=False)
+        period = space().cem_period
+        elite = ObliviousGenome(period_sets=((1, 2),) * period)
+        rest = ObliviousGenome(period_sets=((3, 4),) * period)
+        before = cem.probabilities
+        cem.tell(
+            0,
+            [
+                outcome(elite, 100.0, index=0),
+                outcome(rest, 1.0, index=1),
+                outcome(rest, 2.0, index=2),
+                outcome(rest, 3.0, index=3),
+            ],
+        )
+        after = cem.probabilities
+        assert after[0][0] > before[0][0]  # frequency 1 rose
+        assert after[0][2] < before[0][2]  # frequency 3 fell
+
+    def test_non_oblivious_outcomes_are_ignored_by_the_update(self):
+        cem = CrossEntropyMethod(population=2)
+        cem.bind(space(), master_seed=3)
+        before = cem.probabilities
+        cem.tell(0, [outcome(ParametricGenome(name="reactive"), 50.0)])
+        assert cem.probabilities == before
+
+    def test_invalid_hyperparameters_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrossEntropyMethod(elite_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            CrossEntropyMethod(smoothing=1.5)
