@@ -83,6 +83,44 @@ def test_trace_free_execution_throughput(benchmark, emit):
     assert row["speedup"] >= 0.7, row
 
 
+def test_trace_free_mode_allocates_no_per_round_trace_objects(monkeypatch):
+    """Micro-assert: TraceLevel.NONE never touches the trace machinery.
+
+    A trace-free execution must not instantiate a recorder and must never
+    append a round record to an :class:`ExecutionTrace` — the whole point of
+    the streaming fast path is that no per-round trace objects are retained.
+    The FULL-trace control run confirms the instrumentation actually counts.
+    """
+    from repro.engine import observers as observers_module
+    from repro.engine import trace as trace_module
+
+    appends: list[int] = []
+    recorders: list[int] = []
+    original_append = trace_module.ExecutionTrace.append
+    original_init = observers_module.TraceRecorder.__init__
+
+    def counting_append(self, record):
+        appends.append(record.global_round)
+        return original_append(self, record)
+
+    def counting_init(self, *args, **kwargs):
+        recorders.append(1)
+        return original_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(trace_module.ExecutionTrace, "append", counting_append)
+    monkeypatch.setattr(observers_module.TraceRecorder, "__init__", counting_init)
+
+    config = replace(_fixed_length_config(TraceLevel.NONE), max_rounds=500)
+    result = simulate(config)
+    assert result.trace is None
+    assert recorders == [], "trace-free mode must not build a TraceRecorder"
+    assert appends == [], "trace-free mode must not append per-round trace records"
+
+    full = simulate(replace(config, trace_level=TraceLevel.FULL))
+    assert len(recorders) == 1
+    assert appends == list(range(1, full.rounds_simulated + 1))
+
+
 def test_parallel_trace_free_batch_matches_serial_full_trace(benchmark, emit):
     """The Theorem-10 configuration, serial+FULL vs workers=4+NONE."""
     config = SimulationConfig(

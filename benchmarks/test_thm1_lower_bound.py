@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from _bench_helpers import measure, run_once
 from repro.adversary.activation import SimultaneousActivation

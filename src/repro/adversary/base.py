@@ -25,7 +25,7 @@ from repro.radio.spectrum_log import SpectrumLog
 from repro.types import Frequency
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AdversaryContext:
     """Everything an adversary may see when choosing its disruption set.
 

@@ -1,0 +1,42 @@
+"""The performance-benchmark subsystem.
+
+``repro.bench`` makes the simulator's speed a measured, regression-gated
+artefact instead of folklore:
+
+* :mod:`repro.bench.scenarios` — a registry of pinned benchmark workloads
+  (trace-free trapdoor throughput, full-trace Good Samaritan, a parallel
+  campaign slice, a search warm start), each returning a deterministic work
+  digest alongside its work count;
+* :mod:`repro.bench.harness` — a warmup/repeat/median timing harness plus a
+  machine-speed calibration loop, so throughputs can be normalized and
+  compared across hosts;
+* :mod:`repro.bench.report` — schema-versioned JSON emission
+  (``BENCH_<rev>.json``) and baseline comparison with a regression tolerance
+  (what the CI ``perf-gate`` job runs).
+"""
+
+from repro.bench.harness import BenchMeasurement, BenchRun, calibration_rate, run_bench
+from repro.bench.report import (
+    BENCH_SCHEMA_VERSION,
+    bench_run_to_dict,
+    compare_bench,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.bench.scenarios import BENCH_SCENARIOS, BenchScenario, ScenarioWork, ci_scenario_names
+
+__all__ = [
+    "BENCH_SCENARIOS",
+    "BENCH_SCHEMA_VERSION",
+    "BenchMeasurement",
+    "BenchRun",
+    "BenchScenario",
+    "ScenarioWork",
+    "bench_run_to_dict",
+    "calibration_rate",
+    "ci_scenario_names",
+    "compare_bench",
+    "load_bench_json",
+    "run_bench",
+    "write_bench_json",
+]

@@ -1,0 +1,155 @@
+"""The timing harness: warmup, repeats, medians, and machine calibration.
+
+Wall-clock timings from shared machines (CI runners especially) are noisy.
+The harness does three things about it:
+
+* every scenario runs ``warmup`` throwaway iterations first (imports, caches,
+  and allocator pools settle), then ``repeats`` timed iterations of which the
+  **median** is the headline number;
+* a pure-Python *calibration loop* is timed alongside the scenarios, and each
+  throughput is also reported normalized by the calibration rate — the
+  normalized number is a machine-independent "simulator speed relative to
+  this interpreter+host" ratio, which is what baselines are compared on;
+* each repeat's :class:`~repro.bench.scenarios.ScenarioWork` digest must be
+  identical — a scenario whose answers vary across repeats is rejected
+  outright rather than timed.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bench.scenarios import BenchScenario, ScenarioWork
+from repro.exceptions import ExperimentError
+
+#: Iterations of the calibration loop (a fixed pure-Python workload).
+_CALIBRATION_LOOPS = 200_000
+
+
+def _calibration_workload(loops: int) -> int:
+    total = 0
+    for index in range(loops):
+        total += index * index % 7
+    return total
+
+
+def calibration_rate(samples: int = 3, loops: int = _CALIBRATION_LOOPS) -> float:
+    """Loop iterations per second of a fixed pure-Python workload (best of ``samples``).
+
+    Scenario throughputs divided by this rate are comparable across machines
+    to first order: both numerator and denominator are interpreter-bound
+    Python, so a faster host scales them together.
+    """
+    best = 0.0
+    for _ in range(samples):
+        start = time.perf_counter()
+        _calibration_workload(loops)
+        elapsed = time.perf_counter() - start
+        best = max(best, loops / elapsed)
+    return best
+
+
+@dataclass(frozen=True)
+class BenchMeasurement:
+    """One scenario's timed result.
+
+    Attributes
+    ----------
+    scenario:
+        The scenario definition that was run.
+    work:
+        The (repeat-invariant) work record.
+    seconds:
+        Per-repeat wall-clock seconds, in execution order.
+    """
+
+    scenario: BenchScenario
+    work: ScenarioWork
+    seconds: tuple[float, ...]
+
+    @property
+    def median_seconds(self) -> float:
+        """The median repeat time (the headline cost)."""
+        return float(statistics.median(self.seconds))
+
+    @property
+    def throughput(self) -> float:
+        """Work units per second at the median repeat time."""
+        return self.work.units / self.median_seconds
+
+    def normalized_throughput(self, calibration: float) -> float:
+        """Work units per *million calibration-loop iterations* of this host.
+
+        Dividing by the host's calibration rate cancels interpreter/machine
+        speed to first order; the ×1e6 scaling just keeps the numbers in a
+        readable range.  Only ratios of this metric are meaningful.
+        """
+        return self.throughput * 1e6 / calibration
+
+
+@dataclass(frozen=True)
+class BenchRun:
+    """A full bench invocation: calibration plus one measurement per scenario."""
+
+    rev: str
+    repeats: int
+    warmup: int
+    calibration: float
+    measurements: tuple[BenchMeasurement, ...]
+
+
+def run_scenario(scenario: BenchScenario, repeats: int, warmup: int) -> BenchMeasurement:
+    """Time one scenario: ``warmup`` throwaway runs, then ``repeats`` timed ones.
+
+    Raises
+    ------
+    ExperimentError
+        If the scenario's work digest (or unit count) differs between
+        repeats — nondeterministic work cannot be meaningfully timed.
+    """
+    if repeats < 1:
+        raise ExperimentError(f"bench needs at least one repeat, got {repeats}")
+    if warmup < 0:
+        raise ExperimentError(f"warmup must be non-negative, got {warmup}")
+    for _ in range(warmup):
+        scenario.run()
+    work: ScenarioWork | None = None
+    seconds: list[float] = []
+    for repeat in range(repeats):
+        start = time.perf_counter()
+        current = scenario.run()
+        seconds.append(time.perf_counter() - start)
+        if work is None:
+            work = current
+        elif (current.digest, current.units) != (work.digest, work.units):
+            raise ExperimentError(
+                f"bench scenario {scenario.name!r} is nondeterministic: repeat "
+                f"{repeat} produced work ({current.units} {scenario.unit}, digest "
+                f"{current.digest}) != first repeat ({work.units} {scenario.unit}, "
+                f"digest {work.digest})"
+            )
+    assert work is not None
+    return BenchMeasurement(scenario=scenario, work=work, seconds=tuple(seconds))
+
+
+def run_bench(
+    scenarios: Sequence[BenchScenario],
+    rev: str,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> BenchRun:
+    """Run every scenario through the harness and return the full bench run."""
+    calibration = calibration_rate()
+    measurements = tuple(
+        run_scenario(scenario, repeats=repeats, warmup=warmup) for scenario in scenarios
+    )
+    return BenchRun(
+        rev=rev,
+        repeats=repeats,
+        warmup=warmup,
+        calibration=calibration,
+        measurements=measurements,
+    )

@@ -1,0 +1,218 @@
+"""Schema-versioned bench JSON and baseline comparison.
+
+``repro bench run`` writes one ``BENCH_<rev>.json`` per invocation; the
+committed ``benchmarks/baseline.json`` is simply a blessed copy of one such
+file.  ``repro bench compare`` loads both, lines the scenarios up, and fails
+(exit code 1) when any scenario's throughput regressed beyond the tolerance.
+
+Comparisons default to the **normalized** throughput (scenario throughput ÷
+the run's own machine-calibration rate, see :mod:`repro.bench.harness`), so a
+baseline recorded on one machine remains meaningful on another: both runs are
+measured relative to their own host's Python speed.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.bench.harness import BenchRun
+from repro.exceptions import ConfigurationError
+
+#: Version of the emitted JSON layout.  Bump on any incompatible change;
+#: `load_bench_json` refuses files written by a different version.
+BENCH_SCHEMA_VERSION = 1
+
+#: The comparison metrics `compare_bench` understands.
+COMPARISON_METRICS = ("normalized_throughput", "throughput")
+
+
+def bench_run_to_dict(run: BenchRun) -> dict[str, Any]:
+    """The JSON-serializable form of a bench run.
+
+    Everything under a scenario's ``work``/``units``/``digest`` keys is
+    deterministic for a given revision; the timing keys (``samples_seconds``,
+    ``median_seconds``, ``throughput``, ``normalized_throughput``) and the
+    top-level ``created_utc``/``calibration_rate`` vary run to run.
+    """
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "rev": run.rev,
+        "python": platform.python_version(),
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "calibration_rate": run.calibration,
+        "repeats": run.repeats,
+        "warmup": run.warmup,
+        "scenarios": {
+            measurement.scenario.name: {
+                "description": measurement.scenario.description,
+                "unit": measurement.scenario.unit,
+                "ci": measurement.scenario.ci,
+                "units": measurement.work.units,
+                "digest": measurement.work.digest,
+                "detail": dict(measurement.work.detail),
+                "samples_seconds": list(measurement.seconds),
+                "median_seconds": measurement.median_seconds,
+                "throughput": measurement.throughput,
+                "normalized_throughput": measurement.normalized_throughput(run.calibration),
+            }
+            for measurement in run.measurements
+        },
+    }
+
+
+def write_bench_json(run: BenchRun, path: str | Path) -> Path:
+    """Write a bench run as schema-versioned JSON and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(bench_run_to_dict(run), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def load_bench_json(path: str | Path) -> dict[str, Any]:
+    """Load a bench JSON file, refusing incompatible schema versions."""
+    source = Path(path)
+    with source.open("r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    schema = data.get("schema")
+    if schema != BENCH_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"bench file {source} has schema {schema!r}, but this build reads "
+            f"schema {BENCH_SCHEMA_VERSION}; re-run `repro bench run` to refresh it"
+        )
+    return data
+
+
+@dataclass(frozen=True)
+class ScenarioComparison:
+    """One scenario's baseline-vs-current verdict.
+
+    Attributes
+    ----------
+    scenario:
+        Scenario name.
+    baseline, current:
+        The compared metric values (``None`` when the scenario is missing on
+        that side).
+    ratio:
+        ``current / baseline`` when both sides are present.
+    regressed:
+        True when the current value fell below ``baseline * (1 - tolerance)``.
+    note:
+        ``"ok"``, ``"regressed"``, ``"missing-current"``, ``"new"``, or
+        ``"work-changed"`` (work units differ — the ratio is not
+        apples-to-apples and is reported but never gates).
+    """
+
+    scenario: str
+    baseline: Optional[float]
+    current: Optional[float]
+    ratio: Optional[float]
+    regressed: bool
+    note: str
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """The outcome of comparing a bench run against a baseline."""
+
+    metric: str
+    tolerance: float
+    entries: tuple[ScenarioComparison, ...]
+
+    @property
+    def regressions(self) -> tuple[ScenarioComparison, ...]:
+        """The entries that regressed beyond the tolerance."""
+        return tuple(entry for entry in self.entries if entry.regressed)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed (the CI gate passes)."""
+        return not self.regressions
+
+
+def compare_bench(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.25,
+    metric: str = "normalized_throughput",
+) -> BenchComparison:
+    """Compare two loaded bench payloads scenario by scenario.
+
+    Parameters
+    ----------
+    current, baseline:
+        Payloads from :func:`load_bench_json` (or :func:`bench_run_to_dict`).
+    tolerance:
+        Allowed fractional slowdown: a scenario regresses when its current
+        metric is below ``baseline * (1 - tolerance)``.
+    metric:
+        ``"normalized_throughput"`` (default, machine-independent) or
+        ``"throughput"`` (raw units/second — same-machine comparisons only).
+
+    Scenarios present only in the baseline are reported as
+    ``missing-current`` but do not gate (CI times a pinned subset); scenarios
+    present only in the current run are ``new``.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ConfigurationError(f"tolerance must be in (0, 1), got {tolerance}")
+    if metric not in COMPARISON_METRICS:
+        raise ConfigurationError(
+            f"unknown comparison metric {metric!r}; known: {', '.join(COMPARISON_METRICS)}"
+        )
+    current_scenarios = current.get("scenarios", {})
+    baseline_scenarios = baseline.get("scenarios", {})
+    entries: list[ScenarioComparison] = []
+    for name in sorted(baseline_scenarios.keys() | current_scenarios.keys()):
+        baseline_entry = baseline_scenarios.get(name)
+        current_entry = current_scenarios.get(name)
+        if current_entry is None:
+            entries.append(
+                ScenarioComparison(
+                    scenario=name,
+                    baseline=baseline_entry[metric],
+                    current=None,
+                    ratio=None,
+                    regressed=False,
+                    note="missing-current",
+                )
+            )
+            continue
+        if baseline_entry is None:
+            entries.append(
+                ScenarioComparison(
+                    scenario=name,
+                    baseline=None,
+                    current=current_entry[metric],
+                    ratio=None,
+                    regressed=False,
+                    note="new",
+                )
+            )
+            continue
+        baseline_value = float(baseline_entry[metric])
+        current_value = float(current_entry[metric])
+        ratio = current_value / baseline_value if baseline_value else None
+        if current_entry.get("units") != baseline_entry.get("units"):
+            note = "work-changed"
+            regressed = False
+        else:
+            regressed = current_value < baseline_value * (1.0 - tolerance)
+            note = "regressed" if regressed else "ok"
+        entries.append(
+            ScenarioComparison(
+                scenario=name,
+                baseline=baseline_value,
+                current=current_value,
+                ratio=ratio,
+                regressed=regressed,
+                note=note,
+            )
+        )
+    return BenchComparison(metric=metric, tolerance=tolerance, entries=tuple(entries))

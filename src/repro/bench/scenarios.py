@@ -1,0 +1,297 @@
+"""The registry of pinned benchmark scenarios.
+
+A *scenario* is a fixed, named workload whose wall-clock cost is worth
+tracking across revisions.  Each scenario does a deterministic amount of
+*work* (a known number of simulated rounds, executed trials, or search
+evaluations) and returns a :class:`ScenarioWork` describing that work plus a
+content digest of the results it produced — so the harness can verify that a
+faster engine still computes the same thing, and that two runs of the bench
+produce identical payloads modulo timing.
+
+Scenarios marked ``ci=True`` form the pinned subset the CI ``perf-gate`` job
+times on every pull request; the heavier scenarios (process pools, search)
+are for local profiling and for refreshing ``benchmarks/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.adversary.activation import SimultaneousActivation, StaggeredActivation
+from repro.adversary.jammers import RandomJammer
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.engine.observers import TraceLevel
+from repro.engine.serialization import execution_digest
+from repro.engine.simulator import SimulationConfig, simulate
+from repro.exceptions import ConfigurationError
+from repro.params import ModelParameters
+from repro.protocols.registry import protocol_factory
+from repro.search.checkpoint import SearchSpec
+from repro.search.objective import SearchObjective
+from repro.search.runner import StrategySearch
+
+
+@dataclass(frozen=True)
+class ScenarioWork:
+    """What one scenario execution did (everything except how long it took).
+
+    Attributes
+    ----------
+    units:
+        The amount of work performed, in the scenario's unit (rounds, trials,
+        evaluations).  Pinned: the same revision must always report the same
+        number, or throughput comparisons are meaningless.
+    digest:
+        A stable content hash of the results the scenario produced.  The
+        harness asserts it is identical across repeats — a bench run that
+        computes different answers on different repeats is reporting garbage.
+    detail:
+        Small JSON-serializable facts worth keeping next to the measurement
+        (e.g. the trace level, the grid shape).
+    """
+
+    units: int
+    digest: str
+    detail: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One registered benchmark workload.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the key in the emitted JSON).
+    description:
+        One line of human context.
+    unit:
+        What ``ScenarioWork.units`` counts (``"rounds"``, ``"trials"``,
+        ``"evaluations"``).
+    ci:
+        Whether the scenario belongs to the pinned CI ``perf-gate`` subset.
+    run:
+        Executes the scenario once, end to end, and returns its work record.
+    """
+
+    name: str
+    description: str
+    unit: str
+    ci: bool
+    run: Callable[[], ScenarioWork]
+
+
+def _digest_of(payload: Any) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# -- scenario implementations -------------------------------------------------
+
+
+def _trapdoor_n64_trace_free() -> ScenarioWork:
+    """Trace-free trapdoor N-scaling point: the engine hot-path yardstick.
+
+    A fixed-length (4000-round) execution at the Theorem-10 parameter point
+    ``F=8, t=3, N=64`` with staggered arrivals and a full-budget random
+    jammer, streamed with :attr:`TraceLevel.NONE` — pure round-loop
+    throughput, nothing buffered.
+    """
+    config = SimulationConfig(
+        params=ModelParameters(frequencies=8, disruption_budget=3, participant_bound=64),
+        protocol_factory=protocol_factory("trapdoor"),
+        activation=StaggeredActivation(count=8, spacing=3),
+        adversary=RandomJammer(),
+        max_rounds=4_000,
+        seed=0,
+        stop_when_synchronized=False,
+        trace_level=TraceLevel.NONE,
+    )
+    result = simulate(config)
+    return ScenarioWork(
+        units=result.rounds_simulated,
+        digest=execution_digest(result),
+        detail={"trace_level": "none", "protocol": "trapdoor", "nodes": 8},
+    )
+
+
+def _gs_full_trace() -> ScenarioWork:
+    """Full-trace Good Samaritan execution: recorder and trace buffering cost.
+
+    Fixed length (1500 rounds) at ``F=8, t=3, N=64`` with simultaneous
+    activation, recorded at :attr:`TraceLevel.FULL` — what every post-hoc
+    trace consumer pays.
+    """
+    config = SimulationConfig(
+        params=ModelParameters(frequencies=8, disruption_budget=3, participant_bound=64),
+        protocol_factory=protocol_factory("good-samaritan"),
+        activation=SimultaneousActivation(count=8),
+        adversary=RandomJammer(),
+        max_rounds=1_500,
+        seed=0,
+        stop_when_synchronized=False,
+        trace_level=TraceLevel.FULL,
+    )
+    result = simulate(config)
+    return ScenarioWork(
+        units=result.rounds_simulated,
+        digest=execution_digest(result),
+        detail={"trace_level": "full", "protocol": "good-samaritan", "nodes": 8},
+    )
+
+
+def _campaign_parallel_slice() -> ScenarioWork:
+    """A small campaign executed on a 4-worker pool into a fresh store.
+
+    Measures the end-to-end sweep path — grid expansion, process-pool
+    dispatch, store transactions — on a 2-cell × 4-seed slice.  Each
+    execution runs in a temporary store, and a bench-provenance row is
+    recorded so the store itself names the bench run that produced it.
+    """
+    spec = CampaignSpec(
+        name="bench-slice",
+        protocols=("trapdoor", "good-samaritan"),
+        workloads=("quiet_start",),
+        frequencies=(4,),
+        budgets=(1,),
+        participants=(8,),
+        node_counts=(2,),
+        seeds=4,
+        max_rounds=5_000,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        with ResultStore(Path(tmp) / "bench-slice.db") as store:
+            runner = CampaignRunner(spec, store, workers=4)
+            progress = runner.run()
+            rows = [
+                {"key": key, "cell": description, "trials": [record.seed for record in records]}
+                for key, description, records in store.iter_cells(spec.name)
+            ]
+            store.record_bench_provenance(
+                rev="in-run", scenario="campaign_parallel_slice", payload={"cells": len(rows)}
+            )
+            provenance_rows = len(store.bench_provenance())
+    trials = len(spec.seeds) * progress.total
+    return ScenarioWork(
+        units=trials,
+        digest=_digest_of(rows),
+        detail={
+            "cells": progress.total,
+            "seeds_per_cell": len(spec.seeds),
+            "workers": 4,
+            "provenance_rows": provenance_rows,
+        },
+    )
+
+
+def _search_warm_start() -> ScenarioWork:
+    """The adversarial search's warm-start generation on an in-memory store.
+
+    Evaluates every registered hand-written jammer (generation 0) for a small
+    pinned objective — the fixed cost every `repro search run` pays before
+    the optimizer proper starts.
+    """
+    objective = SearchObjective(
+        protocol="trapdoor",
+        workload="quiet_start",
+        frequencies=4,
+        budget=1,
+        participants=8,
+        node_count=2,
+        seeds=2,
+        max_rounds=3_000,
+        metric="median_latency",
+    )
+    spec = SearchSpec(
+        name="bench-warm-start",
+        objective=objective,
+        optimizer="hill-climb",
+        population=2,
+        generations=0,
+        master_seed=0,
+        warm_start=True,
+    )
+    with ResultStore(":memory:") as store:
+        search = StrategySearch(spec, store)
+        result = search.run()
+        best = result.best
+    return ScenarioWork(
+        units=result.executed,
+        digest=_digest_of(
+            {
+                "best_key": best.key if best is not None else None,
+                "best_score": best.score if best is not None else None,
+                "evaluations": result.evaluations_total,
+            }
+        ),
+        detail={"optimizer": spec.optimizer, "complete": result.complete},
+    )
+
+
+#: The scenario registry, keyed by name (deterministic insertion order).
+BENCH_SCENARIOS: dict[str, BenchScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        BenchScenario(
+            name="trapdoor_n64_trace_free",
+            description="trace-free trapdoor round loop at F=8, t=3, N=64 (4000 rounds)",
+            unit="rounds",
+            ci=True,
+            run=_trapdoor_n64_trace_free,
+        ),
+        BenchScenario(
+            name="gs_full_trace",
+            description="full-trace Good Samaritan round loop at F=8, t=3, N=64 (1500 rounds)",
+            unit="rounds",
+            ci=True,
+            run=_gs_full_trace,
+        ),
+        BenchScenario(
+            name="campaign_parallel_slice",
+            description="2-cell x 4-seed campaign slice on a 4-worker pool with store checkpointing",
+            unit="trials",
+            ci=False,
+            run=_campaign_parallel_slice,
+        ),
+        BenchScenario(
+            name="search_warm_start",
+            description="adversarial-search warm start (every registered jammer) on a tiny objective",
+            unit="evaluations",
+            ci=False,
+            run=_search_warm_start,
+        ),
+    )
+}
+
+
+def ci_scenario_names() -> tuple[str, ...]:
+    """The pinned subset the CI perf gate times."""
+    return tuple(name for name, scenario in BENCH_SCENARIOS.items() if scenario.ci)
+
+
+def resolve_scenarios(selection: str) -> tuple[BenchScenario, ...]:
+    """Resolve a CLI selection string into scenarios.
+
+    ``"all"`` means every registered scenario, ``"ci"`` the pinned CI subset,
+    and anything else a comma-separated list of registry names.
+    """
+    if selection == "all":
+        names: tuple[str, ...] = tuple(BENCH_SCENARIOS)
+    elif selection == "ci":
+        names = ci_scenario_names()
+    else:
+        names = tuple(part.strip() for part in selection.split(",") if part.strip())
+        if not names:
+            raise ConfigurationError(f"no scenario names in selection {selection!r}")
+    unknown = [name for name in names if name not in BENCH_SCENARIOS]
+    if unknown:
+        known = ", ".join(BENCH_SCENARIOS)
+        raise ConfigurationError(f"unknown bench scenarios {unknown}; known: {known}")
+    return tuple(BENCH_SCENARIOS[name] for name in names)

@@ -12,6 +12,7 @@ grid dimensions (:func:`aggregate`), in row-dict form that feeds
 
 from __future__ import annotations
 
+import functools
 import json
 import statistics
 from dataclasses import dataclass
@@ -90,23 +91,29 @@ class StoredSummary:
         """Max activation-to-sync latencies of the executions that synchronized."""
         return [r.max_sync_latency for r in self.records if r.max_sync_latency is not None]
 
+    @functools.cached_property
+    def sorted_latencies(self) -> tuple[int, ...]:
+        """The latency sample in ascending order, computed once per summary
+        (mirrors :attr:`TrialSummary.sorted_latencies`)."""
+        return tuple(sorted(self.latencies()))
+
     @property
     def mean_latency(self) -> float | None:
         """Mean of the per-execution worst-case latencies (synchronized runs only)."""
-        latencies = self.latencies()
+        latencies = self.sorted_latencies
         return statistics.fmean(latencies) if latencies else None
 
     @property
     def median_latency(self) -> float | None:
         """Median of the per-execution worst-case latencies."""
-        latencies = self.latencies()
+        latencies = self.sorted_latencies
         return float(statistics.median(latencies)) if latencies else None
 
     @property
     def max_latency(self) -> int | None:
         """Worst latency observed across the whole batch."""
-        latencies = self.latencies()
-        return max(latencies) if latencies else None
+        latencies = self.sorted_latencies
+        return latencies[-1] if latencies else None
 
     @property
     def mean_rounds(self) -> float | None:
@@ -117,7 +124,7 @@ class StoredSummary:
 
     def percentile_latency(self, fraction: float) -> float | None:
         """An interpolated empirical latency percentile (``fraction`` in ``[0, 1]``)."""
-        return interpolated_percentile(self.latencies(), fraction)
+        return interpolated_percentile(self.sorted_latencies, fraction, assume_sorted=True)
 
     def describe(self) -> str:
         """One-line summary matching :meth:`TrialSummary.describe`."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import sqlite3
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional, Sequence
 
@@ -29,6 +30,8 @@ from repro.engine.results import SimulationResult
 from repro.exceptions import ConfigurationError, ExperimentError
 
 #: Version of the on-disk layout.  Bump on any incompatible schema change.
+#: (The additive ``bench_provenance`` table did not bump it: the table is
+#: created on open when missing, and older builds simply ignore it.)
 STORE_SCHEMA_VERSION = 1
 
 _SCHEMA = """
@@ -59,6 +62,13 @@ CREATE TABLE IF NOT EXISTS trials (
     max_sync_latency INTEGER,
     rounds_simulated INTEGER NOT NULL,
     PRIMARY KEY (cell_key, seed)
+);
+CREATE TABLE IF NOT EXISTS bench_provenance (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    rev          TEXT NOT NULL,
+    scenario     TEXT NOT NULL,
+    recorded_utc TEXT NOT NULL,
+    payload_json TEXT NOT NULL
 );
 """
 
@@ -323,3 +333,44 @@ class ResultStore:
     def cell_count(self, campaign: Optional[str] = None) -> int:
         """Number of completed cells (optionally restricted to a campaign)."""
         return len(self.completed_keys(campaign))
+
+    # -- bench provenance ------------------------------------------------
+
+    def record_bench_provenance(
+        self,
+        rev: str,
+        scenario: str,
+        payload: Mapping[str, Any],
+        recorded_utc: Optional[str] = None,
+    ) -> None:
+        """Append one benchmark-provenance row.
+
+        A provenance row ties results in this store (or alongside it) to the
+        ``repro bench`` run that produced or accompanied them: the repository
+        revision, the scenario name, and the scenario's measurement payload.
+        Rows are append-only, like trials.
+        """
+        if recorded_utc is None:
+            recorded_utc = datetime.now(timezone.utc).isoformat()
+        with self._connection:
+            self._connection.execute(
+                "INSERT INTO bench_provenance (rev, scenario, recorded_utc, payload_json)"
+                " VALUES (?, ?, ?, ?)",
+                (rev, scenario, recorded_utc, json.dumps(dict(payload), sort_keys=True)),
+            )
+
+    def bench_provenance(self) -> list[dict[str, Any]]:
+        """Every recorded bench-provenance row, oldest first."""
+        rows = self._connection.execute(
+            "SELECT rev, scenario, recorded_utc, payload_json FROM bench_provenance"
+            " ORDER BY id"
+        ).fetchall()
+        return [
+            {
+                "rev": row[0],
+                "scenario": row[1],
+                "recorded_utc": row[2],
+                "payload": json.loads(row[3]),
+            }
+            for row in rows
+        ]

@@ -16,6 +16,11 @@ paper artefact inspected, without writing Python:
   strategies for a pinned configuration with a seeded optimizer, checkpointing
   every evaluation into the result store (kill and re-run to resume exactly),
   and export the best-found strategy as JSON;
+* ``python -m repro bench run|compare`` — time the pinned performance
+  scenarios (warmup/repeat/median, with machine calibration), write a
+  schema-versioned ``BENCH_<rev>.json``, and gate against the committed
+  ``benchmarks/baseline.json`` (nonzero exit on regression — the CI
+  ``perf-gate`` job);
 * ``python -m repro schedule`` — print the Figure 1 / Figure 2 schedule for a
   parameter point;
 * ``python -m repro experiments`` — list the registered paper artefacts and
@@ -28,8 +33,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Sequence
 
 from repro.adversary.registry import ADVERSARY_FACTORIES
@@ -41,6 +48,14 @@ from repro.analysis.bounds import (
     theorem5_lower_bound,
     trapdoor_upper_bound,
 )
+from repro.bench.harness import run_bench
+from repro.bench.report import (
+    bench_run_to_dict,
+    compare_bench,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.bench.scenarios import BENCH_SCENARIOS, resolve_scenarios
 from repro.campaigns.query import aggregate, export_campaign
 from repro.campaigns.runner import CampaignRunner
 from repro.campaigns.spec import CAMPAIGN_WORKLOADS, CampaignSpec, workload_with_adversary
@@ -240,6 +255,47 @@ def build_parser() -> argparse.ArgumentParser:
     srch_export.add_argument("--output", required=True, help="JSON file to write")
     srch_export.add_argument("--top", type=int, default=10,
                              help="how many top strategies to include")
+
+    bench = sub.add_parser(
+        "bench", help="run pinned performance scenarios and gate on a committed baseline"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="time the benchmark scenarios and write BENCH_<rev>.json"
+    )
+    bench_run.add_argument(
+        "--scenarios", default="all",
+        help="'all', 'ci' (the pinned perf-gate subset), or a comma-separated "
+             f"list of: {', '.join(BENCH_SCENARIOS)}",
+    )
+    bench_run.add_argument("--repeats", type=int, default=3,
+                           help="timed repeats per scenario (the median is reported)")
+    bench_run.add_argument("--warmup", type=int, default=1,
+                           help="throwaway runs per scenario before timing")
+    bench_run.add_argument("--rev", default=None,
+                           help="revision label for the output (default: git short SHA, "
+                                "or 'local' outside a checkout)")
+    bench_run.add_argument("--output", default=None,
+                           help="output path (default: BENCH_<rev>.json)")
+    bench_run.add_argument("--json", action="store_true",
+                           help="also print the payload as JSON on stdout")
+    bench_run.add_argument("--store", default=None,
+                           help="optional campaign result store to record bench "
+                                "provenance rows into")
+
+    bench_cmp = bench_sub.add_parser(
+        "compare", help="compare a bench run against a committed baseline (exit 1 on regression)"
+    )
+    bench_cmp.add_argument("--baseline", required=True, help="baseline JSON (the committed one)")
+    bench_cmp.add_argument("--current", default=None,
+                           help="bench JSON to check (default: BENCH_<rev>.json for the "
+                                "current git revision)")
+    bench_cmp.add_argument("--tolerance", type=float, default=0.25,
+                           help="allowed fractional slowdown before the gate fails")
+    bench_cmp.add_argument("--metric", choices=["normalized_throughput", "throughput"],
+                           default="normalized_throughput",
+                           help="comparison metric (normalized is machine-independent)")
 
     sched = sub.add_parser("schedule", help="print the Trapdoor / Good Samaritan schedule")
     sched.add_argument("--protocol", choices=["trapdoor", "good-samaritan"], default="trapdoor")
@@ -541,6 +597,103 @@ def _search_export(args: argparse.Namespace, store: ResultStore) -> int:
     return 0
 
 
+def _git_rev() -> str:
+    """The short git revision of the working tree, or ``'local'`` without one."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "local"
+    rev = completed.stdout.strip()
+    return rev if completed.returncode == 0 and rev else "local"
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _bench_run,
+        "compare": _bench_compare,
+    }
+    return handlers[args.bench_command](args)
+
+
+def _bench_run(args: argparse.Namespace) -> int:
+    scenarios = resolve_scenarios(args.scenarios)
+    rev = args.rev if args.rev else _git_rev()
+    # With --json, stdout carries the payload alone (pipe-friendly, like the
+    # other --json subcommands); the human-readable report moves to stderr.
+    report = sys.stderr if args.json else sys.stdout
+    print(f"bench     : {len(scenarios)} scenario(s), {args.repeats} repeat(s), "
+          f"{args.warmup} warmup, rev {rev}", file=report)
+    run = run_bench(scenarios, rev=rev, repeats=args.repeats, warmup=args.warmup)
+    payload = bench_run_to_dict(run)
+    rows = [
+        {
+            "scenario": name,
+            "unit": entry["unit"],
+            "work": entry["units"],
+            "median_s": entry["median_seconds"],
+            "throughput": entry["throughput"],
+            "normalized": entry["normalized_throughput"],
+        }
+        for name, entry in payload["scenarios"].items()
+    ]
+    print(file=report)
+    print(render_table(rows, title=f"Bench {rev} — median of {args.repeats} repeat(s)",
+                       float_digits=4), file=report)
+    output = args.output if args.output else f"BENCH_{rev}.json"
+    path = write_bench_json(run, output)
+    print(f"\nwrote bench JSON to {path}", file=report)
+    if args.store:
+        with ResultStore(args.store) as store:
+            for name, entry in payload["scenarios"].items():
+                store.record_bench_provenance(rev=rev, scenario=name, payload=entry)
+        print(f"recorded {len(payload['scenarios'])} provenance row(s) in {args.store}",
+              file=report)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _bench_compare(args: argparse.Namespace) -> int:
+    current_path = args.current if args.current else f"BENCH_{_git_rev()}.json"
+    if not Path(current_path).exists():
+        print(f"no current bench file at {current_path}; run `repro bench run` first "
+              "or pass --current", file=sys.stderr)
+        return 2
+    current = load_bench_json(current_path)
+    baseline = load_bench_json(args.baseline)
+    comparison = compare_bench(
+        current, baseline, tolerance=args.tolerance, metric=args.metric
+    )
+    rows = [
+        {
+            "scenario": entry.scenario,
+            "baseline": entry.baseline,
+            "current": entry.current,
+            "ratio": entry.ratio,
+            "verdict": entry.note,
+        }
+        for entry in comparison.entries
+    ]
+    print(render_table(
+        rows,
+        title=(f"Bench compare — {args.metric}, tolerance {args.tolerance:.0%} "
+               f"({current_path} vs {args.baseline})"),
+        float_digits=4,
+    ))
+    if comparison.ok:
+        print("\nperf gate : OK (no scenario regressed beyond the tolerance)")
+        return 0
+    names = ", ".join(entry.scenario for entry in comparison.regressions)
+    print(f"\nperf gate : FAILED — regressed scenario(s): {names}", file=sys.stderr)
+    return 1
+
+
 def _command_schedule(args: argparse.Namespace) -> int:
     params = _params(args)
     if args.protocol == "trapdoor":
@@ -601,6 +754,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trials": _command_trials,
         "campaign": _command_campaign,
         "search": _command_search,
+        "bench": _command_bench,
         "schedule": _command_schedule,
         "experiments": _command_experiments,
         "bounds": _command_bounds,

@@ -129,58 +129,73 @@ class StreamingPropertyChecker(BaseRoundObserver):
         self._nodes[node_id] = _NodeCheckState()
 
     def on_round(self, record: RoundRecord) -> None:
+        """Fold one round into the incremental property state.
+
+        This is hot-path code (one call per simulated round at every trace
+        level): the per-property passes are fused into a single walk over the
+        round's outputs.  The recorded violations — and their order — are
+        identical to the historical multi-pass implementation: validity
+        violations land in round order, the round's agreement violation (if
+        any) right after them, and the per-node sequence violations accumulate
+        on their node's own state.
+        """
         self._rounds_seen += 1
+        nodes = self._nodes
+        round_violations = self._round_violations
+        global_round = record.global_round
+        distinct: set[int] = set()
         for node_id, output in record.outputs.items():
-            if output is not None and (not isinstance(output, int) or output < 0):
-                self._round_violations.append(
-                    PropertyViolation(
-                        property_name="validity",
-                        global_round=record.global_round,
-                        node_id=node_id,
-                        detail=f"output {output!r} is neither ⊥ nor a natural number",
+            if output is not None:
+                if not isinstance(output, int) or output < 0:
+                    round_violations.append(
+                        PropertyViolation(
+                            property_name="validity",
+                            global_round=global_round,
+                            node_id=node_id,
+                            detail=f"output {output!r} is neither ⊥ nor a natural number",
+                        )
                     )
-                )
-        distinct = record.distinct_outputs()
+                distinct.add(output)
+            state = nodes.get(node_id)
+            if state is None:
+                continue
+            previous = state.previous
+            if output is None:
+                if state.committed:
+                    state.violations.append(
+                        PropertyViolation(
+                            property_name="synch_commit",
+                            global_round=global_round,
+                            node_id=node_id,
+                            detail="output returned to ⊥ after committing to a round number",
+                        )
+                    )
+            else:
+                if previous is not None and output != previous + 1:
+                    state.violations.append(
+                        PropertyViolation(
+                            property_name="correctness",
+                            global_round=global_round,
+                            node_id=node_id,
+                            detail=(
+                                f"output jumped from {previous} to {output} "
+                                f"(expected {previous + 1})"
+                            ),
+                        )
+                    )
+                state.committed = True
+                if state.first_sync_round is None:
+                    state.first_sync_round = global_round
+            state.previous = output
         if len(distinct) > 1:
-            self._round_violations.append(
+            round_violations.append(
                 PropertyViolation(
                     property_name="agreement",
-                    global_round=record.global_round,
+                    global_round=global_round,
                     node_id=None,
                     detail=f"distinct non-⊥ outputs {sorted(distinct)} in the same round",
                 )
             )
-        for node_id, output in record.outputs.items():
-            state = self._nodes.get(node_id)
-            if state is None:
-                continue
-            global_round = record.global_round
-            if state.committed and output is None:
-                state.violations.append(
-                    PropertyViolation(
-                        property_name="synch_commit",
-                        global_round=global_round,
-                        node_id=node_id,
-                        detail="output returned to ⊥ after committing to a round number",
-                    )
-                )
-            if state.previous is not None and output is not None and output != state.previous + 1:
-                state.violations.append(
-                    PropertyViolation(
-                        property_name="correctness",
-                        global_round=global_round,
-                        node_id=node_id,
-                        detail=(
-                            f"output jumped from {state.previous} to {output} "
-                            f"(expected {state.previous + 1})"
-                        ),
-                    )
-                )
-            if output is not None:
-                state.committed = True
-                if state.first_sync_round is None:
-                    state.first_sync_round = record.global_round
-            state.previous = output
 
     def report(self) -> PropertyReport:
         """Assemble the final :class:`PropertyReport`."""

@@ -105,27 +105,46 @@ class MetricsObserver(BaseRoundObserver):
         self._metrics.activation_rounds[node_id] = global_round
 
     def on_round(self, record: RoundRecord) -> None:
+        # Hot path: one call per simulated round at every trace level.  The
+        # aggregate counters accumulate in locals and the per-node loops bind
+        # their targets once, so the per-round cost is a handful of dict
+        # operations rather than repeated attribute traversals.
         metrics = self._metrics
         metrics.rounds_simulated += 1
+        broadcasts = 0
+        deliveries = 0
+        collisions = 0
+        prevented = 0
         for activity in record.activity.per_frequency.values():
-            metrics.broadcasts += len(activity.broadcasters)
+            broadcaster_count = len(activity.broadcasters)
+            broadcasts += broadcaster_count
             if activity.delivered:
-                metrics.deliveries += 1
-            if activity.collided:
-                metrics.collisions += 1
-            if activity.disrupted and len(activity.broadcasters) == 1:
-                metrics.disrupted_deliveries_prevented += 1
+                deliveries += 1
+            if broadcaster_count >= 2:
+                collisions += 1
+            if activity.disrupted and broadcaster_count == 1:
+                prevented += 1
+        metrics.broadcasts += broadcasts
+        metrics.deliveries += deliveries
+        metrics.collisions += collisions
+        metrics.disrupted_deliveries_prevented += prevented
         metrics.disrupted_frequency_rounds += len(record.activity.disrupted)
+        role_rounds = metrics.role_rounds
+        leader_nodes = self._leader_nodes
+        leader_role = Role.LEADER
         for node_id, role in record.roles.items():
-            metrics.role_rounds[role] += 1
-            if role is Role.LEADER:
-                self._leader_nodes.add(node_id)
+            role_rounds[role] += 1
+            if role is leader_role:
+                leader_nodes.add(node_id)
+        sync_latencies = metrics.sync_latencies
+        activation_rounds = metrics.activation_rounds
+        global_round = record.global_round
         for node_id, output in record.outputs.items():
-            if output is None or node_id in metrics.sync_latencies:
+            if output is None or node_id in sync_latencies:
                 continue
-            activation_round = metrics.activation_rounds.get(node_id)
+            activation_round = activation_rounds.get(node_id)
             if activation_round is not None:
-                metrics.sync_latencies[node_id] = record.global_round - activation_round + 1
+                sync_latencies[node_id] = global_round - activation_round + 1
 
     def result(self, leader_uids: frozenset[int] | None = None) -> ExecutionMetrics:
         """The accumulated metrics.

@@ -5,6 +5,16 @@ the node's :class:`~repro.protocols.base.ProtocolContext`, instantiates the
 protocol at activation time, keeps the activation age up to date, and reports
 the per-round outputs that the simulator streams to its observers (the
 property checker among them).
+
+The class is deliberately lean (``__slots__``, direct protocol references in
+the per-round methods).  Note the hot-path split: the per-round methods here
+(:meth:`begin_round`, :meth:`choose_action`, :meth:`deliver`,
+:meth:`record_output`) are the *reference* implementation of the per-round
+state transitions — used by tests and any driver that steps nodes manually —
+but :meth:`repro.engine.simulator.Simulator.run` inlines the same transitions
+into its round loop for speed.  **A behavioural change to any per-round
+method below must be mirrored in the simulator's loop** (the engine
+equivalence suite pins both against recorded goldens).
 """
 
 from __future__ import annotations
@@ -33,6 +43,17 @@ class NodeRuntime:
     rng:
         The node's private random stream.
     """
+
+    __slots__ = (
+        "node_id",
+        "_params",
+        "_rng",
+        "_protocol",
+        "_context",
+        "_activation_round",
+        "outputs_recorded",
+        "first_sync_local_round",
+    )
 
     def __init__(self, node_id: NodeId, params: ModelParameters, rng: random.Random) -> None:
         self.node_id = node_id
@@ -106,11 +127,17 @@ class NodeRuntime:
 
     def choose_action(self) -> RadioAction:
         """Ask the protocol for this round's radio action."""
-        return self.protocol.choose_action()
+        protocol = self._protocol
+        if protocol is None:
+            raise SimulationError(f"node {self.node_id} is not active")
+        return protocol.choose_action()
 
     def deliver(self, outcome: ReceptionOutcome) -> None:
         """Deliver the end-of-round reception outcome to the protocol."""
-        self.protocol.on_reception(outcome)
+        protocol = self._protocol
+        if protocol is None:
+            raise SimulationError(f"node {self.node_id} is not active")
+        protocol.on_reception(outcome)
 
     def record_output(self) -> SyncOutput:
         """Record (and return) the protocol's output for this round.
@@ -119,9 +146,12 @@ class NodeRuntime:
         trace recorder (when one is attached), so trace-free executions hold
         no per-node round history at all.
         """
-        output = self.protocol.current_output()
+        protocol = self._protocol
+        if protocol is None:
+            raise SimulationError(f"node {self.node_id} is not active")
+        output = protocol.current_output()
         if output is not None and self.first_sync_local_round is None:
-            self.first_sync_local_round = self.context.local_round
+            self.first_sync_local_round = self._context.local_round  # type: ignore[union-attr]
         self.outputs_recorded += 1
         return output
 

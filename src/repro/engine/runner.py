@@ -9,6 +9,7 @@ agreement success rates, and the leader-count distribution.
 
 from __future__ import annotations
 
+import functools
 import math
 import statistics
 from dataclasses import dataclass, replace
@@ -20,17 +21,30 @@ from repro.engine.results import SimulationResult
 from repro.engine.simulator import SimulationConfig
 
 
-def interpolated_percentile(values: Sequence[float], fraction: float) -> float | None:
+def interpolated_percentile(
+    values: Sequence[float], fraction: float, *, assume_sorted: bool = False
+) -> float | None:
     """The empirical percentile of ``values`` at ``fraction`` (in ``[0, 1]``).
 
     Linearly interpolates between the order statistics (the convention of
     ``numpy.percentile``'s default mode); returns ``None`` for an empty
     sample.  Shared by the live :class:`TrialSummary` and the campaign
     store's aggregation layer so both report identical percentiles.
+
+    Parameters
+    ----------
+    values:
+        The sample.
+    fraction:
+        The percentile, as a fraction in ``[0, 1]``.
+    assume_sorted:
+        When True, ``values`` must already be in ascending order and is used
+        as-is — callers that compute several percentiles over one sample sort
+        once and reuse the ordering instead of re-sorting per call.
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-    ordered = sorted(values)
+    ordered = values if assume_sorted else sorted(values)
     if not ordered:
         return None
     position = fraction * (len(ordered) - 1)
@@ -91,26 +105,38 @@ class TrialSummary:
         return sum(1 for r in self.results if r.leader_count <= 1) / len(self.results)
 
     def latencies(self) -> list[int]:
-        """Max activation-to-sync latencies of the executions that synchronized."""
+        """Max activation-to-sync latencies of the executions that synchronized.
+
+        In seed order (callers compare parallel vs. serial batches with it).
+        """
         return [r.max_sync_latency for r in self.results if r.max_sync_latency is not None]
+
+    @functools.cached_property
+    def sorted_latencies(self) -> tuple[int, ...]:
+        """The latency sample in ascending order, computed once per summary.
+
+        Every latency statistic below reads this cache, so reporting a whole
+        percentile table sorts the sample exactly once.
+        """
+        return tuple(sorted(self.latencies()))
 
     @property
     def mean_latency(self) -> float | None:
         """Mean of the per-execution worst-case latencies (synchronized runs only)."""
-        latencies = self.latencies()
+        latencies = self.sorted_latencies
         return statistics.fmean(latencies) if latencies else None
 
     @property
     def median_latency(self) -> float | None:
         """Median of the per-execution worst-case latencies."""
-        latencies = self.latencies()
+        latencies = self.sorted_latencies
         return float(statistics.median(latencies)) if latencies else None
 
     @property
     def max_latency(self) -> int | None:
         """Worst latency observed across the whole batch."""
-        latencies = self.latencies()
-        return max(latencies) if latencies else None
+        latencies = self.sorted_latencies
+        return latencies[-1] if latencies else None
 
     def percentile_latency(self, fraction: float) -> float | None:
         """An empirical latency percentile (``fraction`` in ``[0, 1]``).
@@ -119,7 +145,7 @@ class TrialSummary:
         convention as ``numpy.percentile``'s default), so e.g. the median of
         ``[1, 2, 3, 4]`` is ``2.5`` rather than a nearest-rank rounding.
         """
-        return interpolated_percentile(self.latencies(), fraction)
+        return interpolated_percentile(self.sorted_latencies, fraction, assume_sorted=True)
 
     def describe(self) -> str:
         """One-line summary used by experiment tables."""

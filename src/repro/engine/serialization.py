@@ -9,6 +9,7 @@ round logs, without adding any dependency beyond the standard library.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -210,6 +211,99 @@ def write_round_log_csv(trace: ExecutionTrace, path: str | Path) -> Path:
                     ]
                 )
     return target
+
+
+def execution_digest_dict(result: SimulationResult) -> dict[str, Any]:
+    """A canonical, JSON-serializable description of *everything* a result holds.
+
+    This is the equivalence-test vocabulary: two executions are bit-identical
+    iff their digest dicts are equal.  It intentionally covers more than
+    :func:`result_to_dict` — every metrics counter, every violation, and (when
+    a trace is retained) the complete per-round record including per-frequency
+    broadcaster/listener sets — so an engine refactor cannot change observable
+    behaviour without changing the digest.
+    """
+    metrics = result.metrics
+    report = result.report
+    data: dict[str, Any] = {
+        "report": {
+            "liveness_achieved": report.liveness_achieved,
+            "synchronization_round": report.synchronization_round,
+            "violations": [
+                {
+                    "property": violation.property_name,
+                    "global_round": violation.global_round,
+                    "node_id": violation.node_id,
+                    "detail": violation.detail,
+                }
+                for violation in report.violations
+            ],
+        },
+        "metrics": {
+            "rounds_simulated": metrics.rounds_simulated,
+            "broadcasts": metrics.broadcasts,
+            "deliveries": metrics.deliveries,
+            "collisions": metrics.collisions,
+            "disrupted_frequency_rounds": metrics.disrupted_frequency_rounds,
+            "disrupted_deliveries_prevented": metrics.disrupted_deliveries_prevented,
+            "leader_count": metrics.leader_count,
+            "sync_latencies": {
+                str(node): latency for node, latency in sorted(metrics.sync_latencies.items())
+            },
+            "role_rounds": {
+                role.value: count for role, count in sorted(metrics.role_rounds.items(), key=lambda kv: kv[0].value)
+            },
+            "activation_rounds": {
+                str(node): global_round
+                for node, global_round in sorted(metrics.activation_rounds.items())
+            },
+        },
+    }
+    if result.trace is None:
+        data["trace"] = None
+    else:
+        trace = result.trace
+        data["trace"] = {
+            "seed": trace.seed,
+            "complete": trace.complete,
+            "activation_rounds": {
+                str(node): global_round
+                for node, global_round in sorted(trace.activation_rounds.items())
+            },
+            "rounds": [
+                {
+                    "global_round": record.global_round,
+                    "outputs": {str(node): value for node, value in sorted(record.outputs.items())},
+                    "roles": {str(node): role.value for node, role in sorted(record.roles.items())},
+                    "disrupted": sorted(record.activity.disrupted),
+                    "activations": list(record.activity.activations),
+                    "per_frequency": {
+                        str(frequency): {
+                            "broadcasters": list(activity.broadcasters),
+                            "listeners": list(activity.listeners),
+                            "disrupted": activity.disrupted,
+                            "delivered": activity.delivered,
+                        }
+                        for frequency, activity in sorted(record.activity.per_frequency.items())
+                    },
+                }
+                for record in trace
+            ],
+        }
+    return data
+
+
+def execution_digest(result: SimulationResult) -> str:
+    """A stable SHA-256 hex digest of :func:`execution_digest_dict`.
+
+    Stable across processes and Python versions (canonical JSON, sorted keys),
+    so recorded digests can serve as golden values for engine-equivalence
+    tests and for the bench subsystem's work-determinism checks.
+    """
+    canonical = json.dumps(
+        execution_digest_dict(result), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def load_result_json(path: str | Path) -> dict[str, Any]:

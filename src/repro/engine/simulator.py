@@ -39,10 +39,11 @@ from repro.engine.rng import RandomStreams
 from repro.engine.trace import RoundRecord
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.params import ModelParameters
-from repro.protocols.base import ProtocolFactory
+from repro.protocols.base import ProtocolContext, ProtocolFactory, SynchronizationProtocol
+from repro.radio.actions import RadioAction
 from repro.radio.network import SingleHopRadioNetwork
 from repro.radio.spectrum_log import SpectrumLog
-from repro.types import NodeId, Role
+from repro.types import NodeId, Role, SyncOutput
 
 
 @dataclass
@@ -149,7 +150,16 @@ class Simulator:
         self._protocol_factory: ProtocolFactory = fresh() if callable(fresh) else factory
         self._spectrum = SpectrumLog(window=config.spectrum_window)
         self._extra_observers = tuple(observers)
+        # Nodes never deactivate, so this insertion-ordered mapping *is* the
+        # active set: `_activate` appends and the round loop iterates it
+        # directly instead of rebuilding a filtered copy every round.
         self._nodes: dict[NodeId, NodeRuntime] = {}
+        # Per-node hot-path dispatch: (node_id, runtime, protocol, context)
+        # rows appended at activation, so the round loop drives each protocol
+        # directly instead of going through the runtime's guarded wrappers.
+        self._active_rows: list[
+            tuple[NodeId, NodeRuntime, SynchronizationProtocol, ProtocolContext]
+        ] = []
         self._synced_nodes: set[NodeId] = set()
         self._leader_uids: set[int] = set()
         self._pending_activations = config.activation.node_count
@@ -181,38 +191,59 @@ class Simulator:
         for observer in observers:
             observer.on_simulation_start(config.params, config.seed)
 
+        # Hot-path dispatch: the observer pipeline is fixed for the whole
+        # execution, so bind every `on_round` once and notify through the
+        # resulting tuple — one fast batched call site per round instead of a
+        # per-observer attribute lookup.  With TraceLevel.NONE the tuple holds
+        # no recorder at all: streaming observers only, nothing buffered.
+        notify_round = tuple(observer.on_round for observer in observers)
+        rows = self._active_rows
+        activations_for_round = config.activation.activations_for_round
+        resolve_round = self._network.resolve_round
+        choose_disruption = self._choose_disruption
+        synced_nodes = self._synced_nodes
+        leader_uids = self._leader_uids
+        leader_role = Role.LEADER
+
         rounds_simulated = 0
         grace_remaining: int | None = None
         for global_round in range(1, config.max_rounds + 1):
-            activations = config.activation.activations_for_round(global_round, activation_rng)
-            self._activate(activations, global_round, observers)
-            active = {node_id: node for node_id, node in self._nodes.items() if node.active}
+            activations = activations_for_round(global_round, activation_rng)
+            if activations:
+                self._activate(activations, global_round, observers)
 
-            if active:
-                for node in active.values():
-                    node.begin_round()
-                actions = {node_id: node.choose_action() for node_id, node in active.items()}
-            else:
-                actions = {}
+            # The two per-node passes below inline NodeRuntime.begin_round /
+            # choose_action / deliver / record_output: same state transitions,
+            # one call per protocol hook instead of one per guarded wrapper.
+            actions: dict[NodeId, RadioAction] = {}
+            for node_id, node, protocol, context in rows:
+                if node.outputs_recorded:
+                    context.local_round += 1
+                actions[node_id] = protocol.choose_action()
 
-            disrupted = self._choose_disruption(global_round, adversary_rng, len(active))
-            resolution = self._network.resolve_round(global_round, actions, disrupted, activations)
+            disrupted = choose_disruption(global_round, adversary_rng, len(rows))
+            resolution = resolve_round(global_round, actions, disrupted, activations)
 
-            outputs = {}
-            roles = {}
-            for node_id, node in active.items():
-                outcome = resolution.outcomes.get(node_id)
+            outputs: dict[NodeId, SyncOutput] = {}
+            roles: dict[NodeId, Role] = {}
+            outcomes = resolution.outcomes
+            for node_id, node, protocol, context in rows:
+                outcome = outcomes.get(node_id)
                 if outcome is None:
                     raise SimulationError(
                         f"node {node_id} acted in round {global_round} but got no outcome"
                     )
-                node.deliver(outcome)
-                outputs[node_id] = node.record_output()
-                roles[node_id] = node.role
-                if node.role is Role.LEADER:
-                    self._leader_uids.add(node.uid)
-                if node_id not in self._synced_nodes and node.synchronized:
-                    self._synced_nodes.add(node_id)
+                protocol.on_reception(outcome)
+                output = protocol.current_output()
+                if output is not None and node.first_sync_local_round is None:
+                    node.first_sync_local_round = context.local_round
+                    synced_nodes.add(node_id)
+                node.outputs_recorded += 1
+                outputs[node_id] = output
+                role = protocol.role
+                roles[node_id] = role
+                if role is leader_role:
+                    leader_uids.add(context.uid)
 
             record = RoundRecord(
                 global_round=global_round,
@@ -220,8 +251,8 @@ class Simulator:
                 roles=roles,
                 activity=resolution.activity,
             )
-            for observer in observers:
-                observer.on_round(record)
+            for notify in notify_round:
+                notify(record)
             rounds_simulated = global_round
 
             if self._should_stop(global_round):
@@ -260,6 +291,7 @@ class Simulator:
             )
             runtime.activate(global_round, self._protocol_factory)
             self._nodes[node_id] = runtime
+            self._active_rows.append((node_id, runtime, runtime.protocol, runtime.context))
             for observer in observers:
                 observer.on_activation(node_id, global_round)
             self._pending_activations -= 1

@@ -15,7 +15,7 @@ from repro.radio.events import RoundActivity
 from repro.types import GlobalRound, NodeId, Role, SyncOutput
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundRecord:
     """Everything recorded about one global round.
 

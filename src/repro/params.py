@@ -15,6 +15,7 @@ quantities that appear throughout the protocols and bounds (``F' = min(F, 2t)``,
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
@@ -52,9 +53,15 @@ class ModelParameters:
                 f"N must be at least 2, got {self.participant_bound}"
             )
 
-    @property
+    @functools.cached_property
     def band(self) -> FrequencyBand:
-        """The frequency band ``[1 .. F]``."""
+        """The frequency band ``[1 .. F]``.
+
+        Cached: protocols and adversaries consult the band every round, so
+        handing out one stable instance (instead of building a fresh
+        ``FrequencyBand`` per access) keeps band-derived caches effective on
+        the simulation hot path.
+        """
         return FrequencyBand(self.frequencies)
 
     @property

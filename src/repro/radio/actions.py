@@ -16,7 +16,7 @@ from repro.radio.messages import Message
 from repro.types import Frequency, Intent
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RadioAction:
     """The action a node takes in one round.
 
@@ -59,6 +59,18 @@ def broadcast(frequency: Frequency, message: Message) -> RadioAction:
     return RadioAction(frequency=frequency, intent=Intent.BROADCAST, message=message)
 
 
+#: Interned listen actions.  A listen action is fully determined by its
+#: frequency and :class:`RadioAction` is immutable, so every protocol that
+#: listens on frequency ``f`` can share one instance — listening is by far the
+#: most common action, and this removes a dataclass allocation (plus its
+#: ``__post_init__`` validation) from the per-node hot path.
+_LISTEN_ACTIONS: dict[Frequency, RadioAction] = {}
+
+
 def listen(frequency: Frequency) -> RadioAction:
-    """Convenience constructor for a listen action."""
-    return RadioAction(frequency=frequency, intent=Intent.LISTEN)
+    """Convenience constructor for a listen action (instances are interned)."""
+    action = _LISTEN_ACTIONS.get(frequency)
+    if action is None:
+        action = RadioAction(frequency=frequency, intent=Intent.LISTEN)
+        _LISTEN_ACTIONS[frequency] = action
+    return action

@@ -15,7 +15,7 @@ from repro.radio.messages import Message
 from repro.types import Frequency, NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReceptionOutcome:
     """What a single node observed at the end of a round.
 
@@ -50,7 +50,7 @@ class ReceptionOutcome:
         return self.message is not None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrequencyActivity:
     """Aggregate activity on one frequency during one round.
 
@@ -82,7 +82,7 @@ class FrequencyActivity:
         return len(self.broadcasters) >= 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundActivity:
     """Everything that happened on the spectrum in one global round.
 

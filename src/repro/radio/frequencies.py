@@ -31,6 +31,8 @@ class FrequencyBand:
     def __post_init__(self) -> None:
         if self.size < 1:
             raise ConfigurationError(f"a frequency band needs at least one frequency, got {self.size}")
+        # Precomputed once: adversaries ask for the full band every round.
+        object.__setattr__(self, "_all_frequencies", tuple(range(1, self.size + 1)))
 
     def __contains__(self, frequency: object) -> bool:
         return isinstance(frequency, int) and 1 <= frequency <= self.size
@@ -75,4 +77,4 @@ class FrequencyBand:
 
     def all_frequencies(self) -> tuple[Frequency, ...]:
         """All frequencies of the band as a tuple (1-based)."""
-        return tuple(range(1, self.size + 1))
+        return self._all_frequencies  # type: ignore[attr-defined,no-any-return]

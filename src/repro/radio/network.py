@@ -16,7 +16,6 @@ record.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -24,10 +23,10 @@ from repro.exceptions import ConfigurationError, SimulationError
 from repro.radio.actions import RadioAction
 from repro.radio.events import FrequencyActivity, ReceptionOutcome, RoundActivity
 from repro.radio.frequencies import FrequencyBand
-from repro.types import Frequency, NodeId
+from repro.types import Frequency, Intent, NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetworkResolution:
     """The result of resolving one round of radio communication.
 
@@ -54,6 +53,16 @@ class SingleHopRadioNetwork:
 
     def __init__(self, band: FrequencyBand) -> None:
         self._band = band
+        #: The band as a frozenset, for O(t) validation of disruption sets.
+        self._band_set: frozenset[Frequency] = frozenset(band.all_frequencies())
+        #: Interned reception outcomes.  An outcome with no message is fully
+        #: determined by ``(frequency, broadcast, collision, disrupted)`` —
+        #: at most ``8·F`` distinct values — and outcomes are immutable, so
+        #: the resolver hands every node a shared instance instead of
+        #: allocating one dataclass per node per round.
+        self._outcome_cache: dict[
+            tuple[Frequency, bool, bool, bool], ReceptionOutcome
+        ] = {}
 
     @property
     def band(self) -> FrequencyBand:
@@ -86,37 +95,56 @@ class SingleHopRadioNetwork:
         NetworkResolution
             Per-node outcomes and the aggregate activity record.
         """
-        disrupted_set = frozenset(self._band.validate(f) for f in disrupted)
+        # Fast path: the simulator hands us an already-budget-validated
+        # frozenset of in-band ints, so a subset check replaces per-frequency
+        # validation.  Anything else (or any non-int) takes the strict path.
+        if isinstance(disrupted, frozenset) and all(type(f) is int for f in disrupted):
+            disrupted_set = disrupted
+            if not disrupted_set <= self._band_set:
+                for f in disrupted_set:
+                    self._band.validate(f)
+        else:
+            disrupted_set = frozenset(self._band.validate(f) for f in disrupted)
 
-        broadcasters: dict[Frequency, list[NodeId]] = defaultdict(list)
-        listeners: dict[Frequency, list[NodeId]] = defaultdict(list)
+        broadcasters: dict[Frequency, list[NodeId]] = {}
+        listeners: dict[Frequency, list[NodeId]] = {}
+        band = self._band
+        band_size = band.size
+        broadcast_intent = Intent.BROADCAST
         for node_id, action in actions.items():
             frequency = action.frequency
-            if frequency not in self._band:
+            if not (type(frequency) is int and 1 <= frequency <= band_size) and (
+                frequency not in band
+            ):
                 raise SimulationError(
                     f"node {node_id} tuned to frequency {frequency} outside band "
-                    f"[1..{self._band.size}]"
+                    f"[1..{band_size}]"
                 )
-            if action.is_broadcast:
-                broadcasters[frequency].append(node_id)
+            target = broadcasters if action.intent is broadcast_intent else listeners
+            bucket = target.get(frequency)
+            if bucket is None:
+                target[frequency] = [node_id]
             else:
-                listeners[frequency].append(node_id)
+                bucket.append(node_id)
 
         outcomes: dict[NodeId, ReceptionOutcome] = {}
         per_frequency: dict[Frequency, FrequencyActivity] = {}
+        outcome_cache = self._outcome_cache
 
-        used_frequencies = set(broadcasters) | set(listeners)
+        used_frequencies = broadcasters.keys() | listeners.keys()
         for frequency in sorted(used_frequencies):
-            freq_broadcasters = tuple(sorted(broadcasters.get(frequency, ())))
-            freq_listeners = tuple(sorted(listeners.get(frequency, ())))
+            freq_bucket = broadcasters.get(frequency)
+            listen_bucket = listeners.get(frequency)
+            freq_broadcasters = tuple(sorted(freq_bucket)) if freq_bucket else ()
+            freq_listeners = tuple(sorted(listen_bucket)) if listen_bucket else ()
             is_disrupted = frequency in disrupted_set
-            collision = len(freq_broadcasters) >= 2
-            delivered = len(freq_broadcasters) == 1 and not is_disrupted
+            broadcaster_count = len(freq_broadcasters)
+            collision = broadcaster_count >= 2
+            delivered = broadcaster_count == 1 and not is_disrupted
 
             message = None
             if delivered:
-                only_broadcaster = freq_broadcasters[0]
-                message = actions[only_broadcaster].message
+                message = actions[freq_broadcasters[0]].message
 
             per_frequency[frequency] = FrequencyActivity(
                 frequency=frequency,
@@ -126,22 +154,43 @@ class SingleHopRadioNetwork:
                 delivered=delivered,
             )
 
-            for node_id in freq_broadcasters:
-                outcomes[node_id] = ReceptionOutcome(
-                    frequency=frequency,
-                    broadcast=True,
-                    message=None,
-                    collision=collision,
-                    disrupted=is_disrupted,
-                )
-            for node_id in freq_listeners:
-                outcomes[node_id] = ReceptionOutcome(
-                    frequency=frequency,
-                    broadcast=False,
-                    message=message if delivered else None,
-                    collision=collision,
-                    disrupted=is_disrupted,
-                )
+            if freq_broadcasters:
+                key = (frequency, True, collision, is_disrupted)
+                outcome = outcome_cache.get(key)
+                if outcome is None:
+                    outcome = ReceptionOutcome(
+                        frequency=frequency,
+                        broadcast=True,
+                        message=None,
+                        collision=collision,
+                        disrupted=is_disrupted,
+                    )
+                    outcome_cache[key] = outcome
+                for node_id in freq_broadcasters:
+                    outcomes[node_id] = outcome
+            if freq_listeners:
+                if message is None:
+                    key = (frequency, False, collision, is_disrupted)
+                    outcome = outcome_cache.get(key)
+                    if outcome is None:
+                        outcome = ReceptionOutcome(
+                            frequency=frequency,
+                            broadcast=False,
+                            message=None,
+                            collision=collision,
+                            disrupted=is_disrupted,
+                        )
+                        outcome_cache[key] = outcome
+                else:
+                    outcome = ReceptionOutcome(
+                        frequency=frequency,
+                        broadcast=False,
+                        message=message,
+                        collision=collision,
+                        disrupted=is_disrupted,
+                    )
+                for node_id in freq_listeners:
+                    outcomes[node_id] = outcome
 
         activity = RoundActivity(
             global_round=global_round,

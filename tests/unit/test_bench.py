@@ -1,0 +1,271 @@
+"""Tests for the bench subsystem: registry, harness, JSON schema, compare, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import BenchMeasurement, calibration_rate, run_bench, run_scenario
+from repro.bench.report import (
+    BENCH_SCHEMA_VERSION,
+    bench_run_to_dict,
+    compare_bench,
+    load_bench_json,
+    write_bench_json,
+)
+from repro.bench.scenarios import (
+    BENCH_SCENARIOS,
+    BenchScenario,
+    ScenarioWork,
+    ci_scenario_names,
+    resolve_scenarios,
+)
+from repro.campaigns.store import ResultStore
+from repro.cli import main
+from repro.exceptions import ConfigurationError, ExperimentError
+
+
+def _fast_scenario(name: str = "fast", digests: list[str] | None = None) -> BenchScenario:
+    """A synthetic scenario doing trivial work (optionally nondeterministic)."""
+    sequence = list(digests) if digests else []
+
+    def run() -> ScenarioWork:
+        digest = sequence.pop(0) if sequence else "stable"
+        return ScenarioWork(units=100, digest=digest, detail={"kind": "synthetic"})
+
+    return BenchScenario(
+        name=name, description="synthetic test scenario", unit="ops", ci=False, run=run
+    )
+
+
+class TestRegistry:
+    def test_ci_subset_is_pinned(self):
+        assert ci_scenario_names() == ("trapdoor_n64_trace_free", "gs_full_trace")
+
+    def test_resolve_all_ci_and_explicit(self):
+        assert [s.name for s in resolve_scenarios("all")] == list(BENCH_SCENARIOS)
+        assert [s.name for s in resolve_scenarios("ci")] == list(ci_scenario_names())
+        assert [s.name for s in resolve_scenarios("gs_full_trace")] == ["gs_full_trace"]
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown bench scenarios"):
+            resolve_scenarios("no_such_scenario")
+
+    def test_every_scenario_declares_a_unit(self):
+        for scenario in BENCH_SCENARIOS.values():
+            assert scenario.unit in {"rounds", "trials", "evaluations"}
+
+
+class TestHarness:
+    def test_median_and_throughput(self):
+        measurement = BenchMeasurement(
+            scenario=_fast_scenario(),
+            work=ScenarioWork(units=100, digest="d", detail={}),
+            seconds=(0.5, 0.1, 0.2),
+        )
+        assert measurement.median_seconds == 0.2
+        assert measurement.throughput == pytest.approx(500.0)
+        assert measurement.normalized_throughput(1e6) == pytest.approx(500.0)
+
+    def test_run_scenario_counts_warmup_and_repeats(self):
+        calls = []
+
+        def run() -> ScenarioWork:
+            calls.append(1)
+            return ScenarioWork(units=1, digest="d", detail={})
+
+        scenario = BenchScenario(name="s", description="", unit="ops", ci=False, run=run)
+        measurement = run_scenario(scenario, repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert len(measurement.seconds) == 3
+
+    def test_run_scenario_rejects_nondeterministic_work(self):
+        scenario = _fast_scenario(digests=["a", "b"])
+        with pytest.raises(ExperimentError, match="nondeterministic"):
+            run_scenario(scenario, repeats=2, warmup=0)
+
+    def test_run_scenario_validates_arguments(self):
+        scenario = _fast_scenario()
+        with pytest.raises(ExperimentError, match="at least one repeat"):
+            run_scenario(scenario, repeats=0, warmup=0)
+        with pytest.raises(ExperimentError, match="warmup"):
+            run_scenario(scenario, repeats=1, warmup=-1)
+
+    def test_calibration_rate_is_positive(self):
+        assert calibration_rate(samples=1, loops=10_000) > 0
+
+
+def _deterministic_view(payload: dict) -> dict:
+    """The repeat-invariant portion of a bench payload (no timings)."""
+    return {
+        name: {
+            "unit": entry["unit"],
+            "units": entry["units"],
+            "digest": entry["digest"],
+            "detail": entry["detail"],
+        }
+        for name, entry in payload["scenarios"].items()
+    }
+
+
+class TestEmission:
+    def test_payload_is_schema_versioned_and_complete(self):
+        run = run_bench([_fast_scenario()], rev="test", repeats=2, warmup=0)
+        payload = bench_run_to_dict(run)
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["rev"] == "test"
+        assert payload["repeats"] == 2
+        entry = payload["scenarios"]["fast"]
+        assert entry["units"] == 100
+        assert entry["digest"] == "stable"
+        assert len(entry["samples_seconds"]) == 2
+        assert entry["throughput"] > 0
+        assert entry["normalized_throughput"] > 0
+
+    def test_bench_json_is_deterministic_across_two_runs(self):
+        """Two in-process `repro bench` runs emit identical payloads modulo timing."""
+        scenarios = resolve_scenarios("ci")
+        first = bench_run_to_dict(run_bench(scenarios, rev="r", repeats=1, warmup=0))
+        second = bench_run_to_dict(run_bench(scenarios, rev="r", repeats=1, warmup=0))
+        assert _deterministic_view(first) == _deterministic_view(second)
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        run = run_bench([_fast_scenario()], rev="test", repeats=1, warmup=0)
+        path = write_bench_json(run, tmp_path / "BENCH_test.json")
+        loaded = load_bench_json(path)
+        assert loaded == bench_run_to_dict(run) | {"created_utc": loaded["created_utc"]}
+
+    def test_load_refuses_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "scenarios": {}}))
+        with pytest.raises(ConfigurationError, match="schema 999"):
+            load_bench_json(path)
+
+
+def _payload(**normalized: float) -> dict:
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "scenarios": {
+            name: {
+                "units": 100,
+                "throughput": value * 10,
+                "normalized_throughput": value,
+            }
+            for name, value in normalized.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_no_regression_within_tolerance(self):
+        comparison = compare_bench(_payload(a=0.8), _payload(a=1.0), tolerance=0.25)
+        assert comparison.ok
+        assert comparison.entries[0].note == "ok"
+        assert comparison.entries[0].ratio == pytest.approx(0.8)
+
+    def test_regression_beyond_tolerance_fails(self):
+        comparison = compare_bench(_payload(a=0.7), _payload(a=1.0), tolerance=0.25)
+        assert not comparison.ok
+        assert [entry.scenario for entry in comparison.regressions] == ["a"]
+        assert comparison.entries[0].note == "regressed"
+
+    def test_missing_and_new_scenarios_do_not_gate(self):
+        comparison = compare_bench(
+            _payload(b=1.0), _payload(a=1.0), tolerance=0.25
+        )
+        notes = {entry.scenario: entry.note for entry in comparison.entries}
+        assert notes == {"a": "missing-current", "b": "new"}
+        assert comparison.ok
+
+    def test_changed_work_is_reported_but_never_gates(self):
+        current = _payload(a=0.1)
+        current["scenarios"]["a"]["units"] = 999
+        comparison = compare_bench(current, _payload(a=1.0), tolerance=0.25)
+        assert comparison.ok
+        assert comparison.entries[0].note == "work-changed"
+
+    def test_raw_throughput_metric(self):
+        comparison = compare_bench(
+            _payload(a=1.0), _payload(a=1.0), tolerance=0.25, metric="throughput"
+        )
+        assert comparison.ok
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError, match="tolerance"):
+            compare_bench(_payload(a=1.0), _payload(a=1.0), tolerance=1.5)
+        with pytest.raises(ConfigurationError, match="metric"):
+            compare_bench(_payload(a=1.0), _payload(a=1.0), metric="wat")
+
+
+class TestProvenance:
+    def test_record_and_read_back(self):
+        with ResultStore(":memory:") as store:
+            store.record_bench_provenance(
+                rev="abc123", scenario="s", payload={"units": 1}, recorded_utc="2026-07-28T00:00:00"
+            )
+            store.record_bench_provenance(rev="abc123", scenario="t", payload={"units": 2})
+            rows = store.bench_provenance()
+        assert [row["scenario"] for row in rows] == ["s", "t"]
+        assert rows[0] == {
+            "rev": "abc123",
+            "scenario": "s",
+            "recorded_utc": "2026-07-28T00:00:00",
+            "payload": {"units": 1},
+        }
+        assert rows[1]["recorded_utc"]  # auto-stamped
+
+    def test_reopening_an_old_store_gains_the_table(self, tmp_path):
+        path = tmp_path / "store.db"
+        with ResultStore(path) as store:
+            pass
+        with ResultStore(path) as store:
+            assert store.bench_provenance() == []
+
+
+class TestCli:
+    def test_bench_run_writes_json_and_provenance(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        output = tmp_path / "BENCH_cli.json"
+        store_path = tmp_path / "prov.db"
+        code = main([
+            "bench", "run", "--scenarios", "gs_full_trace", "--repeats", "1",
+            "--warmup", "0", "--rev", "cli", "--output", str(output), "--json",
+            "--store", str(store_path),
+        ])
+        assert code == 0
+        payload = load_bench_json(output)
+        assert set(payload["scenarios"]) == {"gs_full_trace"}
+        captured = capsys.readouterr()
+        # With --json, stdout is the payload alone (pipe-friendly); the
+        # human-readable report goes to stderr.
+        assert json.loads(captured.out)["scenarios"].keys() == {"gs_full_trace"}
+        assert "median_s" in captured.err
+        with ResultStore(store_path) as store:
+            assert [row["scenario"] for row in store.bench_provenance()] == ["gs_full_trace"]
+
+    def test_bench_compare_ok_and_regressed_and_missing(self, tmp_path, capsys):
+        run = run_bench(resolve_scenarios("gs_full_trace"), rev="x", repeats=1, warmup=0)
+        current = tmp_path / "current.json"
+        write_bench_json(run, current)
+
+        assert main([
+            "bench", "compare", "--baseline", str(current), "--current", str(current),
+        ]) == 0
+        assert "perf gate : OK" in capsys.readouterr().out
+
+        inflated = bench_run_to_dict(run)
+        entry = inflated["scenarios"]["gs_full_trace"]
+        entry["normalized_throughput"] *= 10
+        entry["throughput"] *= 10
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(inflated))
+        assert main([
+            "bench", "compare", "--baseline", str(baseline), "--current", str(current),
+        ]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+        assert main([
+            "bench", "compare", "--baseline", str(baseline),
+            "--current", str(tmp_path / "nope.json"),
+        ]) == 2

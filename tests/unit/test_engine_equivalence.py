@@ -1,0 +1,147 @@
+"""Golden-output equivalence suite for the simulation engine.
+
+The engine's hot path is allowed to get faster, never to change behaviour.
+This suite pins the *complete* observable outcome of an execution — every
+metrics counter, every checker violation, and the full per-round trace
+including per-frequency broadcaster/listener sets — as a SHA-256 digest (see
+:func:`repro.engine.serialization.execution_digest`) for every registered
+protocol × registered jammer × activation-pattern combination, and compares
+against digests recorded from the pre-optimization engine.
+
+If an engine change (or a protocol/adversary change) alters any digest, the
+test fails with the offending combination named.  When the change is an
+*intentional* behaviour change, regenerate the goldens::
+
+    PYTHONPATH=src python tests/unit/test_engine_equivalence.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.adversary.activation import (
+    ActivationSchedule,
+    SimultaneousActivation,
+    StaggeredActivation,
+    TrickleActivation,
+)
+from repro.adversary.registry import ADVERSARY_FACTORIES
+from repro.engine.observers import TraceLevel
+from repro.engine.serialization import execution_digest
+from repro.engine.simulator import SimulationConfig, simulate
+from repro.params import ModelParameters
+from repro.protocols.registry import PROTOCOL_FACTORIES, protocol_factory
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "golden" / "engine_equivalence.json"
+
+#: Small parameters so the full matrix stays fast while still exercising
+#: collisions, disruption, and multi-epoch schedules.
+PARAMS = ModelParameters(frequencies=4, disruption_budget=1, participant_bound=8)
+MAX_ROUNDS = 1_500
+SEED = 11
+
+#: Named activation patterns crossed with every protocol and jammer.
+ACTIVATIONS: dict[str, ActivationSchedule] = {
+    "simultaneous": SimultaneousActivation(count=4),
+    "staggered": StaggeredActivation(count=4, spacing=3),
+    "trickle": TrickleActivation(count=4, delay=9),
+}
+
+
+def matrix_keys() -> list[str]:
+    """Every ``protocol|jammer|activation`` combination, deterministically ordered."""
+    return [
+        f"{protocol}|{jammer}|{activation}"
+        for protocol in sorted(PROTOCOL_FACTORIES)
+        for jammer in sorted(ADVERSARY_FACTORIES)
+        for activation in sorted(ACTIVATIONS)
+    ]
+
+
+def config_for(key: str) -> SimulationConfig:
+    """Build the pinned configuration one matrix key names."""
+    protocol, jammer, activation = key.split("|")
+    return SimulationConfig(
+        params=PARAMS,
+        protocol_factory=protocol_factory(protocol),
+        activation=ACTIVATIONS[activation],
+        adversary=ADVERSARY_FACTORIES[jammer](),
+        max_rounds=MAX_ROUNDS,
+        seed=SEED,
+        trace_level=TraceLevel.FULL,
+    )
+
+
+def compute_digest(key: str) -> str:
+    return execution_digest(simulate(config_for(key)))
+
+
+def load_goldens() -> dict[str, str]:
+    with GOLDEN_PATH.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict[str, str]:
+    assert GOLDEN_PATH.exists(), (
+        f"golden file {GOLDEN_PATH} is missing; regenerate with "
+        "`PYTHONPATH=src python tests/unit/test_engine_equivalence.py --regen`"
+    )
+    return load_goldens()
+
+
+def test_golden_matrix_covers_every_registered_combination(goldens):
+    """A newly registered protocol/jammer must gain a golden entry."""
+    assert sorted(goldens) == matrix_keys()
+
+
+@pytest.mark.parametrize("key", matrix_keys())
+def test_execution_matches_golden(key, goldens):
+    """The optimized engine reproduces the recorded execution bit-for-bit."""
+    assert key in goldens, f"no golden recorded for {key}; regenerate the golden file"
+    assert compute_digest(key) == goldens[key], (
+        f"execution digest changed for {key}: the engine no longer reproduces "
+        "the recorded golden output (trace, metrics, or checker verdicts differ)"
+    )
+
+
+def test_trace_free_run_matches_full_trace_run():
+    """Report and metrics are independent of the trace level (one spot check)."""
+    key = "trapdoor|random|staggered"
+    full = simulate(config_for(key))
+    trace_free = simulate(
+        SimulationConfig(
+            params=PARAMS,
+            protocol_factory=protocol_factory("trapdoor"),
+            activation=ACTIVATIONS["staggered"],
+            adversary=ADVERSARY_FACTORIES["random"](),
+            max_rounds=MAX_ROUNDS,
+            seed=SEED,
+            trace_level=TraceLevel.NONE,
+        )
+    )
+    assert trace_free.trace is None
+    assert trace_free.metrics == full.metrics
+    assert trace_free.report == full.report
+
+
+def regenerate() -> None:
+    """Record the digest of every matrix combination into the golden file."""
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    goldens = {key: compute_digest(key) for key in matrix_keys()}
+    with GOLDEN_PATH.open("w", encoding="utf-8") as handle:
+        json.dump(goldens, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(goldens)} golden digests to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        sys.exit(2)

@@ -21,7 +21,6 @@ from repro.experiments.workloads import (
     straggler,
     synchronized_start_low_jam,
 )
-from repro.params import ModelParameters
 from repro.protocols.trapdoor.protocol import TrapdoorProtocol
 
 REPO_ROOT = Path(__file__).resolve().parents[2]

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.protocols.good_samaritan.protocol import GoodSamaritanProtocol
 from repro.protocols.good_samaritan.reports import SuccessLedger

@@ -19,7 +19,6 @@ from repro.engine.metrics import MetricsObserver, collect_metrics
 from repro.engine.observers import BaseRoundObserver, TraceLevel, TraceRecorder, replay_trace
 from repro.engine.simulator import SimulationConfig, Simulator, simulate
 from repro.exceptions import ConfigurationError
-from repro.params import ModelParameters
 from repro.protocols.trapdoor.protocol import TrapdoorProtocol
 from repro.radio.spectrum_log import SpectrumLog
 

@@ -16,7 +16,6 @@ from repro.adversary.jammers import RandomJammer
 from repro.engine.observers import TraceLevel
 from repro.engine.runner import TrialSummary, run_trials
 from repro.engine.simulator import SimulationConfig
-from repro.params import ModelParameters
 from repro.protocols.trapdoor.protocol import TrapdoorProtocol
 
 

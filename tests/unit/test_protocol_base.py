@@ -9,7 +9,7 @@ from repro.protocols.base import SynchronizationProtocol, SynchronizedOutputMixi
 from repro.protocols.numbering import RoundNumbering
 from repro.radio.actions import RadioAction, listen
 from repro.radio.events import ReceptionOutcome
-from repro.types import Role, SyncOutput
+from repro.types import Role
 
 
 class MixinProtocol(SynchronizedOutputMixin, SynchronizationProtocol):

@@ -8,7 +8,6 @@ from repro.adversary.activation import SimultaneousActivation
 from repro.adversary.jammers import NoInterference, RandomJammer
 from repro.engine.runner import run_trials
 from repro.engine.simulator import SimulationConfig
-from repro.params import ModelParameters
 from repro.protocols.trapdoor.protocol import TrapdoorProtocol
 
 

@@ -85,7 +85,6 @@ class TestCsvLog:
 
 class TestIncompleteTraceSerialization:
     def test_sampled_trace_omits_round_derived_fields(self, params):
-        from dataclasses import replace
 
         from repro.adversary.activation import StaggeredActivation
         from repro.adversary.jammers import RandomJammer

@@ -9,8 +9,7 @@ from repro.adversary.base import AdversaryContext, InterferenceAdversary
 from repro.adversary.jammers import NoInterference, RandomJammer
 from repro.engine.simulator import SimulationConfig, Simulator, simulate
 from repro.exceptions import ConfigurationError
-from repro.params import ModelParameters
-from repro.protocols.base import ProtocolContext, SynchronizationProtocol
+from repro.protocols.base import SynchronizationProtocol
 from repro.protocols.trapdoor.protocol import TrapdoorProtocol
 from repro.radio.actions import RadioAction, listen
 from repro.radio.events import ReceptionOutcome

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.protocols.trapdoor.protocol import TrapdoorProtocol
 from repro.radio.events import ReceptionOutcome
