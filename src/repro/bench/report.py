@@ -137,6 +137,33 @@ class BenchComparison:
         return not self.regressions
 
 
+def comparison_to_dict(comparison: "BenchComparison") -> dict[str, Any]:
+    """The JSON-serializable form of a comparison (``bench compare --json``).
+
+    What CI uploads as the machine-readable gate artifact: the metric and
+    tolerance the gate ran with, the overall verdict, and one entry per
+    scenario mirroring :class:`ScenarioComparison`.
+    """
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "bench-comparison",
+        "metric": comparison.metric,
+        "tolerance": comparison.tolerance,
+        "ok": comparison.ok,
+        "regressions": [entry.scenario for entry in comparison.regressions],
+        "scenarios": {
+            entry.scenario: {
+                "baseline": entry.baseline,
+                "current": entry.current,
+                "ratio": entry.ratio,
+                "regressed": entry.regressed,
+                "note": entry.note,
+            }
+            for entry in comparison.entries
+        },
+    }
+
+
 def compare_bench(
     current: dict[str, Any],
     baseline: dict[str, Any],

@@ -191,6 +191,110 @@ def _campaign_parallel_slice() -> ScenarioWork:
     )
 
 
+def _campaign_many_small_cells() -> ScenarioWork:
+    """Many tiny cells on one persistent pool: the orchestration yardstick.
+
+    A 16-cell trapdoor grid whose individual cells simulate for only a couple
+    of milliseconds each — the regime where the pre-pool per-cell executor
+    spin-up dominated end to end (the per-cell fresh-pool path measures ~3.7x
+    slower on this grid; ``benchmarks/test_orchestration_throughput.py`` pins
+    that ratio).  Exercises the full batched path: one
+    :class:`~repro.engine.pool.ExecutionPool` for the whole campaign,
+    template-and-delta chunk dispatch, in-worker reduction, WAL store, and
+    grid-order atomic commits.  Unit: cells/second.
+    """
+    spec = CampaignSpec(
+        name="bench-many-small-cells",
+        protocols=("trapdoor",),
+        workloads=("quiet_start",),
+        frequencies=(4, 8),
+        budgets=(0, 1),
+        participants=(8, 16),
+        node_counts=(2, 3),
+        seeds=2,
+        max_rounds=1_500,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        with ResultStore(Path(tmp) / "many-small-cells.db") as store:
+            with CampaignRunner(spec, store, workers=2, pool_chunk=2) as runner:
+                progress = runner.run()
+            rows = [
+                {
+                    "key": key,
+                    "trials": [
+                        [record.seed, record.max_sync_latency, record.rounds_simulated]
+                        for record in records
+                    ],
+                }
+                for key, _description, records in store.iter_cells(spec.name)
+            ]
+    return ScenarioWork(
+        units=progress.executed,
+        digest=_digest_of(rows),
+        detail={
+            "cells": progress.total,
+            "seeds_per_cell": len(spec.seeds),
+            "workers": 2,
+            "pool_chunk": 2,
+            "reduced": True,
+        },
+    )
+
+
+def _search_generation() -> ScenarioWork:
+    """Warm start plus one optimizer generation on one persistent pool.
+
+    The per-candidate orchestration yardstick: every evaluation is a tiny
+    2-seed batch, so the pre-pool path (a fresh executor per candidate) paid
+    pool spin-up 14 times where this pays it once (measured ~3x end to end;
+    ``benchmarks/test_orchestration_throughput.py`` pins the ratio).  Workers
+    reduce each trial in-process, so only record-shaped scalars cross the
+    process boundary.  Unit: evaluations/second.
+    """
+    objective = SearchObjective(
+        protocol="trapdoor",
+        workload="quiet_start",
+        frequencies=4,
+        budget=1,
+        participants=8,
+        node_count=2,
+        seeds=2,
+        max_rounds=1_500,
+        metric="median_latency",
+    )
+    spec = SearchSpec(
+        name="bench-search-generation",
+        objective=objective,
+        optimizer="random",
+        population=8,
+        generations=1,
+        master_seed=5,
+        warm_start=True,
+    )
+    with ResultStore(":memory:") as store:
+        with StrategySearch(spec, store, workers=2, pool_chunk=2) as search:
+            result = search.run()
+        best = result.best
+    assert best is not None  # the warm start always evaluates something
+    return ScenarioWork(
+        units=result.executed,
+        digest=_digest_of(
+            {
+                "best_key": best.key,
+                "best_score": best.score,
+                "evaluations": result.evaluations_total,
+            }
+        ),
+        detail={
+            "optimizer": spec.optimizer,
+            "workers": 2,
+            "pool_chunk": 2,
+            "seeds_per_candidate": len(objective.seeds),
+            "complete": result.complete,
+        },
+    )
+
+
 def _search_warm_start() -> ScenarioWork:
     """The adversarial search's warm-start generation on an in-memory store.
 
@@ -252,6 +356,26 @@ BENCH_SCENARIOS: dict[str, BenchScenario] = {
             unit="rounds",
             ci=True,
             run=_gs_full_trace,
+        ),
+        BenchScenario(
+            name="campaign_many_small_cells",
+            description=(
+                "16 tiny trapdoor cells x 2 seeds batched onto one persistent "
+                "2-worker pool (chunked, in-worker reduction, WAL store)"
+            ),
+            unit="cells",
+            ci=True,
+            run=_campaign_many_small_cells,
+        ),
+        BenchScenario(
+            name="search_generation",
+            description=(
+                "adversarial-search warm start + 1 random generation on one "
+                "persistent 2-worker pool (2-seed candidates, in-worker reduction)"
+            ),
+            unit="evaluations",
+            ci=True,
+            run=_search_generation,
         ),
         BenchScenario(
             name="campaign_parallel_slice",

@@ -7,17 +7,36 @@ cell atomically.  Kill the process at any point and re-run: the campaign
 resumes exactly where it stopped, and — because every execution derives all
 randomness from its own seed — the resumed results are bit-identical to an
 uninterrupted run.
+
+With ``workers > 1`` (or an explicit ``pool=``) the runner batches *every
+pending cell's* trials onto one persistent
+:class:`~repro.engine.pool.ExecutionPool`: work is dispatched in chunks
+(template-and-delta pickling), workers reduce each trial to the scalars the
+store persists before anything crosses the process boundary, and each cell is
+committed — atomically, exactly as in the serial path — the moment its last
+chunk completes.  One pool serves the whole run, and survives across ``run``
+invocations, so a grid of ten thousand small cells pays pool spin-up once
+instead of ten thousand times.  None of this changes results: the stored rows
+are bit-identical to a serial campaign's.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from concurrent.futures import Future, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
 
 from repro.campaigns.spec import CampaignCell, CampaignSpec
 from repro.campaigns.store import ResultStore, TrialRecord
 from repro.engine.observers import TraceLevel
-from repro.engine.runner import run_trials
+from repro.engine.pool import (
+    ExecutionPool,
+    ReducedTrial,
+    payload_is_picklable,
+    warn_serial_fallback,
+)
+from repro.engine.runner import run_reduced_trials
 
 
 @dataclass(frozen=True)
@@ -67,13 +86,27 @@ class CampaignRunner:
     store:
         The persistent store holding completed cells.
     workers:
-        Worker processes per cell batch (forwarded to
-        :func:`~repro.engine.runner.run_trials`; parallel batches are
-        bit-identical to serial ones).
+        Worker processes.  ``workers > 1`` makes the runner hold one
+        persistent :class:`~repro.engine.pool.ExecutionPool` for its whole
+        lifetime (all ``run`` invocations included) and batch every pending
+        cell onto it; ``None``/1 executes serially in-process.  Either way
+        the stored rows are bit-identical.
     trace_level:
         Per-trial trace retention.  Campaign cells persist only summary
         scalars, so the default is :attr:`TraceLevel.NONE` — memory stays
-        flat no matter how large the grid is.
+        flat no matter how large the grid is (workers reduce trials to those
+        scalars before returning them).
+    pool:
+        Optional externally owned :class:`~repro.engine.pool.ExecutionPool`
+        to share with other subsystems (e.g. one pool across several
+        campaigns and a search); overrides ``workers``.  The runner never
+        shuts down a pool it was handed.
+    pool_chunk:
+        Chunk size for the runner's own pool (ignored with ``pool=``;
+        ``None`` = automatic).
+
+    Use as a context manager (or call :meth:`close`) to reclaim the runner's
+    own workers deterministically.
     """
 
     def __init__(
@@ -82,16 +115,36 @@ class CampaignRunner:
         store: ResultStore,
         workers: Optional[int] = None,
         trace_level: TraceLevel = TraceLevel.NONE,
+        pool: Optional[ExecutionPool] = None,
+        pool_chunk: Optional[int] = None,
     ) -> None:
         self._spec = spec
         self._store = store
         self._workers = workers
         self._trace_level = trace_level
+        self._owns_pool = pool is None and workers is not None and workers > 1
+        self._pool = ExecutionPool(workers, chunk_size=pool_chunk) if self._owns_pool else pool
 
     @property
     def spec(self) -> CampaignSpec:
         """The spec this runner completes."""
         return self._spec
+
+    @property
+    def pool(self) -> Optional[ExecutionPool]:
+        """The execution pool batched runs dispatch on (None = serial)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the runner's own pool (a shared ``pool=`` is left alone)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def pending_cells(self) -> list[CampaignCell]:
         """The spec's cells whose keys the store does not hold yet, in grid order."""
@@ -125,6 +178,9 @@ class CampaignRunner:
         on_cell:
             Optional callback invoked after each cell commits, with the cell
             and the progress so far (used by the CLI for live status lines).
+            On the pooled path cells commit as their futures complete, so the
+            callback order may differ from grid order; the stored content
+            never does.
 
         Returns
         -------
@@ -143,32 +199,110 @@ class CampaignRunner:
         )
         to_run = pending if max_cells is None else pending[:max_cells]
 
+        def progress_after(executed: int) -> CampaignProgress:
+            return CampaignProgress(
+                total=len(cells),
+                already_complete=len(cells) - len(pending),
+                executed=executed,
+                remaining=len(pending) - executed,
+            )
+
+        if self._pool is not None and len(to_run) > 1:
+            if payload_is_picklable(self._cell_template(to_run[0])):
+                executed = self._run_batched(to_run, progress_after, on_cell)
+            else:
+                # An unpicklable grid (closure-built workload parts) cannot
+                # reach the workers.  Degrade to the fully serial path — one
+                # warning, and crucially still one atomic commit per cell as
+                # it finishes, so interrupt-resume keeps working — instead of
+                # letting the batched submission loop execute everything
+                # eagerly in-process with every commit deferred to the end.
+                warn_serial_fallback(stacklevel=2)
+                executed = self._run_serial(to_run, progress_after, on_cell, pool=None)
+        else:
+            executed = self._run_serial(to_run, progress_after, on_cell, pool=self._pool)
+        return progress_after(executed)
+
+    # -- execution paths --------------------------------------------------
+
+    def _cell_template(self, cell: CampaignCell):
+        return replace(cell.config(), trace_level=self._trace_level)
+
+    def _commit_cell(self, cell: CampaignCell, reduced: Sequence[ReducedTrial]) -> None:
+        records = [TrialRecord.from_reduced(trial) for trial in reduced]
+        self._store.record_cell(self._spec.name, cell.key, cell.describe_dict(), records)
+
+    def _run_serial(
+        self,
+        to_run: Sequence[CampaignCell],
+        progress_after: Callable[[int], CampaignProgress],
+        on_cell: Optional[Callable[[CampaignCell, CampaignProgress], None]],
+        pool: Optional[ExecutionPool] = None,
+    ) -> int:
+        """One cell at a time, in grid order (also the single-cell pool path)."""
         executed = 0
         for cell in to_run:
-            summary = run_trials(
-                cell.config(),
-                seeds=cell.seeds,
-                workers=self._workers,
-                trace_level=self._trace_level,
+            reduced = run_reduced_trials(
+                self._cell_template(cell), seeds=cell.seeds, trace_level=None, pool=pool
             )
-            records = [
-                TrialRecord.from_result(seed, result)
-                for seed, result in zip(summary.seeds, summary.results)
-            ]
-            self._store.record_cell(self._spec.name, cell.key, cell.describe_dict(), records)
+            self._commit_cell(cell, reduced)
             executed += 1
             if on_cell is not None:
-                progress = CampaignProgress(
-                    total=len(cells),
-                    already_complete=len(cells) - len(pending),
-                    executed=executed,
-                    remaining=len(pending) - executed,
-                )
-                on_cell(cell, progress)
+                on_cell(cell, progress_after(executed))
+        return executed
 
-        return CampaignProgress(
-            total=len(cells),
-            already_complete=len(cells) - len(pending),
-            executed=executed,
-            remaining=len(pending) - executed,
-        )
+    def _run_batched(
+        self,
+        to_run: Sequence[CampaignCell],
+        progress_after: Callable[[int], CampaignProgress],
+        on_cell: Optional[Callable[[CampaignCell, CampaignProgress], None]],
+    ) -> int:
+        """Every cell's chunks on one pool; commit cells as they complete.
+
+        All pending cells are submitted up front — with in-worker reduction a
+        chunk's in-flight result is a handful of scalars, so the window costs
+        O(cells) tiny futures, not O(trials) simulation results.  Chunks
+        finish in whatever order the workers produce them, but cells *commit*
+        in grid order (a cell commits the moment it and every cell before it
+        are done): the store's atomic per-cell transactions, its documented
+        insertion order, and the prefix an interrupt leaves behind are all
+        exactly the serial path's, byte for byte.  A worker crash surfaces as
+        :class:`~repro.engine.pool.WorkerCrashError` after the pool has reset
+        itself, so re-running the campaign resumes cleanly on fresh workers.
+        """
+        assert self._pool is not None
+        chunk_owner: dict[Future, tuple[int, int]] = {}
+        outstanding: list[int] = []
+        chunk_results: list[dict[int, list[ReducedTrial]]] = []
+        for cell_index, cell in enumerate(to_run):
+            futures = self._pool.submit_seed_chunks(
+                self._cell_template(cell), cell.seeds, reduce=True
+            )
+            outstanding.append(len(futures))
+            chunk_results.append({})
+            for position, future in enumerate(futures):
+                chunk_owner[future] = (cell_index, position)
+
+        executed = 0
+        for future in as_completed(chunk_owner):
+            cell_index, position = chunk_owner[future]
+            try:
+                chunk = future.result()
+            except BrokenProcessPool as error:
+                raise self._pool.recover(error) from error
+            chunk_results[cell_index][position] = chunk
+            outstanding[cell_index] -= 1
+            # Commit every ready cell at the head of the grid order.
+            while executed < len(to_run) and outstanding[executed] == 0:
+                by_position = chunk_results[executed]
+                reduced = [
+                    trial for pos in sorted(by_position) for trial in by_position[pos]
+                ]
+                cell = to_run[executed]
+                self._commit_cell(cell, reduced)
+                chunk_results[executed] = {}
+                outstanding[executed] = -1  # committed
+                executed += 1
+                if on_cell is not None:
+                    on_cell(cell, progress_after(executed))
+        return executed

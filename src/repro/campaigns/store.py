@@ -26,6 +26,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional, Sequence
 
+from repro.engine.pool import ReducedTrial
 from repro.engine.results import SimulationResult
 from repro.exceptions import ConfigurationError, ExperimentError
 
@@ -103,6 +104,25 @@ class TrialRecord:
             rounds_simulated=result.metrics.rounds_simulated,
         )
 
+    @classmethod
+    def from_reduced(cls, reduced: ReducedTrial) -> "TrialRecord":
+        """Adopt an in-worker-reduced trial (field-for-field identical).
+
+        :class:`~repro.engine.pool.ReducedTrial` is the engine-layer mirror of
+        this record — workers on an execution pool reduce each trial to one
+        before it crosses the process boundary, so a pooled campaign persists
+        exactly the rows a serial one extracts via :meth:`from_result`.
+        """
+        return cls(
+            seed=reduced.seed,
+            synchronized=reduced.synchronized,
+            agreement=reduced.agreement,
+            safety=reduced.safety,
+            leader_count=reduced.leader_count,
+            max_sync_latency=reduced.max_sync_latency,
+            rounds_simulated=reduced.rounds_simulated,
+        )
+
 
 class ResultStore:
     """An SQLite-backed store of campaign cells and their trial outcomes.
@@ -117,6 +137,22 @@ class ResultStore:
         self._path = str(path)
         self._connection = sqlite3.connect(self._path)
         self._connection.execute("PRAGMA foreign_keys = ON")
+        # Write-ahead logging turns the per-cell commits campaigns hammer the
+        # store with into sequential appends (readers never block the writer),
+        # and synchronous=NORMAL drops the per-commit fsync to one per WAL
+        # checkpoint — safe here because every cell commit is atomic and a
+        # torn tail is discarded on recovery, so an interrupted campaign
+        # resumes bit-identically either way.  Filesystems that cannot take
+        # WAL (read-only mounts, some network filesystems) refuse the pragma;
+        # fall back to the default rollback journal silently.
+        self._wal = False
+        try:
+            row = self._connection.execute("PRAGMA journal_mode=WAL").fetchone()
+            self._wal = row is not None and str(row[0]).lower() == "wal"
+        except sqlite3.OperationalError:  # pragma: no cover - fs-dependent
+            self._wal = False
+        if self._wal:
+            self._connection.execute("PRAGMA synchronous=NORMAL")
         with self._connection:
             self._connection.executescript(_SCHEMA)
             row = self._connection.execute(
@@ -140,8 +176,34 @@ class ResultStore:
         """The database location this store was opened on."""
         return self._path
 
+    @property
+    def wal_enabled(self) -> bool:
+        """True when the store runs in write-ahead-logging mode."""
+        return self._wal
+
+    def flush(self) -> None:
+        """Force everything committed so far onto stable storage.
+
+        Commits any open transaction and, in WAL mode, checkpoints the whole
+        log back into the main database file — after this returns, the rows
+        survive a power cut and the database is readable by tools that do not
+        speak WAL.  A no-op-safe call at any point; :meth:`close` (and the
+        context-manager exit) invokes it, so a cleanly closed store is always
+        durable.
+        """
+        self._connection.commit()
+        if self._wal:
+            try:
+                self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.OperationalError:  # pragma: no cover - fs-dependent
+                pass
+
     def close(self) -> None:
-        """Close the underlying connection."""
+        """Flush and close the underlying connection (idempotent)."""
+        try:
+            self.flush()
+        except sqlite3.ProgrammingError:
+            return  # already closed
         self._connection.close()
 
     def __enter__(self) -> "ResultStore":

@@ -52,6 +52,7 @@ from repro.bench.harness import run_bench
 from repro.bench.report import (
     bench_run_to_dict,
     compare_bench,
+    comparison_to_dict,
     load_bench_json,
     write_bench_json,
 )
@@ -61,6 +62,7 @@ from repro.campaigns.runner import CampaignRunner
 from repro.campaigns.spec import CAMPAIGN_WORKLOADS, CampaignSpec, workload_with_adversary
 from repro.campaigns.store import ResultStore
 from repro.engine.observers import TraceLevel
+from repro.engine.pool import ExecutionPool
 from repro.engine.runner import run_trials
 from repro.engine.serialization import write_result_json, write_round_log_csv, write_trials_json
 from repro.engine.simulator import SimulationConfig, simulate
@@ -147,6 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of seeds to run (0 .. k-1)")
     trials.add_argument("--workers", type=int, default=1,
                         help="worker processes for the batch (1 = serial)")
+    trials.add_argument("--pool-chunk", type=int, default=None,
+                        help="seeds per dispatched pool chunk (default: automatic)")
     trials.add_argument(
         "--trace-level",
         choices=[level.value for level in TraceLevel],
@@ -184,7 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
     camp_run.add_argument("--seeds", type=int, default=3, help="seeds per cell (0 .. k-1)")
     camp_run.add_argument("--max-rounds", type=int, default=50_000)
     camp_run.add_argument("--workers", type=int, default=1,
-                          help="worker processes per cell batch (1 = serial)")
+                          help="worker processes on the campaign's persistent execution "
+                               "pool (1 = serial)")
+    camp_run.add_argument("--pool-chunk", type=int, default=None,
+                          help="trials per dispatched pool chunk (default: automatic)")
     camp_run.add_argument("--max-cells", type=int, default=None,
                           help="cap on cells executed this invocation (resume later)")
 
@@ -236,7 +243,10 @@ def build_parser() -> argparse.ArgumentParser:
     srch_run.add_argument("--no-warm-start", action="store_true",
                           help="skip seeding generation 0 with the hand-written jammers")
     srch_run.add_argument("--workers", type=int, default=1,
-                          help="worker processes per candidate's seed batch (1 = serial)")
+                          help="worker processes on the search's persistent execution "
+                               "pool (1 = serial)")
+    srch_run.add_argument("--pool-chunk", type=int, default=None,
+                          help="seeds per dispatched pool chunk (default: automatic)")
     srch_run.add_argument("--max-evaluations", type=int, default=None,
                           help="cap on live evaluations this invocation (resume later)")
 
@@ -296,6 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmp.add_argument("--metric", choices=["normalized_throughput", "throughput"],
                            default="normalized_throughput",
                            help="comparison metric (normalized is machine-independent)")
+    bench_cmp.add_argument("--json", action="store_true",
+                           help="print the machine-readable comparison on stdout "
+                                "(the human-readable table moves to stderr)")
 
     sched = sub.add_parser("schedule", help="print the Trapdoor / Good Samaritan schedule")
     sched.add_argument("--protocol", choices=["trapdoor", "good-samaritan"], default="trapdoor")
@@ -378,12 +391,23 @@ def _command_trials(args: argparse.Namespace) -> int:
     config = _scenario_config(args)
     print(f"batch     : {args.trial_count} trials, {args.workers} worker(s), "
           f"trace level {args.trace_level}")
-    summary = run_trials(
-        config,
-        seeds=args.trial_count,
-        workers=args.workers,
-        trace_level=TraceLevel(args.trace_level),
-    )
+    if args.workers > 1:
+        # Chunked dispatch on a pool (torn down right after — one-shot CLI
+        # calls have nothing to persist a pool across).
+        with ExecutionPool(args.workers, chunk_size=args.pool_chunk) as pool:
+            summary = run_trials(
+                config,
+                seeds=args.trial_count,
+                trace_level=TraceLevel(args.trace_level),
+                pool=pool,
+            )
+    else:
+        summary = run_trials(
+            config,
+            seeds=args.trial_count,
+            workers=args.workers,
+            trace_level=TraceLevel(args.trace_level),
+        )
     print(f"summary   : {summary.describe()}")
     rows = [
         {
@@ -436,16 +460,19 @@ def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
         seeds=args.seeds,
         max_rounds=args.max_rounds,
     )
-    runner = CampaignRunner(spec, store, workers=args.workers)
-    before = runner.status()
-    print(f"campaign  : {spec.name} ({before.total} cells, "
-          f"{len(spec.seeds)} seeds/cell, store {store.path})")
-    print(f"resume    : {before.already_complete} cells already complete")
+    with CampaignRunner(
+        spec, store, workers=args.workers, pool_chunk=args.pool_chunk
+    ) as runner:
+        before = runner.status()
+        print(f"campaign  : {spec.name} ({before.total} cells, "
+              f"{len(spec.seeds)} seeds/cell, store {store.path})")
+        print(f"resume    : {before.already_complete} cells already complete")
 
-    def report(cell, progress):
-        print(f"  [{progress.already_complete + progress.executed}/{progress.total}] {cell.label()}")
+        def report(cell, progress):
+            print(f"  [{progress.already_complete + progress.executed}/{progress.total}] "
+                  f"{cell.label()}")
 
-    progress = runner.run(max_cells=args.max_cells, on_cell=report)
+        progress = runner.run(max_cells=args.max_cells, on_cell=report)
     print(f"progress  : {progress.describe()}")
     if progress.complete:
         print()
@@ -535,7 +562,6 @@ def _search_run(args: argparse.Namespace, store: ResultStore) -> int:
         master_seed=args.master_seed,
         warm_start=not args.no_warm_start,
     )
-    search = StrategySearch(spec, store, workers=args.workers)
     print(f"search    : {spec.name} (store {store.path})")
     print(f"objective : {objective.describe()}")
     print(f"optimizer : {spec.optimizer}, population {spec.population}, "
@@ -547,7 +573,10 @@ def _search_run(args: argparse.Namespace, store: ResultStore) -> int:
         print(f"  [gen {outcome.generation}] {outcome.genome.describe():<42} "
               f"score {outcome.score:>10.1f}  ({source}, {outcome.key})")
 
-    result = search.run(max_evaluations=args.max_evaluations, on_candidate=report)
+    with StrategySearch(
+        spec, store, workers=args.workers, pool_chunk=args.pool_chunk
+    ) as search:
+        result = search.run(max_evaluations=args.max_evaluations, on_candidate=report)
     print(f"progress  : {result.describe()}")
     if result.best is not None:
         print(f"best      : {result.best.genome.describe()} "
@@ -670,6 +699,9 @@ def _bench_compare(args: argparse.Namespace) -> int:
     comparison = compare_bench(
         current, baseline, tolerance=args.tolerance, metric=args.metric
     )
+    # With --json, stdout carries the machine-readable verdict alone (CI
+    # redirects it into the uploaded gate artifact); the table moves to stderr.
+    report = sys.stderr if args.json else sys.stdout
     rows = [
         {
             "scenario": entry.scenario,
@@ -685,9 +717,11 @@ def _bench_compare(args: argparse.Namespace) -> int:
         title=(f"Bench compare — {args.metric}, tolerance {args.tolerance:.0%} "
                f"({current_path} vs {args.baseline})"),
         float_digits=4,
-    ))
+    ), file=report)
+    if args.json:
+        print(json.dumps(comparison_to_dict(comparison), indent=2, sort_keys=True))
     if comparison.ok:
-        print("\nperf gate : OK (no scenario regressed beyond the tolerance)")
+        print("\nperf gate : OK (no scenario regressed beyond the tolerance)", file=report)
         return 0
     names = ", ".join(entry.scenario for entry in comparison.regressions)
     print(f"\nperf gate : FAILED — regressed scenario(s): {names}", file=sys.stderr)

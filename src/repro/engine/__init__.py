@@ -16,9 +16,10 @@ from repro.engine.observers import (
     replay_trace,
 )
 from repro.engine.parallel import run_configs
+from repro.engine.pool import ExecutionPool, ReducedTrial, WorkerCrashError
 from repro.engine.results import SimulationResult
 from repro.engine.rng import RandomStreams, derive_seed
-from repro.engine.runner import TrialSummary, run_trials
+from repro.engine.runner import TrialSummary, run_reduced_trials, run_trials
 from repro.engine.simulator import SimulationConfig, Simulator, simulate
 from repro.engine.trace import ExecutionTrace, RoundRecord
 
@@ -37,10 +38,14 @@ __all__ = [
     "TraceRecorder",
     "replay_trace",
     "run_configs",
+    "ExecutionPool",
+    "ReducedTrial",
+    "WorkerCrashError",
     "SimulationResult",
     "RandomStreams",
     "derive_seed",
     "TrialSummary",
+    "run_reduced_trials",
     "run_trials",
     "SimulationConfig",
     "Simulator",

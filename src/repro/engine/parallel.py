@@ -1,28 +1,42 @@
 """Parallel execution of independent simulation configurations.
 
 Every configuration carries its own master seed and all randomness in an
-execution derives from it, so executions are embarrassingly parallel:
-:func:`run_configs` farms them out to a :class:`concurrent.futures.ProcessPoolExecutor`
-and returns the results in the *same order* as the input configurations —
-a parallel run is bit-for-bit the same batch as a serial one, just faster.
+execution derives from it, so executions are embarrassingly parallel and a
+parallel run is bit-for-bit the same batch as a serial one, just faster.
+
+There are two execution paths, chosen by the caller:
+
+* **one-shot** (``pool=None``, the default) — :func:`run_configs` creates a
+  fresh :class:`concurrent.futures.ProcessPoolExecutor`, farms the batch out,
+  and tears the pool down before returning.  Right for a single ``trials``
+  invocation or an isolated benchmark: nothing persists, nothing leaks.
+* **pooled** (``pool=`` an :class:`~repro.engine.pool.ExecutionPool`) — the
+  batch is dispatched in chunks onto a *persistent* worker pool that the
+  caller reuses across many batches.  Campaign runners and adversarial search
+  hold one pool for their whole session, which removes the per-batch pool
+  spin-up/teardown and most of the pickling that otherwise dominate sweeps of
+  small cells.  Results are identical either way.
 
 Configurations must be picklable to cross the process boundary (every
 built-in protocol factory, activation schedule, and adversary is).  When a
 caller hands us something unpicklable — typically a hand-rolled closure
 factory in a test — we fall back to serial execution with a warning rather
-than failing the sweep.
+than failing the sweep.  The batch is probed *before* anything is submitted,
+so the fallback decision is made on the full batch exactly once and a genuine
+worker exception can never be misread as a pickling problem (nor vice versa).
 """
 
 from __future__ import annotations
 
 import pickle
-import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
+from repro.engine.pool import warn_serial_fallback
 from repro.engine.results import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.pool import ExecutionPool
     from repro.engine.simulator import SimulationConfig
 
 
@@ -36,6 +50,7 @@ def _execute(config: "SimulationConfig") -> SimulationResult:
 def run_configs(
     configs: Sequence["SimulationConfig"],
     workers: int,
+    pool: "ExecutionPool | None" = None,
 ) -> list[SimulationResult]:
     """Run every configuration, using up to ``workers`` processes.
 
@@ -45,38 +60,36 @@ def run_configs(
         Fully prepared configurations (per-seed substitution already applied).
     workers:
         Maximum number of worker processes.  ``workers <= 1`` or a single
-        configuration short-circuits to serial execution in-process.
+        configuration short-circuits to serial execution in-process.  Ignored
+        when ``pool`` is given.
+    pool:
+        Optional persistent :class:`~repro.engine.pool.ExecutionPool` to
+        dispatch on instead of a fresh one-shot executor.
 
     Returns
     -------
     list[SimulationResult]
         One result per configuration, in input order.
     """
-    if workers <= 1 or len(configs) <= 1:
-        return [_execute(config) for config in configs]
+    config_list = list(configs)
+    if pool is not None:
+        return pool.run_configs(config_list)
+    if workers <= 1 or len(config_list) <= 1:
+        return [_execute(config) for config in config_list]
 
-    max_workers = min(workers, len(configs))
+    # Probe the whole batch up front: submission would pickle every config
+    # anyway, and deciding serial-vs-parallel *before* any work is dispatched
+    # means a pickling problem can never surface mid-batch (where it used to
+    # race the executor's own consumption of the input and could re-raise
+    # spuriously) and a genuine worker exception always propagates unchanged.
     try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            # Executor.map preserves input order, which keeps result ordering
-            # (and therefore every TrialSummary statistic) identical to a serial run.
-            return list(pool.map(_execute, configs))
-    except (pickle.PicklingError, AttributeError, TypeError) as error:
-        # These exception types can mean an unpicklable config (e.g. a
-        # closure-built factory, possibly installed by a per-seed hook for
-        # only some seeds) — or a genuine bug inside a worker.  Probe the
-        # configs to tell the two apart; only a confirmed pickling problem
-        # triggers the serial fallback.  Executions are deterministic per
-        # seed, so redoing any partially completed work yields the same
-        # results.
-        try:
-            pickle.dumps(list(configs))
-        except Exception:  # noqa: BLE001 - any pickling failure means no IPC
-            warnings.warn(
-                f"simulation config is not picklable ({error}); "
-                "running trials serially instead of with worker processes",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return [_execute(config) for config in configs]
-        raise
+        pickle.dumps(config_list)
+    except Exception as error:  # noqa: BLE001 - any pickling failure means no IPC
+        warn_serial_fallback(str(error), stacklevel=2)
+        return [_execute(config) for config in config_list]
+
+    max_workers = min(workers, len(config_list))
+    with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        # Executor.map preserves input order, which keeps result ordering
+        # (and therefore every TrialSummary statistic) identical to a serial run.
+        return list(executor.map(_execute, config_list))

@@ -1,0 +1,330 @@
+"""The session-scoped persistent execution pool.
+
+:func:`~repro.engine.parallel.run_configs` deliberately creates a fresh
+:class:`~concurrent.futures.ProcessPoolExecutor` per call: a one-shot batch
+should not leave worker processes behind.  But the workloads above it —
+campaign sweeps over thousands of small cells, adversarial search over
+thousands of candidates — call it once per cell or per candidate, and the
+per-call pool spin-up/teardown plus per-trial config pickling come to dominate
+once the simulations themselves are fast.  :class:`ExecutionPool` removes that
+orchestration tax three ways:
+
+* **persistent workers** — the process pool is started lazily on first use and
+  reused across every subsequent call (and across
+  :meth:`~repro.campaigns.runner.CampaignRunner.run` invocations, search
+  generations, …) until :meth:`ExecutionPool.shutdown`;
+* **chunked template-and-delta dispatch** — a multi-seed batch ships the
+  shared :class:`~repro.engine.simulator.SimulationConfig` template *once per
+  chunk* plus the chunk's seeds, instead of one fully pickled config per
+  trial;
+* **in-worker reduction** — when the caller only persists summary scalars
+  (campaign stores, search scores), workers reduce each trial to a compact
+  :class:`ReducedTrial` row and the full :class:`SimulationResult` never
+  crosses the process boundary, keeping parent memory flat.
+
+Every execution derives all randomness from its own seed, so none of this
+changes results: a pooled/chunked/reduced batch is bit-identical to a serial
+one (the golden-equivalence suite pins this).
+
+A crashed worker (a hard ``os._exit``, an OOM kill) breaks the underlying
+executor; the pool surfaces the failure as :class:`WorkerCrashError` and
+discards the broken executor, so the *next* call transparently starts a fresh
+one — a long campaign driver can catch, log, and resume without rebuilding its
+own state.  Unpicklable work falls back to in-process serial execution with a
+warning, exactly like the one-shot path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.engine.results import SimulationResult
+from repro.exceptions import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.simulator import SimulationConfig
+
+
+class WorkerCrashError(SimulationError):
+    """A worker process died mid-batch (not a Python exception — a crash).
+
+    The pool that raised this has already discarded its broken executor; the
+    next call on the same pool starts fresh workers.  Because executions are
+    deterministic per seed, re-submitting the failed work is always safe.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class ReducedTrial:
+    """One execution reduced to the scalars the campaign store persists.
+
+    This mirrors :class:`repro.campaigns.store.TrialRecord` field for field
+    (that class lives above the engine layer and converts via
+    ``TrialRecord.from_reduced``).  Workers return these instead of full
+    :class:`~repro.engine.results.SimulationResult` objects when the caller
+    asked for summaries only, so a million-trial campaign ships back a few
+    scalars per trial rather than metrics/report object graphs.
+    """
+
+    seed: int
+    synchronized: bool
+    agreement: bool
+    safety: bool
+    leader_count: int
+    max_sync_latency: Optional[int]
+    rounds_simulated: int
+
+    @classmethod
+    def from_result(cls, seed: int, result: SimulationResult) -> "ReducedTrial":
+        """Extract the persisted scalars from a finished execution."""
+        return cls(
+            seed=seed,
+            synchronized=result.synchronized,
+            agreement=result.agreement_holds,
+            safety=result.report.all_safety_holds,
+            leader_count=result.leader_count,
+            max_sync_latency=result.max_sync_latency,
+            rounds_simulated=result.metrics.rounds_simulated,
+        )
+
+
+def simulate_one(template: "SimulationConfig", seed: int) -> SimulationResult:
+    """Run one seed of a template in-process — the unit every path executes.
+
+    Both the in-worker chunk loops below and the serial paths in
+    :mod:`repro.engine.runner` call exactly this, which is what keeps seed
+    substitution identical no matter where a trial runs.
+    """
+    from repro.engine.simulator import simulate
+
+    return simulate(replace(template, seed=seed))
+
+
+def _run_seed_chunk(
+    template: "SimulationConfig", seeds: tuple[int, ...], reduce: bool
+) -> list[SimulationResult] | list[ReducedTrial]:
+    """Worker entry point: run one chunk of seeds against a shared template."""
+    if reduce:
+        return [ReducedTrial.from_result(seed, simulate_one(template, seed)) for seed in seeds]
+    return [simulate_one(template, seed) for seed in seeds]
+
+
+def _run_config_chunk(configs: tuple["SimulationConfig", ...]) -> list[SimulationResult]:
+    """Worker entry point: run one chunk of heterogeneous configurations."""
+    from repro.engine.simulator import simulate
+
+    return [simulate(config) for config in configs]
+
+
+def payload_is_picklable(payload: object) -> bool:
+    """Whether a work payload can cross the process boundary at all."""
+    try:
+        pickle.dumps(payload)
+    except Exception:  # noqa: BLE001 - any pickling failure means no IPC
+        return False
+    return True
+
+
+def warn_serial_fallback(detail: Optional[str] = None, stacklevel: int = 3) -> None:
+    """The one shared unpicklable-work warning every fallback site emits."""
+    message = "simulation config is not picklable"
+    if detail:
+        message += f" ({detail})"
+    message += "; running trials serially instead of with worker processes"
+    warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
+
+
+def _completed_future(value: list) -> "Future[list]":
+    future: "Future[list]" = Future()
+    future.set_result(value)
+    return future
+
+
+class ExecutionPool:
+    """A reusable worker pool for multi-trial simulation batches.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes to keep alive (at least 1).
+    chunk_size:
+        Seeds (or configs) per dispatched chunk.  ``None`` picks a size that
+        spreads a batch over roughly ``4 × workers`` chunks — large enough to
+        amortize the template pickle, small enough to keep every worker busy.
+
+    The underlying executor starts lazily on first use, so constructing a pool
+    costs nothing, and a pool whose work was all served from a cache never
+    forks at all.  Use as a context manager (or call :meth:`shutdown`) to
+    reclaim the workers deterministically.
+    """
+
+    def __init__(self, workers: int, chunk_size: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"an execution pool needs >= 1 worker, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
+        self._workers = workers
+        self._chunk_size = chunk_size
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._starts = 0
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """The configured worker-process count."""
+        return self._workers
+
+    @property
+    def chunk_size(self) -> Optional[int]:
+        """The configured chunk size (None = automatic)."""
+        return self._chunk_size
+
+    @property
+    def starts(self) -> int:
+        """How many times the underlying executor has been (re)started.
+
+        Stays at 1 across arbitrarily many calls unless a worker crashed (or
+        the pool was shut down and reused) — the lifecycle tests pin this.
+        """
+        return self._starts
+
+    @property
+    def running(self) -> bool:
+        """True while an executor is alive."""
+        return self._executor is not None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self._workers)
+            self._starts += 1
+        return self._executor
+
+    def _discard_broken_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent; the pool restarts lazily if reused)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ExecutionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- chunking ---------------------------------------------------------
+
+    def chunk(self, items: Sequence) -> list[tuple]:
+        """Split a batch into the chunks one dispatch would use, in order."""
+        size = self._chunk_size
+        if size is None:
+            # ~4 chunks per worker balances pickling amortization against
+            # tail latency (the last chunks land on whichever worker frees up).
+            size = max(1, -(-len(items) // (self._workers * 4)))
+        return [tuple(items[start : start + size]) for start in range(0, len(items), size)]
+
+    # -- dispatch ---------------------------------------------------------
+
+    def submit_seed_chunks(
+        self,
+        template: "SimulationConfig",
+        seeds: Sequence[int],
+        reduce: bool = False,
+    ) -> list["Future[list]"]:
+        """Submit one template's seed batch as chunked futures, in chunk order.
+
+        Each future resolves to the chunk's results in seed order, so
+        concatenating the futures' values in submission order reproduces the
+        serial batch exactly.  An unpicklable template degrades to serial
+        in-process execution (with a warning) behind already-completed
+        futures, so callers never special-case it.
+
+        Callers that consume futures out of order (e.g. as they complete)
+        must route :class:`WorkerCrashError` / ``BrokenProcessPool`` results
+        through :meth:`recover`, or simply use :meth:`run_seeds`.
+        """
+        chunks = self.chunk(list(seeds))
+        if not payload_is_picklable(template):
+            warn_serial_fallback()
+            return [
+                _completed_future(_run_seed_chunk(template, chunk, reduce)) for chunk in chunks
+            ]
+        executor = self._ensure_executor()
+        try:
+            return [executor.submit(_run_seed_chunk, template, chunk, reduce) for chunk in chunks]
+        except BrokenProcessPool as error:
+            # submit() itself raises when a worker died since the last call —
+            # route it through the same self-healing path as a mid-batch crash.
+            raise self.recover(error) from error
+
+    def run_seeds(
+        self,
+        template: "SimulationConfig",
+        seeds: Sequence[int],
+        reduce: bool = False,
+    ) -> list:
+        """Run a multi-seed batch and return results in seed order.
+
+        With ``reduce=True`` the returned list holds :class:`ReducedTrial`
+        rows; otherwise full :class:`~repro.engine.results.SimulationResult`
+        objects.  Either way the contents are bit-identical to a serial run of
+        the same template and seeds.
+        """
+        futures = self.submit_seed_chunks(template, seeds, reduce=reduce)
+        return self._gather(futures)
+
+    def run_configs(self, configs: Sequence["SimulationConfig"]) -> list[SimulationResult]:
+        """Run heterogeneous configurations, in input order.
+
+        The generic path for batches that differ in more than the seed (e.g. a
+        per-seed ``config_for_seed`` hook): each config is shipped whole, but
+        still in chunks and still on the persistent workers.
+        """
+        config_list = list(configs)
+        if not payload_is_picklable(config_list):
+            warn_serial_fallback()
+            return _run_config_chunk(tuple(config_list))
+        executor = self._ensure_executor()
+        try:
+            futures = [
+                executor.submit(_run_config_chunk, chunk) for chunk in self.chunk(config_list)
+            ]
+        except BrokenProcessPool as error:
+            raise self.recover(error) from error
+        return self._gather(futures)
+
+    def _gather(self, futures: Sequence["Future[list]"]) -> list:
+        results: list = []
+        try:
+            for future in futures:
+                results.extend(future.result())
+        except BrokenProcessPool as error:
+            raise self.recover(error) from error
+        return results
+
+    def recover(self, error: BaseException) -> WorkerCrashError:
+        """Discard the broken executor and wrap ``error`` for re-raising.
+
+        Centralizes crash handling for callers that hold futures directly:
+        after this returns, the pool is reusable (the next dispatch forks
+        fresh workers), and the returned :class:`WorkerCrashError` explains
+        what happened to whoever re-raises it.
+        """
+        self._discard_broken_executor()
+        return WorkerCrashError(
+            f"a worker process crashed mid-batch ({error}); the pool has been "
+            "reset and the next call will start fresh workers — deterministic "
+            "seeds make it safe to re-submit the failed work"
+        )

@@ -17,6 +17,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.engine.observers import TraceLevel
 from repro.engine.parallel import run_configs
+from repro.engine.pool import ExecutionPool, ReducedTrial, simulate_one
 from repro.engine.results import SimulationResult
 from repro.engine.simulator import SimulationConfig
 
@@ -157,12 +158,21 @@ class TrialSummary:
         )
 
 
+def _normalize_seeds(seeds: Sequence[int] | int) -> tuple[int, ...]:
+    return tuple(range(seeds)) if isinstance(seeds, int) else tuple(seeds)
+
+
+def _template_for(config: SimulationConfig, trace_level: Optional[TraceLevel]) -> SimulationConfig:
+    return config if trace_level is None else replace(config, trace_level=trace_level)
+
+
 def run_trials(
     config: SimulationConfig,
     seeds: Sequence[int] | int = 10,
     config_for_seed: Callable[[SimulationConfig, int], SimulationConfig] | None = None,
     workers: Optional[int] = None,
     trace_level: Optional[TraceLevel] = None,
+    pool: Optional[ExecutionPool] = None,
 ) -> TrialSummary:
     """Run the same configuration across many seeds.
 
@@ -179,20 +189,27 @@ def run_trials(
         per trial).  The hook runs in the parent process, so it does not need
         to be picklable even with ``workers > 1``.
     workers:
-        If greater than 1, run the trials on a process pool of this size.
-        Every execution derives all randomness from its own seed and results
-        are returned in seed order, so a parallel batch is identical to a
-        serial one.
+        If greater than 1, run the trials on a *one-shot* process pool of
+        this size (created and torn down inside this call).  Every execution
+        derives all randomness from its own seed and results are returned in
+        seed order, so a parallel batch is identical to a serial one.
     trace_level:
         Optional override of the configuration's
         :class:`~repro.engine.observers.TraceLevel` for the whole batch
         (heavy sweeps typically want :attr:`TraceLevel.NONE`).
+    pool:
+        Optional persistent :class:`~repro.engine.pool.ExecutionPool`.  The
+        batch is dispatched in chunks onto the pool's long-lived workers
+        (shipping the shared template once per chunk), which callers with
+        many batches — campaigns, search — reuse across calls.  Neither
+        ``pool`` nor ``workers`` ever changes results.
     """
-    seed_list: tuple[int, ...]
-    if isinstance(seeds, int):
-        seed_list = tuple(range(seeds))
-    else:
-        seed_list = tuple(seeds)
+    seed_list = _normalize_seeds(seeds)
+    if pool is not None and config_for_seed is None:
+        # Template-and-delta: the configs differ only by seed, so ship the
+        # template once per chunk instead of len(seeds) full configs.
+        results = pool.run_seeds(_template_for(config, trace_level), seed_list)
+        return TrialSummary(results=tuple(results), seeds=seed_list)
 
     configs = []
     for seed in seed_list:
@@ -203,5 +220,36 @@ def run_trials(
             trial_config = config_for_seed(trial_config, seed)
         configs.append(trial_config)
 
-    results = run_configs(configs, workers=workers or 1)
+    results = run_configs(configs, workers=workers or 1, pool=pool)
     return TrialSummary(results=tuple(results), seeds=seed_list)
+
+
+def run_reduced_trials(
+    config: SimulationConfig,
+    seeds: Sequence[int] | int = 10,
+    trace_level: Optional[TraceLevel] = TraceLevel.NONE,
+    pool: Optional[ExecutionPool] = None,
+) -> tuple[ReducedTrial, ...]:
+    """Run a multi-seed batch, keeping only the persisted summary scalars.
+
+    The summary-only sibling of :func:`run_trials` for callers that never
+    touch full results — campaign cells persist
+    :class:`~repro.campaigns.store.TrialRecord` scalars and search scores are
+    computed from them, so shipping whole
+    :class:`~repro.engine.results.SimulationResult` objects (metrics maps,
+    property reports, traces) back from workers is pure overhead.  With a
+    ``pool``, the reduction happens *inside the workers* and only
+    :class:`~repro.engine.pool.ReducedTrial` rows cross the process boundary;
+    serially, the same reduction runs in-process per trial, so memory stays
+    flat either way and both paths produce identical rows.
+
+    ``trace_level`` defaults to :attr:`TraceLevel.NONE` (summary consumers
+    never read traces); pass ``None`` to keep the config's own level.
+    """
+    seed_list = _normalize_seeds(seeds)
+    template = _template_for(config, trace_level)
+    if pool is not None:
+        return tuple(pool.run_seeds(template, seed_list, reduce=True))
+    return tuple(
+        ReducedTrial.from_result(seed, simulate_one(template, seed)) for seed in seed_list
+    )

@@ -29,6 +29,7 @@ from repro.protocols.base import BoundProtocolFactory, ProtocolFactory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.campaigns.store import ResultStore
+    from repro.engine.pool import ExecutionPool
 
 
 @dataclass(frozen=True)
@@ -112,13 +113,18 @@ class ExperimentHarness:
         :func:`repro.engine.runner.run_trials` (used e.g. to pre-draw a fresh
         oblivious jammer per seed).
     workers:
-        If greater than 1, run each point's trials on a process pool of this
-        size (forwarded to :func:`repro.engine.runner.run_trials`; results
-        are identical to a serial run, just faster).
+        If greater than 1, run each point's trials on a *one-shot* process
+        pool of this size (forwarded to :func:`repro.engine.runner.run_trials`;
+        results are identical to a serial run, just faster).
     trace_level:
         Optional :class:`~repro.engine.observers.TraceLevel` applied to every
         trial.  Sweeps that only consume summary statistics should pass
         :attr:`TraceLevel.NONE` to keep memory flat.
+    pool:
+        Optional persistent :class:`~repro.engine.pool.ExecutionPool` shared
+        across every point of every sweep this harness runs (and with any
+        other subsystem holding the same pool).  Overrides ``workers`` for
+        dispatch; never changes results.
     """
 
     def __init__(
@@ -127,11 +133,13 @@ class ExperimentHarness:
         config_hook: Callable[[SimulationConfig, int], SimulationConfig] | None = None,
         workers: int | None = None,
         trace_level: TraceLevel | None = None,
+        pool: "ExecutionPool | None" = None,
     ) -> None:
         self._seeds = seeds
         self._config_hook = config_hook
         self._workers = workers
         self._trace_level = trace_level
+        self._pool = pool
 
     def run_point(self, point: SweepPoint) -> SweepResult:
         """Run one sweep point across the harness seeds."""
@@ -148,6 +156,7 @@ class ExperimentHarness:
             config_for_seed=self._config_hook,
             workers=self._workers,
             trace_level=self._trace_level,
+            pool=self._pool,
         )
         return SweepResult(point=point, summary=summary)
 

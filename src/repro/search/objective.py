@@ -24,7 +24,8 @@ from typing import Any, Mapping, Sequence
 from repro.campaigns.spec import resolve_workload
 from repro.campaigns.store import TrialRecord
 from repro.engine.observers import TraceLevel
-from repro.engine.runner import interpolated_percentile, run_trials
+from repro.engine.pool import ExecutionPool
+from repro.engine.runner import interpolated_percentile, run_reduced_trials, run_trials
 from repro.engine.simulator import SimulationConfig
 from repro.exceptions import ConfigurationError
 from repro.params import ModelParameters
@@ -195,12 +196,32 @@ class SearchObjective:
             max_rounds=self.max_rounds,
         )
 
-    def evaluate(self, genome: StrategyGenome, workers: int | None = None) -> Evaluation:
+    def evaluate(
+        self,
+        genome: StrategyGenome,
+        workers: int | None = None,
+        pool: ExecutionPool | None = None,
+    ) -> Evaluation:
         """Run a genome across every seed and score the outcome.
 
-        ``workers`` only changes wall-clock time, never results, so it is
-        deliberately not part of any candidate identity.
+        Neither ``workers`` (a one-shot process pool per call) nor ``pool``
+        (a persistent :class:`~repro.engine.pool.ExecutionPool` the caller
+        reuses across candidates — what :class:`~repro.search.runner.StrategySearch`
+        holds for a whole search) ever changes results, so they are
+        deliberately not part of any candidate identity.  On the pooled path
+        workers reduce each trial to the persisted scalars in-process, so a
+        search over thousands of candidates ships back only
+        :class:`~repro.campaigns.store.TrialRecord`-shaped rows.
         """
+        if pool is not None:
+            reduced = run_reduced_trials(
+                self.config_for(genome),
+                seeds=self.seeds,
+                trace_level=TraceLevel.NONE,
+                pool=pool,
+            )
+            records = tuple(TrialRecord.from_reduced(trial) for trial in reduced)
+            return Evaluation(genome=genome, records=records, score=self.score_records(records))
         summary = run_trials(
             self.config_for(genome),
             seeds=self.seeds,

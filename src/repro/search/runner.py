@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional
 
 from repro.campaigns.store import ResultStore
+from repro.engine.pool import ExecutionPool
 from repro.exceptions import ExperimentError
 from repro.search.checkpoint import SearchCheckpoint, SearchSpec
 from repro.search.optimizers import CandidateOutcome, make_optimizer
@@ -80,19 +81,57 @@ class StrategySearch:
     store:
         The persistent result store evaluations checkpoint into.
     workers:
-        Worker processes per candidate's seed batch (forwarded to
-        :func:`~repro.engine.runner.run_trials`; never changes results).
+        Worker processes per candidate's seed batch.  With ``workers > 1``
+        the search holds one persistent
+        :class:`~repro.engine.pool.ExecutionPool` across *all* candidates and
+        generations (started lazily at the first live evaluation), instead of
+        paying pool spin-up per candidate.  Never changes results.
+    pool:
+        Optional externally owned pool to share with other subsystems;
+        overrides ``workers``.  The search never shuts down a pool it was
+        handed.
+    pool_chunk:
+        Chunk size for the search's own pool (ignored with ``pool=``;
+        ``None`` = automatic).
+
+    Use as a context manager (or call :meth:`close`) to reclaim the search's
+    own workers deterministically.
     """
 
-    def __init__(self, spec: SearchSpec, store: ResultStore, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        spec: SearchSpec,
+        store: ResultStore,
+        workers: Optional[int] = None,
+        pool: Optional["ExecutionPool"] = None,
+        pool_chunk: Optional[int] = None,
+    ) -> None:
         self._spec = spec
         self._checkpoint = SearchCheckpoint(store, spec)
         self._workers = workers
+        self._owns_pool = pool is None and workers is not None and workers > 1
+        self._pool = ExecutionPool(workers, chunk_size=pool_chunk) if self._owns_pool else pool
 
     @property
     def spec(self) -> SearchSpec:
         """The spec this search completes."""
         return self._spec
+
+    @property
+    def pool(self) -> Optional["ExecutionPool"]:
+        """The execution pool live evaluations dispatch on (None = serial)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the search's own pool (a shared ``pool=`` is left alone)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown()
+
+    def __enter__(self) -> "StrategySearch":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def run(
         self,
@@ -133,7 +172,9 @@ class StrategySearch:
                     if max_evaluations is not None and executed >= max_evaluations:
                         stopped = True
                         break
-                    evaluation = objective.evaluate(genome, workers=self._workers)
+                    evaluation = objective.evaluate(
+                        genome, workers=self._workers, pool=self._pool
+                    )
                     records = evaluation.records
                     self._checkpoint.record(genome, generation, key, records)
                     executed += 1

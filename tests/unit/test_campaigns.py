@@ -217,13 +217,13 @@ class TestRunnerResume:
         # trial batches, not just the reported progress.
         executed_batches = []
         import repro.campaigns.runner as runner_module
-        real_run_trials = runner_module.run_trials
+        real_run_reduced_trials = runner_module.run_reduced_trials
 
-        def counting_run_trials(config, **kwargs):
+        def counting_run_reduced_trials(config, **kwargs):
             executed_batches.append(config)
-            return real_run_trials(config, **kwargs)
+            return real_run_reduced_trials(config, **kwargs)
 
-        monkeypatch.setattr(runner_module, "run_trials", counting_run_trials)
+        monkeypatch.setattr(runner_module, "run_reduced_trials", counting_run_reduced_trials)
         second = CampaignRunner(spec, resumed_store).run()
         assert second.complete
         assert (second.executed, second.already_complete) == (2, 2)
@@ -246,7 +246,7 @@ class TestRunnerResume:
         def forbid(*args, **kwargs):  # pragma: no cover - only on regression
             raise AssertionError("a complete campaign must not re-execute cells")
 
-        monkeypatch.setattr(runner_module, "run_trials", forbid)
+        monkeypatch.setattr(runner_module, "run_reduced_trials", forbid)
         progress = CampaignRunner(spec, store).run()
         assert progress.complete
         assert (progress.executed, progress.already_complete) == (0, 4)
@@ -281,7 +281,7 @@ class TestRunnerResume:
         def forbid(*args, **kwargs):  # pragma: no cover - only on regression
             raise AssertionError("a fully shared grid must not re-execute")
 
-        monkeypatch.setattr(runner_module, "run_trials", forbid)
+        monkeypatch.setattr(runner_module, "run_reduced_trials", forbid)
         progress = CampaignRunner(tiny_spec(name="twin"), store).run()
         assert progress.complete and progress.executed == 0
         assert aggregate(store, "twin") == aggregate(store, "first")
@@ -294,7 +294,7 @@ class TestRunnerResume:
         def forbid(*args, **kwargs):  # pragma: no cover - only on regression
             raise AssertionError("nothing may execute before workload validation")
 
-        monkeypatch.setattr(runner_module, "run_trials", forbid)
+        monkeypatch.setattr(runner_module, "run_reduced_trials", forbid)
         with pytest.raises(ConfigurationError, match="quiet_stat"):
             CampaignRunner(spec, store).run()
         assert store.cell_count() == 0
@@ -427,3 +427,178 @@ class TestHarnessStorePath:
         harness = ExperimentHarness(seeds=2, config_hook=lambda config, seed: config)
         with pytest.raises(ExperimentError, match="config_hook"):
             harness.run_sweep(points, store=ResultStore(tmp_path / "s.db"))
+
+
+class TestStoreDurability:
+    """WAL journaling, flush semantics, and interrupt-mid-batch durability."""
+
+    def test_disk_stores_open_in_wal_mode(self, tmp_path):
+        with ResultStore(tmp_path / "store.db") as store:
+            assert store.wal_enabled
+            mode = store._connection.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode.lower() == "wal"
+            sync = store._connection.execute("PRAGMA synchronous").fetchone()[0]
+            assert int(sync) == 1  # NORMAL
+
+    def test_memory_stores_fall_back_without_wal(self):
+        with ResultStore(":memory:") as store:
+            assert not store.wal_enabled  # :memory: cannot take WAL; still works
+            store.register_campaign("c")
+            assert store.campaign_names() == ["c"]
+
+    def test_flush_checkpoints_the_wal_into_the_main_file(self, tmp_path):
+        path = tmp_path / "store.db"
+        with ResultStore(path) as store:
+            CampaignRunner(tiny_spec(), store).run(max_cells=2)
+            store.flush()
+            # After a TRUNCATE checkpoint the WAL holds nothing: a second
+            # connection reading only the main database file sees every row.
+            raw = sqlite3.connect(path)
+            try:
+                assert raw.execute("SELECT COUNT(*) FROM cells").fetchone()[0] == 2
+            finally:
+                raw.close()
+            wal = path.with_name(path.name + "-wal")
+            assert not wal.exists() or wal.stat().st_size == 0
+
+    def test_context_manager_exit_leaves_a_durable_database(self, tmp_path):
+        path = tmp_path / "store.db"
+        spec = tiny_spec()
+        with ResultStore(path) as store:
+            CampaignRunner(spec, store).run()
+        # A fresh plain connection (no WAL recovery help from ResultStore)
+        # reads the complete campaign.
+        raw = sqlite3.connect(path)
+        try:
+            assert raw.execute("SELECT COUNT(*) FROM cells").fetchone()[0] == 4
+            assert raw.execute("SELECT COUNT(*) FROM trials").fetchone()[0] == 8
+        finally:
+            raw.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "store.db")
+        store.register_campaign("c")
+        store.close()
+        store.close()
+
+    def test_interrupt_mid_batch_resumes_bit_identically_under_wal(self, tmp_path):
+        """Kill between cell commits, reopen, resume: byte-identical stores."""
+        spec = tiny_spec()
+        with ResultStore(tmp_path / "reference.db") as reference:
+            CampaignRunner(spec, reference).run()
+            # Interrupted run: two cells commit, then the process "dies"
+            # without close()/flush() — only what WAL recovery guarantees
+            # survives may be counted on.
+            interrupted = ResultStore(tmp_path / "interrupted.db")
+            CampaignRunner(spec, interrupted).run(max_cells=2)
+            del interrupted  # no clean close: the WAL is left as-is on disk
+
+            with ResultStore(tmp_path / "interrupted.db") as resumed:
+                progress = CampaignRunner(spec, resumed).run()
+                assert progress.complete
+                assert progress.already_complete == 2
+                for cell in spec.cells():
+                    assert resumed.trial_records(cell.key) == reference.trial_records(cell.key)
+                assert list(resumed.iter_cells(spec.name)) == list(
+                    reference.iter_cells(spec.name)
+                )
+
+
+class TestPooledRunner:
+    """The batched execution-pool path: bit-identity and pool lifecycle."""
+
+    def test_pooled_campaign_store_is_byte_identical_to_serial(self, tmp_path):
+        spec = tiny_spec()
+        with ResultStore(tmp_path / "serial.db") as serial_store:
+            CampaignRunner(spec, serial_store).run()
+            with ResultStore(tmp_path / "pooled.db") as pooled_store:
+                with CampaignRunner(spec, pooled_store, workers=2, pool_chunk=1) as runner:
+                    progress = runner.run()
+                assert progress.complete and progress.executed == 4
+                # Same keys, same descriptions, same trial scalars, same
+                # insertion order — the full store contract, byte for byte.
+                assert list(pooled_store.iter_cells(spec.name)) == list(
+                    serial_store.iter_cells(spec.name)
+                )
+                assert aggregate(pooled_store, spec.name) == aggregate(serial_store, spec.name)
+
+    def test_pool_survives_across_run_invocations(self, tmp_path):
+        spec = tiny_spec()
+        with ResultStore(tmp_path / "store.db") as store:
+            with CampaignRunner(spec, store, workers=2) as runner:
+                first = runner.run(max_cells=2)
+                second = runner.run()
+                assert (first.executed, second.executed) == (2, 2)
+                assert runner.pool is not None
+                assert runner.pool.starts == 1  # one spin-up served both invocations
+
+    def test_shared_pool_is_not_shut_down_by_the_runner(self, tmp_path):
+        from repro.engine.pool import ExecutionPool
+
+        spec = tiny_spec()
+        with ExecutionPool(workers=2) as shared:
+            with ResultStore(tmp_path / "store.db") as store:
+                with CampaignRunner(spec, store, pool=shared) as runner:
+                    runner.run()
+                assert shared.running  # runner.close() must leave it alone
+                assert shared.starts == 1
+
+    def test_on_cell_progress_counts_match_serial_semantics(self, tmp_path):
+        spec = tiny_spec()
+        seen = []
+        with ResultStore(tmp_path / "store.db") as store:
+            with CampaignRunner(spec, store, workers=2) as runner:
+                runner.run(on_cell=lambda cell, progress: seen.append(
+                    (cell.key, progress.executed, progress.remaining)
+                ))
+        assert [executed for _key, executed, _rem in seen] == [1, 2, 3, 4]
+        assert [rem for _key, _executed, rem in seen] == [3, 2, 1, 0]
+        assert [key for key, _e, _r in seen] == [cell.key for cell in spec.cells()]
+
+    def test_unpicklable_grid_degrades_to_serial_with_per_cell_commits(self, tmp_path):
+        """A closure-built workload can't reach workers: one warning, and the
+        batched path must hand off to the serial one so cells still commit
+        (and resume) one at a time instead of all-at-the-end."""
+        import warnings as warnings_module
+
+        from repro.adversary.jammers import NoInterference
+        from repro.experiments.workloads import Workload, quiet_start
+
+        class ClosureAdversary(NoInterference):
+            """Unpicklable by construction (holds a lambda)."""
+
+            def __init__(self):
+                self._closure = lambda: None
+
+            def identity(self):
+                return "ClosureAdversary"
+
+        def closure_workload(node_count):
+            base = quiet_start(node_count)
+            return Workload(
+                name=base.name,
+                activation=base.activation,
+                adversary=ClosureAdversary(),
+                description=base.description,
+            )
+
+        register_workload("campaign_test_closure", closure_workload)
+        spec = tiny_spec(workloads=("campaign_test_closure",))
+        with ResultStore(tmp_path / "serial.db") as serial_store:
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("ignore", RuntimeWarning)
+                CampaignRunner(spec, serial_store).run()
+            committed_during_run = []
+            with ResultStore(tmp_path / "pooled.db") as pooled_store:
+                with CampaignRunner(spec, pooled_store, workers=2) as runner:
+                    with pytest.warns(RuntimeWarning, match="not picklable") as caught:
+                        runner.run(on_cell=lambda cell, progress: committed_during_run.append(
+                            pooled_store.cell_count()
+                        ))
+                # Exactly one warning for the whole grid, not one per cell.
+                assert len([w for w in caught if "not picklable" in str(w.message)]) == 1
+                # Each cell was committed before the next one ran.
+                assert committed_during_run == [1, 2, 3, 4]
+                assert list(pooled_store.iter_cells(spec.name)) == list(
+                    serial_store.iter_cells(spec.name)
+                )

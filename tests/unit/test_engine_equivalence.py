@@ -109,6 +109,44 @@ def test_execution_matches_golden(key, goldens):
     )
 
 
+def test_pooled_chunked_execution_matches_goldens(goldens):
+    """The persistent pool reproduces the recorded goldens bit-for-bit.
+
+    One pool, every matrix combination shipped through chunked worker
+    dispatch as a multi-seed batch would be (each combination is a one-seed
+    template here), digest-compared against the same goldens the in-process
+    engine is pinned to: pooled execution is provably the same engine, not a
+    near copy.
+    """
+    from repro.engine.pool import ExecutionPool
+
+    with ExecutionPool(workers=2, chunk_size=1) as pool:
+        for key in matrix_keys():
+            [result] = pool.run_seeds(config_for(key), [SEED])
+            assert execution_digest(result) == goldens[key], (
+                f"pooled execution digest changed for {key}: the pool path no "
+                "longer reproduces the in-process engine"
+            )
+        assert pool.starts == 1
+
+
+def test_in_worker_reduction_matches_golden_executions():
+    """Reduced rows are exactly the scalars of the golden executions.
+
+    Spot-checks a slice of the matrix: for each combination, the pooled
+    ``reduce=True`` path must return precisely ``ReducedTrial.from_result``
+    of the in-process execution — the property that makes campaign stores
+    and search scores independent of where the reduction ran.
+    """
+    from repro.engine.pool import ExecutionPool, ReducedTrial
+
+    keys = [key for key in matrix_keys() if key.endswith("|staggered")]
+    with ExecutionPool(workers=2) as pool:
+        for key in keys:
+            [reduced] = pool.run_seeds(config_for(key), [SEED], reduce=True)
+            assert reduced == ReducedTrial.from_result(SEED, simulate(config_for(key)))
+
+
 def test_trace_free_run_matches_full_trace_run():
     """Report and metrics are independent of the trace level (one spot check)."""
     key = "trapdoor|random|staggered"

@@ -7,7 +7,7 @@ to the serial full-trace batch, not merely similar.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import pytest
 
@@ -117,6 +117,43 @@ class TestUnpicklableFallback:
         with pytest.warns(RuntimeWarning, match="not picklable"):
             fallback = run_trials(config, seeds=2, workers=2)
         assert_summaries_identical(serial, fallback)
+
+    def test_closure_factory_mixed_into_a_large_batch_falls_back_cleanly(self, params):
+        """Regression: the fallback decision is made before submission.
+
+        The old code submitted first and probed picklability only inside the
+        exception handler — by which point the executor had already consumed
+        part of the input, so the probe could see a clean remainder and
+        re-raise spuriously.  A single closure-built config buried late in a
+        large batch must deterministically take the serial fallback, with
+        every result identical to a fully serial run.
+        """
+
+        def hook(config, seed):
+            if seed == 10:  # one bad apple, deep in the batch
+                return replace(config, protocol_factory=lambda ctx: TrapdoorProtocol(ctx))
+            return config
+
+        base = SimulationConfig(
+            params=params,
+            protocol_factory=TrapdoorProtocol.factory(),
+            activation=StaggeredActivation(count=3, spacing=2),
+            adversary=RandomJammer(),
+            max_rounds=10_000,
+        )
+        serial = run_trials(base, seeds=12, config_for_seed=hook)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            fallback = run_trials(base, seeds=12, config_for_seed=hook, workers=4)
+        assert_summaries_identical(serial, fallback)
+
+    def test_generator_input_is_materialized_before_dispatch(self, batch_config):
+        """run_configs must not lose configs to partial iterator consumption."""
+        from repro.engine.parallel import run_configs
+
+        configs = [replace(batch_config, seed=seed) for seed in range(4)]
+        from_list = run_configs(configs, workers=2)
+        from_generator = run_configs((config for config in configs), workers=2)
+        assert [r.metrics for r in from_generator] == [r.metrics for r in from_list]
 
 
 @dataclass(frozen=True)

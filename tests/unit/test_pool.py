@@ -1,0 +1,202 @@
+"""Lifecycle, chunking, reduction, and crash-recovery tests for ExecutionPool.
+
+The pool's contract has three legs:
+
+* **bit-identity** — pooled / chunked / reduced execution produces exactly
+  the results (and reduced rows) of a serial run, for any chunk size;
+* **persistence** — one executor start serves arbitrarily many calls (and
+  arbitrarily many ``CampaignRunner.run`` / search invocations);
+* **crash safety** — a worker dying mid-batch (a hard ``os._exit``, not a
+  Python exception) surfaces as :class:`WorkerCrashError` and the same pool
+  object is usable again immediately, on fresh workers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.adversary.activation import StaggeredActivation
+from repro.adversary.base import AdversaryContext, InterferenceAdversary
+from repro.adversary.jammers import RandomJammer
+from repro.engine.observers import TraceLevel
+from repro.engine.pool import ExecutionPool, ReducedTrial, WorkerCrashError
+from repro.engine.runner import run_reduced_trials, run_trials
+from repro.engine.simulator import SimulationConfig
+from repro.exceptions import ConfigurationError
+from repro.protocols.trapdoor.protocol import TrapdoorProtocol
+
+
+@pytest.fixture
+def batch_config(params):
+    return SimulationConfig(
+        params=params,
+        protocol_factory=TrapdoorProtocol.factory(),
+        activation=StaggeredActivation(count=4, spacing=2),
+        adversary=RandomJammer(),
+        max_rounds=10_000,
+        trace_level=TraceLevel.NONE,
+    )
+
+
+@pytest.fixture
+def pool():
+    with ExecutionPool(workers=2, chunk_size=2) as pool:
+        yield pool
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPool(workers=0)
+
+    def test_rejects_non_positive_chunk(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPool(workers=2, chunk_size=0)
+
+    def test_construction_is_lazy(self):
+        pool = ExecutionPool(workers=2)
+        assert not pool.running
+        assert pool.starts == 0
+
+
+class TestChunking:
+    def test_explicit_chunk_size_partitions_in_order(self):
+        pool = ExecutionPool(workers=2, chunk_size=3)
+        assert pool.chunk(list(range(8))) == [(0, 1, 2), (3, 4, 5), (6, 7)]
+
+    def test_automatic_chunking_targets_four_chunks_per_worker(self):
+        pool = ExecutionPool(workers=2)
+        chunks = pool.chunk(list(range(80)))
+        assert len(chunks) == 8
+        assert [item for chunk in chunks for item in chunk] == list(range(80))
+
+    def test_small_batches_fall_back_to_single_item_chunks(self):
+        pool = ExecutionPool(workers=4)
+        assert pool.chunk([1, 2]) == [(1,), (2,)]
+
+
+class TestBitIdentity:
+    def test_pooled_matches_serial_for_every_chunk_size(self, batch_config):
+        serial = run_trials(batch_config, seeds=5)
+        for chunk_size in (1, 2, 5, None):
+            with ExecutionPool(workers=2, chunk_size=chunk_size) as pool:
+                pooled = run_trials(batch_config, seeds=5, pool=pool)
+            assert pooled.seeds == serial.seeds
+            assert pooled.latencies() == serial.latencies()
+            for serial_result, pooled_result in zip(serial.results, pooled.results):
+                assert pooled_result.metrics == serial_result.metrics
+                assert pooled_result.report.violations == serial_result.report.violations
+
+    def test_in_worker_reduction_matches_parent_reduction(self, batch_config, pool):
+        summary = run_trials(batch_config, seeds=5)
+        reduced = run_reduced_trials(batch_config, seeds=5, pool=pool)
+        assert reduced == tuple(
+            ReducedTrial.from_result(seed, result)
+            for seed, result in zip(summary.seeds, summary.results)
+        )
+
+    def test_serial_reduction_matches_pooled_reduction(self, batch_config, pool):
+        assert run_reduced_trials(batch_config, seeds=5) == run_reduced_trials(
+            batch_config, seeds=5, pool=pool
+        )
+
+    def test_explicit_seed_order_is_preserved(self, batch_config, pool):
+        reduced = run_reduced_trials(batch_config, seeds=(9, 2, 5), pool=pool)
+        assert tuple(trial.seed for trial in reduced) == (9, 2, 5)
+
+    def test_config_hook_routes_through_the_pool_generic_path(self, batch_config, pool):
+        hook_seeds = []
+
+        def hook(config, seed):
+            hook_seeds.append(seed)
+            return config
+
+        serial = run_trials(batch_config, seeds=3, config_for_seed=hook)
+        pooled = run_trials(batch_config, seeds=3, config_for_seed=hook, pool=pool)
+        assert hook_seeds == [0, 1, 2, 0, 1, 2]  # the hook always runs in the parent
+        assert pooled.latencies() == serial.latencies()
+
+
+class TestPersistence:
+    def test_one_start_serves_many_calls(self, batch_config, pool):
+        for _ in range(3):
+            run_trials(batch_config, seeds=3, pool=pool)
+        assert pool.starts == 1
+
+    def test_shutdown_is_idempotent_and_pool_restarts_lazily(self, batch_config):
+        pool = ExecutionPool(workers=2)
+        run_trials(batch_config, seeds=2, pool=pool)
+        pool.shutdown()
+        pool.shutdown()
+        assert not pool.running
+        summary = run_trials(batch_config, seeds=2, pool=pool)
+        assert summary.trials == 2
+        assert pool.starts == 2
+        pool.shutdown()
+
+
+class TestUnpicklableFallback:
+    def test_closure_template_degrades_to_serial_with_warning(self, params, pool):
+        config = SimulationConfig(
+            params=params,
+            protocol_factory=lambda context: TrapdoorProtocol(context),
+            activation=StaggeredActivation(count=3, spacing=2),
+            adversary=RandomJammer(),
+            max_rounds=10_000,
+        )
+        serial = run_trials(config, seeds=2)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            fallback = run_trials(config, seeds=2, pool=pool)
+        assert fallback.latencies() == serial.latencies()
+        assert not pool.running  # nothing was ever dispatched
+
+
+@dataclass(frozen=True)
+class PoisonAdversary(InterferenceAdversary):
+    """Kills the worker process outright on its first round.
+
+    ``os._exit`` bypasses every Python-level handler — what an OOM kill or a
+    segfault looks like from the parent's side — so it exercises the
+    BrokenProcessPool path rather than ordinary exception propagation.  The
+    adversary is a picklable dataclass on purpose: the batch must *reach* the
+    workers (an unpicklable poison would just take the serial fallback, and
+    running it in-process would kill the test itself).
+    """
+
+    def choose_disruption(self, context: AdversaryContext) -> frozenset:
+        os._exit(1)
+
+
+class TestCrashRecovery:
+    def _poison_config(self, params):
+        return SimulationConfig(
+            params=params,
+            protocol_factory=TrapdoorProtocol.factory(),
+            activation=StaggeredActivation(count=3, spacing=2),
+            adversary=PoisonAdversary(),
+            max_rounds=5_000,
+            trace_level=TraceLevel.NONE,
+        )
+
+    def test_worker_crash_raises_and_pool_recovers(self, params, batch_config):
+        with ExecutionPool(workers=2, chunk_size=1) as pool:
+            healthy = run_trials(batch_config, seeds=3, pool=pool)
+            assert pool.starts == 1
+            with pytest.raises(WorkerCrashError, match="crashed mid-batch"):
+                run_trials(self._poison_config(params), seeds=3, pool=pool)
+            # The broken executor was discarded; the same pool object works
+            # again on fresh workers, bit-identically.
+            assert not pool.running
+            again = run_trials(batch_config, seeds=3, pool=pool)
+            assert pool.starts == 2
+            assert again.latencies() == healthy.latencies()
+
+    def test_crash_during_reduction_recovers_too(self, params, batch_config):
+        with ExecutionPool(workers=2, chunk_size=1) as pool:
+            with pytest.raises(WorkerCrashError):
+                run_reduced_trials(self._poison_config(params), seeds=2, pool=pool)
+            reduced = run_reduced_trials(batch_config, seeds=2, pool=pool)
+            assert reduced == run_reduced_trials(batch_config, seeds=2)

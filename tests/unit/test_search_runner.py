@@ -198,3 +198,59 @@ class TestReadBacks:
             SearchCheckpoint(store, spec).register()
             with pytest.raises(ExperimentError, match="no evaluations"):
                 export_search(store, spec.name, tmp_path / "best.json")
+
+
+class TestPooledSearch:
+    """One persistent pool across all generations: identity and lifecycle."""
+
+    def test_pooled_search_matches_serial_exactly(self, tmp_path):
+        spec = tiny_spec()
+        with ResultStore(tmp_path / "serial.db") as serial_store:
+            serial = StrategySearch(spec, serial_store).run()
+            with ResultStore(tmp_path / "pooled.db") as pooled_store:
+                with StrategySearch(spec, pooled_store, workers=2, pool_chunk=1) as search:
+                    pooled = search.run()
+                    assert search.pool is not None
+                    # One executor start serves the warm start and every
+                    # generation of every candidate.
+                    assert search.pool.starts == 1
+                assert pooled.best.key == serial.best.key
+                assert pooled.best.score == serial.best.score
+                assert pooled.evaluations_total == serial.evaluations_total
+                # The stored evaluations are byte-identical, insertion order
+                # included (proposal order is deterministic).
+                assert list(pooled_store.iter_cells(spec.name)) == list(
+                    serial_store.iter_cells(spec.name)
+                )
+
+    def test_interrupted_pooled_search_resumes_on_a_fresh_pool_exactly(self, tmp_path):
+        """Kill a pooled search mid-budget; resume on a *new* pool: identical."""
+        spec = tiny_spec()
+        with ResultStore(":memory:") as store:
+            uninterrupted = StrategySearch(spec, store).run()
+            uninterrupted_keys = sorted(store.completed_keys())
+
+        with ResultStore(tmp_path / "resumable.db") as store:
+            with StrategySearch(spec, store, workers=2) as search:
+                partial = search.run(max_evaluations=3)
+            assert not partial.complete
+            assert partial.executed == 3
+            # A brand-new search object — and therefore a brand-new pool, as
+            # after a crash or a process restart — finishes the budget.
+            with StrategySearch(spec, store, workers=2) as search:
+                resumed = search.run()
+            assert resumed.complete
+            assert resumed.best.key == uninterrupted.best.key
+            assert resumed.best.score == uninterrupted.best.score
+            assert resumed.evaluations_total == uninterrupted.evaluations_total
+            assert sorted(store.completed_keys()) == uninterrupted_keys
+
+    def test_cache_only_run_never_starts_the_pool(self):
+        spec = tiny_spec()
+        with ResultStore(":memory:") as store:
+            StrategySearch(spec, store).run()
+            with StrategySearch(spec, store, workers=2) as search:
+                replay = search.run()
+                assert replay.executed == 0
+                assert search.pool is not None
+                assert search.pool.starts == 0  # lazy: no live work, no fork
