@@ -103,11 +103,16 @@ class ScenarioComparison:
     ratio:
         ``current / baseline`` when both sides are present.
     regressed:
-        True when the current value fell below ``baseline * (1 - tolerance)``.
+        True when the current value fell below ``baseline * (1 - tolerance)``,
+        or when the scenario's result digest changed at unchanged work units
+        (a determinism break gates regardless of speed).
     note:
-        ``"ok"``, ``"regressed"``, ``"missing-current"``, ``"new"``, or
+        ``"ok"``, ``"regressed"``, ``"missing-current"``, ``"new"``,
         ``"work-changed"`` (work units differ — the ratio is not
-        apples-to-apples and is reported but never gates).
+        apples-to-apples and is reported but never gates), or
+        ``"digest-changed"`` (same work units, different result digest —
+        the scenario computed a *different answer*, which always gates so a
+        determinism break cannot masquerade as a benign work change).
     """
 
     scenario: str
@@ -226,9 +231,22 @@ def compare_bench(
         baseline_value = float(baseline_entry[metric])
         current_value = float(current_entry[metric])
         ratio = current_value / baseline_value if baseline_value else None
+        baseline_digest = baseline_entry.get("digest")
+        current_digest = current_entry.get("digest")
         if current_entry.get("units") != baseline_entry.get("units"):
+            # Deliberate workload change (e.g. a scenario now does more work):
+            # the ratio is not comparable, so throughput never gates here.
             note = "work-changed"
             regressed = False
+        elif (
+            baseline_digest is not None
+            and current_digest is not None
+            and current_digest != baseline_digest
+        ):
+            # Same amount of work, different answer: a determinism break, not
+            # a perf delta.  Always gates — speed cannot buy it back.
+            note = "digest-changed"
+            regressed = True
         else:
             regressed = current_value < baseline_value * (1.0 - tolerance)
             note = "regressed" if regressed else "ok"

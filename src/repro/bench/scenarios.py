@@ -122,6 +122,56 @@ def _trapdoor_n64_trace_free() -> ScenarioWork:
     )
 
 
+def _trapdoor_n64_batch() -> ScenarioWork:
+    """The lockstep batch kernel on the trace-free trapdoor yardstick.
+
+    The same pinned configuration as :func:`_trapdoor_n64_trace_free`, but
+    128 seeds executed in lockstep by :func:`repro.engine.batch.run_reduced_batch`
+    — the vectorized counterpart of the scalar hot-path scenario, directly
+    comparable per round.  The digest covers every trial's reduced scalars,
+    so a determinism break in the kernel shows up as a digest change, not
+    just a throughput change.
+    """
+    from repro.engine.batch import batchable, run_reduced_batch
+
+    config = SimulationConfig(
+        params=ModelParameters(frequencies=8, disruption_budget=3, participant_bound=64),
+        protocol_factory=protocol_factory("trapdoor"),
+        activation=StaggeredActivation(count=8, spacing=3),
+        adversary=RandomJammer(),
+        max_rounds=4_000,
+        seed=0,
+        stop_when_synchronized=False,
+        trace_level=TraceLevel.NONE,
+    )
+    assert batchable(config), "the pinned batch scenario must stay batchable"
+    seeds = tuple(range(128))
+    reduced = run_reduced_batch(config, seeds)
+    rows = [
+        [
+            trial.seed,
+            trial.synchronized,
+            trial.agreement,
+            trial.safety,
+            trial.leader_count,
+            trial.max_sync_latency,
+            trial.rounds_simulated,
+        ]
+        for trial in reduced
+    ]
+    return ScenarioWork(
+        units=sum(trial.rounds_simulated for trial in reduced),
+        digest=_digest_of(rows),
+        detail={
+            "trace_level": "none",
+            "protocol": "trapdoor",
+            "nodes": 8,
+            "trials": len(seeds),
+            "kernel": "batch-lockstep",
+        },
+    )
+
+
 def _gs_full_trace() -> ScenarioWork:
     """Full-trace Good Samaritan execution: recorder and trace buffering cost.
 
@@ -349,6 +399,16 @@ BENCH_SCENARIOS: dict[str, BenchScenario] = {
             unit="rounds",
             ci=True,
             run=_trapdoor_n64_trace_free,
+        ),
+        BenchScenario(
+            name="trapdoor_n64_batch",
+            description=(
+                "vectorized lockstep batch kernel: 128 trace-free trapdoor seeds "
+                "at F=8, t=3, N=64 (4000 rounds each) as numpy array ops"
+            ),
+            unit="rounds",
+            ci=True,
+            run=_trapdoor_n64_batch,
         ),
         BenchScenario(
             name="gs_full_trace",

@@ -104,6 +104,11 @@ class CampaignRunner:
     pool_chunk:
         Chunk size for the runner's own pool (ignored with ``pool=``;
         ``None`` = automatic).
+    batch:
+        Execute each cell's seed batch on the vectorized lockstep kernel
+        (:mod:`repro.engine.batch`) where the cell's configuration is
+        batchable, with transparent scalar fallback otherwise.  Works on both
+        the serial and the pooled path and never changes the stored rows.
 
     Use as a context manager (or call :meth:`close`) to reclaim the runner's
     own workers deterministically.
@@ -117,11 +122,13 @@ class CampaignRunner:
         trace_level: TraceLevel = TraceLevel.NONE,
         pool: Optional[ExecutionPool] = None,
         pool_chunk: Optional[int] = None,
+        batch: bool = False,
     ) -> None:
         self._spec = spec
         self._store = store
         self._workers = workers
         self._trace_level = trace_level
+        self._batch = batch
         self._owns_pool = pool is None and workers is not None and workers > 1
         self._pool = ExecutionPool(workers, chunk_size=pool_chunk) if self._owns_pool else pool
 
@@ -243,7 +250,11 @@ class CampaignRunner:
         executed = 0
         for cell in to_run:
             reduced = run_reduced_trials(
-                self._cell_template(cell), seeds=cell.seeds, trace_level=None, pool=pool
+                self._cell_template(cell),
+                seeds=cell.seeds,
+                trace_level=None,
+                pool=pool,
+                batch=self._batch,
             )
             self._commit_cell(cell, reduced)
             executed += 1
@@ -276,7 +287,7 @@ class CampaignRunner:
         chunk_results: list[dict[int, list[ReducedTrial]]] = []
         for cell_index, cell in enumerate(to_run):
             futures = self._pool.submit_seed_chunks(
-                self._cell_template(cell), cell.seeds, reduce=True
+                self._cell_template(cell), cell.seeds, reduce=True, batch=self._batch
             )
             outstanding.append(len(futures))
             chunk_results.append({})

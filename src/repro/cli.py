@@ -151,6 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the batch (1 = serial)")
     trials.add_argument("--pool-chunk", type=int, default=None,
                         help="seeds per dispatched pool chunk (default: automatic)")
+    trials.add_argument("--batch", action="store_true",
+                        help="run the seed batch on the vectorized lockstep kernel "
+                             "(trace-free batchable configs; scalar fallback otherwise)")
     trials.add_argument(
         "--trace-level",
         choices=[level.value for level in TraceLevel],
@@ -192,6 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "pool (1 = serial)")
     camp_run.add_argument("--pool-chunk", type=int, default=None,
                           help="trials per dispatched pool chunk (default: automatic)")
+    camp_run.add_argument("--batch", action="store_true",
+                          help="run each cell's seeds on the vectorized lockstep kernel "
+                               "(batchable cells only; scalar fallback otherwise)")
     camp_run.add_argument("--max-cells", type=int, default=None,
                           help="cap on cells executed this invocation (resume later)")
 
@@ -247,6 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "pool (1 = serial)")
     srch_run.add_argument("--pool-chunk", type=int, default=None,
                           help="seeds per dispatched pool chunk (default: automatic)")
+    srch_run.add_argument("--batch", action="store_true",
+                          help="evaluate candidates on the vectorized lockstep kernel "
+                               "(batchable candidates only; scalar fallback otherwise)")
     srch_run.add_argument("--max-evaluations", type=int, default=None,
                           help="cap on live evaluations this invocation (resume later)")
 
@@ -400,6 +409,7 @@ def _command_trials(args: argparse.Namespace) -> int:
                 seeds=args.trial_count,
                 trace_level=TraceLevel(args.trace_level),
                 pool=pool,
+                batch=args.batch,
             )
     else:
         summary = run_trials(
@@ -407,6 +417,7 @@ def _command_trials(args: argparse.Namespace) -> int:
             seeds=args.trial_count,
             workers=args.workers,
             trace_level=TraceLevel(args.trace_level),
+            batch=args.batch,
         )
     print(f"summary   : {summary.describe()}")
     rows = [
@@ -461,7 +472,7 @@ def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
         max_rounds=args.max_rounds,
     )
     with CampaignRunner(
-        spec, store, workers=args.workers, pool_chunk=args.pool_chunk
+        spec, store, workers=args.workers, pool_chunk=args.pool_chunk, batch=args.batch
     ) as runner:
         before = runner.status()
         print(f"campaign  : {spec.name} ({before.total} cells, "
@@ -574,7 +585,7 @@ def _search_run(args: argparse.Namespace, store: ResultStore) -> int:
               f"score {outcome.score:>10.1f}  ({source}, {outcome.key})")
 
     with StrategySearch(
-        spec, store, workers=args.workers, pool_chunk=args.pool_chunk
+        spec, store, workers=args.workers, pool_chunk=args.pool_chunk, batch=args.batch
     ) as search:
         result = search.run(max_evaluations=args.max_evaluations, on_candidate=report)
     print(f"progress  : {result.describe()}")

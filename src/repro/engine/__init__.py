@@ -23,7 +23,23 @@ from repro.engine.runner import TrialSummary, run_reduced_trials, run_trials
 from repro.engine.simulator import SimulationConfig, Simulator, simulate
 from repro.engine.trace import ExecutionTrace, RoundRecord
 
+#: Lazily exported from :mod:`repro.engine.batch` (which imports numpy); the
+#: rest of the engine stays importable without it.
+_BATCH_EXPORTS = ("batchable", "run_batch", "run_reduced_batch")
+
+
+def __getattr__(name: str):
+    if name in _BATCH_EXPORTS:
+        from repro.engine import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "batchable",
+    "run_batch",
+    "run_reduced_batch",
     "PropertyChecker",
     "PropertyReport",
     "PropertyViolation",

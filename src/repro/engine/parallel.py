@@ -4,7 +4,7 @@ Every configuration carries its own master seed and all randomness in an
 execution derives from it, so executions are embarrassingly parallel and a
 parallel run is bit-for-bit the same batch as a serial one, just faster.
 
-There are two execution paths, chosen by the caller:
+There are three execution paths, chosen by the caller:
 
 * **one-shot** (``pool=None``, the default) — :func:`run_configs` creates a
   fresh :class:`concurrent.futures.ProcessPoolExecutor`, farms the batch out,
@@ -15,7 +15,18 @@ There are two execution paths, chosen by the caller:
   caller reuses across many batches.  Campaign runners and adversarial search
   hold one pool for their whole session, which removes the per-batch pool
   spin-up/teardown and most of the pickling that otherwise dominate sweeps of
-  small cells.  Results are identical either way.
+  small cells.
+* **batched** (``batch=True`` on the runner / pool seed-chunk entry points) —
+  same-template multi-seed work units execute on the vectorized lockstep
+  kernel (:mod:`repro.engine.batch`): the whole chunk advances through the
+  round loop as numpy array ops, amortizing the per-round interpreter cost
+  across seeds.  Only trace-free batchable configurations qualify
+  (:func:`repro.engine.batch.batchable`); anything else transparently falls
+  back to the scalar loop.  Composes with both paths above — a pooled batched
+  run vectorizes inside each worker.
+
+Results are bit-identical on every path (the golden-equivalence suite pins
+this).
 
 Configurations must be picklable to cross the process boundary (every
 built-in protocol factory, activation schedule, and adversary is).  When a

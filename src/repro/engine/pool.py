@@ -106,9 +106,24 @@ def simulate_one(template: "SimulationConfig", seed: int) -> SimulationResult:
 
 
 def _run_seed_chunk(
-    template: "SimulationConfig", seeds: tuple[int, ...], reduce: bool
+    template: "SimulationConfig",
+    seeds: tuple[int, ...],
+    reduce: bool,
+    batch: bool = False,
 ) -> list[SimulationResult] | list[ReducedTrial]:
-    """Worker entry point: run one chunk of seeds against a shared template."""
+    """Worker entry point: run one chunk of seeds against a shared template.
+
+    With ``batch=True`` the chunk runs through the vectorized lockstep kernel
+    (:mod:`repro.engine.batch`) when the template is batchable — bit-identical
+    to the scalar loop, just amortized across the chunk's seeds — and falls
+    back to the scalar loop per seed otherwise.
+    """
+    if batch:
+        from repro.engine.batch import run_batch, run_reduced_batch
+
+        if reduce:
+            return run_reduced_batch(template, seeds)
+        return run_batch(template, seeds)
     if reduce:
         return [ReducedTrial.from_result(seed, simulate_one(template, seed)) for seed in seeds]
     return [simulate_one(template, seed) for seed in seeds]
@@ -242,6 +257,7 @@ class ExecutionPool:
         template: "SimulationConfig",
         seeds: Sequence[int],
         reduce: bool = False,
+        batch: bool = False,
     ) -> list["Future[list]"]:
         """Submit one template's seed batch as chunked futures, in chunk order.
 
@@ -254,16 +270,24 @@ class ExecutionPool:
         Callers that consume futures out of order (e.g. as they complete)
         must route :class:`WorkerCrashError` / ``BrokenProcessPool`` results
         through :meth:`recover`, or simply use :meth:`run_seeds`.
+
+        With ``batch=True`` each chunk runs through the vectorized lockstep
+        kernel in its worker (scalar fallback for non-batchable templates);
+        results are still bit-identical, chunk and seed order unchanged.
         """
         chunks = self.chunk(list(seeds))
         if not payload_is_picklable(template):
             warn_serial_fallback()
             return [
-                _completed_future(_run_seed_chunk(template, chunk, reduce)) for chunk in chunks
+                _completed_future(_run_seed_chunk(template, chunk, reduce, batch))
+                for chunk in chunks
             ]
         executor = self._ensure_executor()
         try:
-            return [executor.submit(_run_seed_chunk, template, chunk, reduce) for chunk in chunks]
+            return [
+                executor.submit(_run_seed_chunk, template, chunk, reduce, batch)
+                for chunk in chunks
+            ]
         except BrokenProcessPool as error:
             # submit() itself raises when a worker died since the last call —
             # route it through the same self-healing path as a mid-batch crash.
@@ -274,15 +298,17 @@ class ExecutionPool:
         template: "SimulationConfig",
         seeds: Sequence[int],
         reduce: bool = False,
+        batch: bool = False,
     ) -> list:
         """Run a multi-seed batch and return results in seed order.
 
         With ``reduce=True`` the returned list holds :class:`ReducedTrial`
         rows; otherwise full :class:`~repro.engine.results.SimulationResult`
-        objects.  Either way the contents are bit-identical to a serial run of
-        the same template and seeds.
+        objects.  With ``batch=True`` each chunk executes on the vectorized
+        lockstep kernel where the template allows it.  Either way the contents
+        are bit-identical to a serial run of the same template and seeds.
         """
-        futures = self.submit_seed_chunks(template, seeds, reduce=reduce)
+        futures = self.submit_seed_chunks(template, seeds, reduce=reduce, batch=batch)
         return self._gather(futures)
 
     def run_configs(self, configs: Sequence["SimulationConfig"]) -> list[SimulationResult]:

@@ -13,6 +13,25 @@ from __future__ import annotations
 import hashlib
 import random
 
+#: Memoized label encodings.  Stream labels come from a small recurring
+#: vocabulary ("node", node ids, "adversary", …) but the batch kernel derives
+#: one stream per ``(trial, component)`` pair, so pre-drawing thousands of
+#: trials would otherwise re-encode the same labels thousands of times.  Keys
+#: include the label's type: ``1`` and ``True`` compare (and hash) equal but
+#: encode differently.
+_LABEL_CACHE: dict[tuple[type, object], bytes] = {}
+
+
+def _encoded_label(label: object) -> bytes:
+    try:
+        key = (type(label), label)
+        cached = _LABEL_CACHE.get(key)
+    except TypeError:  # unhashable label: encode without caching
+        return b"/" + str(label).encode("utf-8")
+    if cached is None:
+        cached = _LABEL_CACHE[key] = b"/" + str(label).encode("utf-8")
+    return cached
+
 
 def derive_seed(master_seed: int, *labels: object) -> int:
     """Derive a 64-bit child seed from a master seed and a label path.
@@ -23,8 +42,7 @@ def derive_seed(master_seed: int, *labels: object) -> int:
     digest = hashlib.sha256()
     digest.update(str(master_seed).encode("utf-8"))
     for label in labels:
-        digest.update(b"/")
-        digest.update(str(label).encode("utf-8"))
+        digest.update(_encoded_label(label))
     return int.from_bytes(digest.digest()[:8], "big")
 
 

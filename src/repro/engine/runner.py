@@ -173,6 +173,7 @@ def run_trials(
     workers: Optional[int] = None,
     trace_level: Optional[TraceLevel] = None,
     pool: Optional[ExecutionPool] = None,
+    batch: bool = False,
 ) -> TrialSummary:
     """Run the same configuration across many seeds.
 
@@ -203,13 +204,27 @@ def run_trials(
         (shipping the shared template once per chunk), which callers with
         many batches — campaigns, search — reuse across calls.  Neither
         ``pool`` nor ``workers`` ever changes results.
+    batch:
+        Run same-template seed batches through the vectorized lockstep kernel
+        (:mod:`repro.engine.batch`) where the configuration is batchable, with
+        transparent scalar fallback otherwise.  Never changes results; ignored
+        when ``config_for_seed`` makes the batch heterogeneous.
     """
     seed_list = _normalize_seeds(seeds)
     if pool is not None and config_for_seed is None:
         # Template-and-delta: the configs differ only by seed, so ship the
         # template once per chunk instead of len(seeds) full configs.
-        results = pool.run_seeds(_template_for(config, trace_level), seed_list)
+        results = pool.run_seeds(_template_for(config, trace_level), seed_list, batch=batch)
         return TrialSummary(results=tuple(results), seeds=seed_list)
+    if batch and config_for_seed is None:
+        template = _template_for(config, trace_level)
+        if workers is not None and workers > 1:
+            with ExecutionPool(workers) as one_shot:
+                results = one_shot.run_seeds(template, seed_list, batch=True)
+            return TrialSummary(results=tuple(results), seeds=seed_list)
+        from repro.engine.batch import run_batch
+
+        return TrialSummary(results=tuple(run_batch(template, seed_list)), seeds=seed_list)
 
     configs = []
     for seed in seed_list:
@@ -229,6 +244,7 @@ def run_reduced_trials(
     seeds: Sequence[int] | int = 10,
     trace_level: Optional[TraceLevel] = TraceLevel.NONE,
     pool: Optional[ExecutionPool] = None,
+    batch: bool = False,
 ) -> tuple[ReducedTrial, ...]:
     """Run a multi-seed batch, keeping only the persisted summary scalars.
 
@@ -245,11 +261,17 @@ def run_reduced_trials(
 
     ``trace_level`` defaults to :attr:`TraceLevel.NONE` (summary consumers
     never read traces); pass ``None`` to keep the config's own level.
+    ``batch=True`` routes batchable templates through the vectorized lockstep
+    kernel (scalar fallback otherwise) — identical rows either way.
     """
     seed_list = _normalize_seeds(seeds)
     template = _template_for(config, trace_level)
     if pool is not None:
-        return tuple(pool.run_seeds(template, seed_list, reduce=True))
+        return tuple(pool.run_seeds(template, seed_list, reduce=True, batch=batch))
+    if batch:
+        from repro.engine.batch import run_reduced_batch
+
+        return tuple(run_reduced_batch(template, seed_list))
     return tuple(
         ReducedTrial.from_result(seed, simulate_one(template, seed)) for seed in seed_list
     )

@@ -201,24 +201,27 @@ class SearchObjective:
         genome: StrategyGenome,
         workers: int | None = None,
         pool: ExecutionPool | None = None,
+        batch: bool = False,
     ) -> Evaluation:
         """Run a genome across every seed and score the outcome.
 
         Neither ``workers`` (a one-shot process pool per call) nor ``pool``
         (a persistent :class:`~repro.engine.pool.ExecutionPool` the caller
         reuses across candidates — what :class:`~repro.search.runner.StrategySearch`
-        holds for a whole search) ever changes results, so they are
-        deliberately not part of any candidate identity.  On the pooled path
-        workers reduce each trial to the persisted scalars in-process, so a
-        search over thousands of candidates ships back only
+        holds for a whole search) nor ``batch`` (the vectorized lockstep
+        kernel, scalar fallback where the candidate is not batchable) ever
+        changes results, so none of them is part of any candidate identity.
+        On the pooled path workers reduce each trial to the persisted scalars
+        in-process, so a search over thousands of candidates ships back only
         :class:`~repro.campaigns.store.TrialRecord`-shaped rows.
         """
-        if pool is not None:
+        if pool is not None or batch:
             reduced = run_reduced_trials(
                 self.config_for(genome),
                 seeds=self.seeds,
                 trace_level=TraceLevel.NONE,
                 pool=pool,
+                batch=batch,
             )
             records = tuple(TrialRecord.from_reduced(trial) for trial in reduced)
             return Evaluation(genome=genome, records=records, score=self.score_records(records))

@@ -93,6 +93,10 @@ class StrategySearch:
     pool_chunk:
         Chunk size for the search's own pool (ignored with ``pool=``;
         ``None`` = automatic).
+    batch:
+        Evaluate candidates on the vectorized lockstep kernel
+        (:mod:`repro.engine.batch`) where their configurations are batchable
+        (scalar fallback otherwise).  Never changes scores or stored records.
 
     Use as a context manager (or call :meth:`close`) to reclaim the search's
     own workers deterministically.
@@ -105,10 +109,12 @@ class StrategySearch:
         workers: Optional[int] = None,
         pool: Optional["ExecutionPool"] = None,
         pool_chunk: Optional[int] = None,
+        batch: bool = False,
     ) -> None:
         self._spec = spec
         self._checkpoint = SearchCheckpoint(store, spec)
         self._workers = workers
+        self._batch = batch
         self._owns_pool = pool is None and workers is not None and workers > 1
         self._pool = ExecutionPool(workers, chunk_size=pool_chunk) if self._owns_pool else pool
 
@@ -173,7 +179,7 @@ class StrategySearch:
                         stopped = True
                         break
                     evaluation = objective.evaluate(
-                        genome, workers=self._workers, pool=self._pool
+                        genome, workers=self._workers, pool=self._pool, batch=self._batch
                     )
                     records = evaluation.records
                     self._checkpoint.record(genome, generation, key, records)

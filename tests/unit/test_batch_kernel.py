@@ -1,0 +1,273 @@
+"""Golden-output equivalence suite for the vectorized batch kernel.
+
+:mod:`repro.engine.batch` re-implements the trace-free round loop as numpy
+array ops over a whole chunk of seeds at once.  Speed is the only thing it is
+allowed to change: for every batchable configuration the kernel must replay
+the scalar engine's randomness in exact consumption order and land on
+bit-identical results.
+
+This suite pins that equivalence three ways:
+
+* every batchable ``protocol|jammer|activation`` combination of the golden
+  matrix (the same matrix :mod:`tests.unit.test_engine_equivalence` pins,
+  trace-free) is digest-compared against goldens recorded from the *scalar*
+  engine — the kernel never gets to define its own truth;
+* multi-seed lockstep execution is compared seed-for-seed against scalar
+  runs, so masking early-finished trials provably cannot bleed state across
+  lanes;
+* the pooled/campaign plumbing (``batch=True``) is compared row-for-row
+  against the serial scalar path, down to the bytes SQLite hands back.
+
+Regenerate the goldens (from the scalar engine, deliberately) with::
+
+    PYTHONPATH=src python tests/unit/test_batch_kernel.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.adversary.registry import ADVERSARY_FACTORIES
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.engine.batch import batchable, run_batch, run_reduced_batch
+from repro.engine.observers import TraceLevel
+from repro.engine.pool import ExecutionPool, ReducedTrial
+from repro.engine.runner import run_reduced_trials
+from repro.engine.serialization import execution_digest
+from repro.engine.simulator import SimulationConfig, simulate
+from repro.protocols.registry import protocol_factory
+
+# The same pinned matrix the scalar golden suite uses (tests/unit is not a
+# package: both under pytest's rootdir import mode and as a __main__ script,
+# sibling test modules import flat by module name).
+from test_engine_equivalence import ACTIVATIONS, MAX_ROUNDS, PARAMS, SEED, matrix_keys
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "golden" / "engine_equivalence_batch.json"
+
+
+def config_for(key: str, seed: int = SEED) -> SimulationConfig:
+    """The trace-free configuration one matrix key names (batch kernel scope)."""
+    protocol, jammer, activation = key.split("|")
+    return SimulationConfig(
+        params=PARAMS,
+        protocol_factory=protocol_factory(protocol),
+        activation=ACTIVATIONS[activation],
+        adversary=ADVERSARY_FACTORIES[jammer](),
+        max_rounds=MAX_ROUNDS,
+        seed=seed,
+        trace_level=TraceLevel.NONE,
+    )
+
+
+def batchable_keys() -> list[str]:
+    """The deterministically ordered batchable slice of the golden matrix."""
+    return [key for key in matrix_keys() if batchable(config_for(key))]
+
+
+def load_goldens() -> dict[str, str]:
+    with GOLDEN_PATH.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict[str, str]:
+    assert GOLDEN_PATH.exists(), (
+        f"golden file {GOLDEN_PATH} is missing; regenerate with "
+        "`PYTHONPATH=src python tests/unit/test_batch_kernel.py --regen`"
+    )
+    return load_goldens()
+
+
+class TestBatchableProbe:
+    def test_batchable_matrix_is_pinned(self, goldens):
+        """The batchable slice of the matrix is stable — and the goldens cover it.
+
+        Every registered batchable protocol rides the kernel for every jammer
+        and activation; a newly registered protocol/jammer must either gain a
+        golden entry here or be (deliberately) classified scalar-only.
+        """
+        keys = batchable_keys()
+        assert sorted(goldens) == keys
+        batchable_protocols = {key.split("|")[0] for key in keys}
+        assert batchable_protocols == {
+            "decay-wakeup", "round-robin", "single-channel", "trapdoor", "uniform-wakeup",
+        }
+        # Every jammer and activation appears: nothing silently drops to scalar.
+        assert {key.split("|")[1] for key in keys} == set(ADVERSARY_FACTORIES)
+        assert {key.split("|")[2] for key in keys} == set(ACTIVATIONS)
+
+    def test_traced_configurations_are_not_batchable(self):
+        key = batchable_keys()[0]
+        protocol, jammer, activation = key.split("|")
+        traced = SimulationConfig(
+            params=PARAMS,
+            protocol_factory=protocol_factory(protocol),
+            activation=ACTIVATIONS[activation],
+            adversary=ADVERSARY_FACTORIES[jammer](),
+            max_rounds=MAX_ROUNDS,
+            seed=SEED,
+            trace_level=TraceLevel.FULL,
+        )
+        assert not batchable(traced)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("key", batchable_keys())
+    def test_batch_kernel_matches_scalar_golden(self, key, goldens):
+        """The kernel reproduces the scalar engine's recorded output bit-for-bit."""
+        assert key in goldens, f"no golden recorded for {key}; regenerate the golden file"
+        config = config_for(key)
+        assert batchable(config)
+        [result] = run_batch(config, [SEED])
+        assert execution_digest(result) == goldens[key], (
+            f"batch-kernel digest changed for {key}: the lockstep kernel no longer "
+            "reproduces the scalar engine (metrics, latencies, or checker verdicts differ)"
+        )
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "trapdoor|random|staggered",
+            "trapdoor|reactive|trickle",
+            "uniform-wakeup|sweep|simultaneous",
+            "decay-wakeup|bursty|staggered",
+            "single-channel|low-band|trickle",
+            "round-robin|two-node-product|staggered",
+        ],
+    )
+    def test_multi_seed_lockstep_matches_scalar_per_seed(self, key):
+        """A whole lockstep chunk equals the seed-by-seed scalar runs.
+
+        Seeds finish at different rounds, so this is the test that pins the
+        early-finish masking: a dead lane consuming (or starving) one word of
+        anyone's randomness would shift every digest after it.
+        """
+        seeds = [7, 3, 11, 0, 25, 11 + 64, 2, 19]
+        batch_results = run_batch(config_for(key), seeds)
+        for seed, batched in zip(seeds, batch_results):
+            scalar = simulate(config_for(key, seed=seed))
+            assert execution_digest(batched) == execution_digest(scalar), (
+                f"lockstep seed {seed} diverged from the scalar engine for {key}"
+            )
+
+    def test_non_batchable_template_falls_back_to_scalar(self):
+        """run_batch on a scalar-only protocol is exactly the scalar engine."""
+        config = SimulationConfig(
+            params=PARAMS,
+            protocol_factory=protocol_factory("good-samaritan"),
+            activation=ACTIVATIONS["simultaneous"],
+            adversary=ADVERSARY_FACTORIES["random"](),
+            max_rounds=MAX_ROUNDS,
+            seed=SEED,
+            trace_level=TraceLevel.NONE,
+        )
+        assert not batchable(config)
+        [fallback] = run_batch(config, [SEED])
+        assert execution_digest(fallback) == execution_digest(simulate(config))
+
+
+class TestPlumbing:
+    def test_reduced_batch_rows_equal_scalar_reduction(self):
+        config = config_for("trapdoor|random|staggered")
+        seeds = [0, 1, 2, 3]
+        reduced = run_reduced_batch(config, seeds)
+        expected = [
+            ReducedTrial.from_result(seed, simulate(config_for("trapdoor|random|staggered", seed)))
+            for seed in seeds
+        ]
+        assert reduced == expected
+
+    def test_pooled_batch_execution_matches_serial_scalar(self):
+        """``batch=True`` through the persistent pool changes nothing but speed.
+
+        Both full results and in-worker-reduced rows, same insertion order —
+        the property that lets campaign stores and search scores turn the
+        kernel on without invalidating anything recorded before.
+        """
+        seeds = [4, 0, 9, 2]
+        keys = ["trapdoor|random|staggered", "round-robin|sweep|trickle"]
+        with ExecutionPool(workers=2, chunk_size=2) as pool:
+            for key in keys:
+                batched = pool.run_seeds(config_for(key), seeds, batch=True)
+                for seed, result in zip(seeds, batched):
+                    assert execution_digest(result) == execution_digest(
+                        simulate(config_for(key, seed))
+                    )
+                reduced = pool.run_seeds(config_for(key), seeds, reduce=True, batch=True)
+                assert reduced == [
+                    ReducedTrial.from_result(seed, simulate(config_for(key, seed)))
+                    for seed in seeds
+                ]
+
+    def test_run_reduced_trials_batch_flag_is_invisible_in_the_rows(self):
+        from repro.experiments.workloads import quiet_start
+
+        workload = quiet_start(4)
+        config = SimulationConfig(
+            params=PARAMS,
+            protocol_factory=protocol_factory("trapdoor"),
+            activation=workload.activation,
+            adversary=workload.adversary,
+            max_rounds=MAX_ROUNDS,
+            seed=0,
+            trace_level=TraceLevel.NONE,
+        )
+        serial = run_reduced_trials(config, seeds=range(5))
+        batched = run_reduced_trials(config, seeds=range(5), batch=True)
+        assert batched == serial
+
+    def test_campaign_store_rows_are_byte_identical_serial_vs_batch(self, tmp_path):
+        """A ``--batch`` campaign persists the exact bytes a serial one does.
+
+        The grid deliberately mixes a batchable protocol (trapdoor) with a
+        scalar-only one (good-samaritan), so both the kernel path and the
+        transparent fallback are driven through the store; cells must come
+        back in identical insertion order with identical trial rows.
+        """
+        spec = dict(
+            protocols=("trapdoor", "good-samaritan"),
+            workloads=("quiet_start",),
+            frequencies=(4,),
+            budgets=(1,),
+            participants=(8,),
+            node_counts=(2, 3),
+            seeds=2,
+            max_rounds=5_000,
+        )
+        with ResultStore(tmp_path / "serial.db") as serial_store:
+            with CampaignRunner(CampaignSpec(name="s", **spec), serial_store) as runner:
+                assert runner.run().complete
+            serial_cells = list(serial_store.iter_cells())
+        with ResultStore(tmp_path / "batch.db") as batch_store:
+            with CampaignRunner(CampaignSpec(name="s", **spec), batch_store, batch=True) as runner:
+                assert runner.run().complete
+            batch_cells = list(batch_store.iter_cells())
+        assert batch_cells == serial_cells
+
+
+def regenerate() -> None:
+    """Record the *scalar* engine's trace-free digest for every batchable key.
+
+    The goldens are deliberately computed by :func:`simulate`, not the kernel:
+    they pin the kernel to the scalar engine, never to itself.
+    """
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    goldens = {key: execution_digest(simulate(config_for(key))) for key in batchable_keys()}
+    with GOLDEN_PATH.open("w", encoding="utf-8") as handle:
+        json.dump(goldens, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(goldens)} golden digests to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        sys.exit(2)

@@ -43,6 +43,7 @@ class TestRegistry:
     def test_ci_subset_is_pinned(self):
         assert ci_scenario_names() == (
             "trapdoor_n64_trace_free",
+            "trapdoor_n64_batch",
             "gs_full_trace",
             "campaign_many_small_cells",
             "search_generation",
@@ -203,6 +204,33 @@ class TestCompare:
         comparison = compare_bench(current, _payload(a=1.0), tolerance=0.25)
         assert comparison.ok
         assert comparison.entries[0].note == "work-changed"
+
+    def test_digest_change_at_same_units_gates(self):
+        """Same work, different answer: a determinism break must fail the gate."""
+        current, baseline = _payload(a=1.0), _payload(a=1.0)
+        baseline["scenarios"]["a"]["digest"] = "old"
+        current["scenarios"]["a"]["digest"] = "new"
+        comparison = compare_bench(current, baseline, tolerance=0.25)
+        assert not comparison.ok
+        assert comparison.entries[0].note == "digest-changed"
+        assert [entry.scenario for entry in comparison.regressions] == ["a"]
+
+    def test_digest_change_with_changed_units_stays_work_changed(self):
+        """A deliberate workload change legitimately changes the digest too."""
+        current, baseline = _payload(a=0.1), _payload(a=1.0)
+        baseline["scenarios"]["a"]["digest"] = "old"
+        current["scenarios"]["a"].update(units=999, digest="new")
+        comparison = compare_bench(current, baseline, tolerance=0.25)
+        assert comparison.ok
+        assert comparison.entries[0].note == "work-changed"
+
+    def test_matching_or_absent_digests_do_not_gate(self):
+        current, baseline = _payload(a=1.0), _payload(a=1.0)
+        baseline["scenarios"]["a"]["digest"] = "same"
+        current["scenarios"]["a"]["digest"] = "same"
+        assert compare_bench(current, baseline, tolerance=0.25).entries[0].note == "ok"
+        # Pre-digest baselines (no "digest" key) keep comparing on throughput.
+        assert compare_bench(_payload(a=1.0), _payload(a=1.0)).entries[0].note == "ok"
 
     def test_raw_throughput_metric(self):
         comparison = compare_bench(
