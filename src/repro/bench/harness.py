@@ -19,11 +19,12 @@ from __future__ import annotations
 
 import statistics
 import time
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
 
 from repro.bench.scenarios import BenchScenario, ScenarioWork
 from repro.exceptions import ExperimentError
+from repro.telemetry import Telemetry, as_telemetry
 
 #: Iterations of the calibration loop (a fixed pure-Python workload).
 _CALIBRATION_LOOPS = 200_000
@@ -92,13 +93,20 @@ class BenchMeasurement:
 
 @dataclass(frozen=True)
 class BenchRun:
-    """A full bench invocation: calibration plus one measurement per scenario."""
+    """A full bench invocation: calibration plus one measurement per scenario.
+
+    ``telemetry_snapshot`` carries the harness's own metrics-registry state
+    (scenario timings as ``bench.scenario.seconds`` observations) when the
+    bench ran with a live telemetry handle; it is ``None`` — and absent from
+    the serialized JSON — otherwise, so default payloads are unchanged.
+    """
 
     rev: str
     repeats: int
     warmup: int
     calibration: float
     measurements: tuple[BenchMeasurement, ...]
+    telemetry_snapshot: Optional[dict[str, Any]] = field(default=None)
 
 
 def run_scenario(scenario: BenchScenario, repeats: int, warmup: int) -> BenchMeasurement:
@@ -140,16 +148,34 @@ def run_bench(
     rev: str,
     repeats: int = 3,
     warmup: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> BenchRun:
-    """Run every scenario through the harness and return the full bench run."""
-    calibration = calibration_rate()
-    measurements = tuple(
-        run_scenario(scenario, repeats=repeats, warmup=warmup) for scenario in scenarios
-    )
+    """Run every scenario through the harness and return the full bench run.
+
+    With a live ``telemetry`` handle, each scenario's timed phase runs inside
+    a ``bench.scenario`` span (the scenario's *own* instrumentation — pools,
+    campaign runners — stays off so the timed code matches production), and
+    the resulting registry snapshot is embedded in the returned
+    :class:`BenchRun`.
+    """
+    handle = as_telemetry(telemetry)
+    with handle.span("bench.calibration"):
+        calibration = calibration_rate()
+    measurements = []
+    for scenario in scenarios:
+        with handle.span("bench.scenario", scenario=scenario.name) as span:
+            measurement = run_scenario(scenario, repeats=repeats, warmup=warmup)
+            span.annotate(median_seconds=measurement.median_seconds)
+        if handle.enabled:
+            handle.histogram(
+                "bench.median_seconds", help="median scenario repeat time"
+            ).observe(measurement.median_seconds)
+        measurements.append(measurement)
     return BenchRun(
         rev=rev,
         repeats=repeats,
         warmup=warmup,
         calibration=calibration,
-        measurements=measurements,
+        measurements=tuple(measurements),
+        telemetry_snapshot=handle.snapshot() if handle.enabled else None,
     )

@@ -38,8 +38,13 @@ def bench_run_to_dict(run: BenchRun) -> dict[str, Any]:
     deterministic for a given revision; the timing keys (``samples_seconds``,
     ``median_seconds``, ``throughput``, ``normalized_throughput``) and the
     top-level ``created_utc``/``calibration_rate`` vary run to run.
+
+    A run recorded with a live telemetry handle additionally carries the
+    harness's metrics snapshot under a top-level ``telemetry`` key; runs
+    without one omit the key entirely, so pre-telemetry payloads and
+    comparisons (which only read ``scenarios``) are unaffected.
     """
-    return {
+    payload: dict[str, Any] = {
         "schema": BENCH_SCHEMA_VERSION,
         "rev": run.rev,
         "python": platform.python_version(),
@@ -63,6 +68,9 @@ def bench_run_to_dict(run: BenchRun) -> dict[str, Any]:
             for measurement in run.measurements
         },
     }
+    if run.telemetry_snapshot is not None:
+        payload["telemetry"] = run.telemetry_snapshot
+    return payload
 
 
 def write_bench_json(run: BenchRun, path: str | Path) -> Path:

@@ -22,6 +22,8 @@ are bit-identical to a serial campaign's.
 
 from __future__ import annotations
 
+import logging
+import time
 from concurrent.futures import Future, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
@@ -37,6 +39,10 @@ from repro.engine.pool import (
     warn_serial_fallback,
 )
 from repro.engine.runner import run_reduced_trials
+from repro.telemetry import Telemetry, as_telemetry
+from repro.telemetry.events import CampaignCompleted, CampaignStarted, CellCommitted
+
+logger = logging.getLogger("repro.campaigns.runner")
 
 
 @dataclass(frozen=True)
@@ -109,6 +115,14 @@ class CampaignRunner:
         (:mod:`repro.engine.batch`) where the cell's configuration is
         batchable, with transparent scalar fallback otherwise.  Works on both
         the serial and the pooled path and never changes the stored rows.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle.  A live handle
+        gets campaign lifecycle events, per-cell
+        :class:`~repro.telemetry.events.CellCommitted` events, cell-commit
+        latency histograms, resume-skip counters, an end-of-run cells/second
+        gauge, and — when the runner owns its pool — the pool's dispatch
+        instrumentation too.  Telemetry never changes the stored rows:
+        campaign stores are byte-identical with it on or off.
 
     Use as a context manager (or call :meth:`close`) to reclaim the runner's
     own workers deterministically.
@@ -123,14 +137,36 @@ class CampaignRunner:
         pool: Optional[ExecutionPool] = None,
         pool_chunk: Optional[int] = None,
         batch: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._spec = spec
         self._store = store
         self._workers = workers
         self._trace_level = trace_level
         self._batch = batch
+        self._telemetry = as_telemetry(telemetry)
         self._owns_pool = pool is None and workers is not None and workers > 1
-        self._pool = ExecutionPool(workers, chunk_size=pool_chunk) if self._owns_pool else pool
+        self._pool = (
+            ExecutionPool(workers, chunk_size=pool_chunk, telemetry=self._telemetry)
+            if self._owns_pool
+            else pool
+        )
+        self._metric_cells = self._telemetry.counter(
+            "campaign.cells_committed", help="cells executed and committed to the store"
+        )
+        self._metric_trials = self._telemetry.counter(
+            "campaign.trials_recorded", help="trial rows committed across all cells"
+        )
+        self._metric_reused = self._telemetry.counter(
+            "campaign.cells_reused", help="cells skipped on resume (already stored)"
+        )
+        self._metric_commit_latency = self._telemetry.histogram(
+            "campaign.cell_commit_seconds",
+            help="per-cell latency from execution start (or pool submission) to commit",
+        )
+        self._metric_rate = self._telemetry.gauge(
+            "campaign.cells_per_second", help="executed cells per second, last run() invocation"
+        )
 
     @property
     def spec(self) -> CampaignSpec:
@@ -205,6 +241,24 @@ class CampaignRunner:
             self._spec.name, [cell.key for cell in cells if cell.key not in pending_keys]
         )
         to_run = pending if max_cells is None else pending[:max_cells]
+        reused = len(cells) - len(pending)
+        self._metric_reused.inc(reused)
+        started = time.perf_counter()
+        if self._telemetry.enabled:
+            logger.info(
+                "campaign %s: %d cells total, %d pending, %d reused",
+                self._spec.name, len(cells), len(pending), reused,
+            )
+            self._telemetry.emit(
+                CampaignStarted(
+                    campaign=self._spec.name,
+                    total_cells=len(cells),
+                    pending_cells=len(pending),
+                    reused_cells=reused,
+                    workers=self._pool.workers if self._pool is not None else 1,
+                    batch=self._batch,
+                )
+            )
 
         def progress_after(executed: int) -> CampaignProgress:
             return CampaignProgress(
@@ -214,21 +268,38 @@ class CampaignRunner:
                 remaining=len(pending) - executed,
             )
 
-        if self._pool is not None and len(to_run) > 1:
-            if payload_is_picklable(self._cell_template(to_run[0])):
-                executed = self._run_batched(to_run, progress_after, on_cell)
+        with self._telemetry.span("campaign.run", campaign=self._spec.name):
+            if self._pool is not None and len(to_run) > 1:
+                if payload_is_picklable(self._cell_template(to_run[0])):
+                    executed = self._run_batched(to_run, progress_after, on_cell)
+                else:
+                    # An unpicklable grid (closure-built workload parts) cannot
+                    # reach the workers.  Degrade to the fully serial path — one
+                    # warning, and crucially still one atomic commit per cell as
+                    # it finishes, so interrupt-resume keeps working — instead of
+                    # letting the batched submission loop execute everything
+                    # eagerly in-process with every commit deferred to the end.
+                    warn_serial_fallback(stacklevel=2, telemetry=self._telemetry)
+                    executed = self._run_serial(to_run, progress_after, on_cell, pool=None)
             else:
-                # An unpicklable grid (closure-built workload parts) cannot
-                # reach the workers.  Degrade to the fully serial path — one
-                # warning, and crucially still one atomic commit per cell as
-                # it finishes, so interrupt-resume keeps working — instead of
-                # letting the batched submission loop execute everything
-                # eagerly in-process with every commit deferred to the end.
-                warn_serial_fallback(stacklevel=2)
-                executed = self._run_serial(to_run, progress_after, on_cell, pool=None)
-        else:
-            executed = self._run_serial(to_run, progress_after, on_cell, pool=self._pool)
-        return progress_after(executed)
+                executed = self._run_serial(to_run, progress_after, on_cell, pool=self._pool)
+
+        seconds = time.perf_counter() - started
+        rate = executed / seconds if seconds > 0 else 0.0
+        self._metric_rate.set(rate)
+        progress = progress_after(executed)
+        if self._telemetry.enabled:
+            self._telemetry.emit(
+                CampaignCompleted(
+                    campaign=self._spec.name,
+                    executed=executed,
+                    reused=reused,
+                    remaining=progress.remaining,
+                    seconds=seconds,
+                    cells_per_second=rate,
+                )
+            )
+        return progress
 
     # -- execution paths --------------------------------------------------
 
@@ -238,6 +309,23 @@ class CampaignRunner:
     def _commit_cell(self, cell: CampaignCell, reduced: Sequence[ReducedTrial]) -> None:
         records = [TrialRecord.from_reduced(trial) for trial in reduced]
         self._store.record_cell(self._spec.name, cell.key, cell.describe_dict(), records)
+
+    def _observe_commit(
+        self, cell: CampaignCell, reduced: Sequence[ReducedTrial], seconds: float
+    ) -> None:
+        """Record one committed cell: counters, commit-latency histogram, event."""
+        self._metric_cells.inc()
+        self._metric_trials.inc(len(reduced))
+        self._metric_commit_latency.observe(seconds)
+        if self._telemetry.enabled:
+            self._telemetry.emit(
+                CellCommitted(
+                    campaign=self._spec.name,
+                    cell_key=cell.key,
+                    trials=len(reduced),
+                    seconds=seconds,
+                )
+            )
 
     def _run_serial(
         self,
@@ -249,14 +337,19 @@ class CampaignRunner:
         """One cell at a time, in grid order (also the single-cell pool path)."""
         executed = 0
         for cell in to_run:
-            reduced = run_reduced_trials(
-                self._cell_template(cell),
-                seeds=cell.seeds,
-                trace_level=None,
-                pool=pool,
-                batch=self._batch,
-            )
-            self._commit_cell(cell, reduced)
+            cell_started = time.perf_counter()
+            with self._telemetry.span("campaign.cell", cell=cell.key):
+                with self._telemetry.span("campaign.execute"):
+                    reduced = run_reduced_trials(
+                        self._cell_template(cell),
+                        seeds=cell.seeds,
+                        trace_level=None,
+                        pool=pool,
+                        batch=self._batch,
+                    )
+                with self._telemetry.span("campaign.commit"):
+                    self._commit_cell(cell, reduced)
+            self._observe_commit(cell, reduced, time.perf_counter() - cell_started)
             executed += 1
             if on_cell is not None:
                 on_cell(cell, progress_after(executed))
@@ -285,14 +378,17 @@ class CampaignRunner:
         chunk_owner: dict[Future, tuple[int, int]] = {}
         outstanding: list[int] = []
         chunk_results: list[dict[int, list[ReducedTrial]]] = []
-        for cell_index, cell in enumerate(to_run):
-            futures = self._pool.submit_seed_chunks(
-                self._cell_template(cell), cell.seeds, reduce=True, batch=self._batch
-            )
-            outstanding.append(len(futures))
-            chunk_results.append({})
-            for position, future in enumerate(futures):
-                chunk_owner[future] = (cell_index, position)
+        submitted_at: list[float] = []
+        with self._telemetry.span("campaign.dispatch", cells=len(to_run)):
+            for cell_index, cell in enumerate(to_run):
+                submitted_at.append(time.perf_counter())
+                futures = self._pool.submit_seed_chunks(
+                    self._cell_template(cell), cell.seeds, reduce=True, batch=self._batch
+                )
+                outstanding.append(len(futures))
+                chunk_results.append({})
+                for position, future in enumerate(futures):
+                    chunk_owner[future] = (cell_index, position)
 
         executed = 0
         for future in as_completed(chunk_owner):
@@ -310,7 +406,12 @@ class CampaignRunner:
                     trial for pos in sorted(by_position) for trial in by_position[pos]
                 ]
                 cell = to_run[executed]
-                self._commit_cell(cell, reduced)
+                with self._telemetry.span("campaign.commit", cell=cell.key):
+                    self._commit_cell(cell, reduced)
+                # Pooled cell latency: pool submission to atomic commit.
+                self._observe_commit(
+                    cell, reduced, time.perf_counter() - submitted_at[executed]
+                )
                 chunk_results[executed] = {}
                 outstanding[executed] = -1  # committed
                 executed += 1

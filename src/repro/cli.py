@@ -33,11 +33,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import subprocess
 import sys
+import time
 from dataclasses import replace
 from pathlib import Path
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.adversary.registry import ADVERSARY_FACTORIES
 from repro.analysis.bounds import (
@@ -77,6 +79,9 @@ from repro.search.checkpoint import SearchSpec, is_search_spec_json
 from repro.search.objective import OBJECTIVE_METRICS, SearchObjective
 from repro.search.optimizers import OPTIMIZERS
 from repro.search.runner import StrategySearch, export_search, search_status
+from repro.telemetry import Telemetry
+from repro.telemetry.events import RunCompleted, RunStarted
+from repro.telemetry.export import write_metrics_json
 
 #: The named protocol registry the scenario options draw from (shared with the
 #: campaign subsystem, so a protocol name means the same thing everywhere).
@@ -111,7 +116,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'The Wireless Synchronization Problem' (PODC 2009)",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error", "critical"],
+        default="warning",
+        help="stdlib logging threshold for the repro.* loggers (stderr)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Telemetry options shared by every executing subcommand (trials,
+    # campaign run, search run, bench run).  Inspection subcommands
+    # (status/export/compare) execute nothing, so they take neither flag.
+    telemetry_options = argparse.ArgumentParser(add_help=False)
+    telemetry_options.add_argument(
+        "--telemetry", type=str, default=None, metavar="PATH",
+        help="stream structured telemetry events to this JSONL file",
+    )
+    telemetry_options.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the final metrics snapshot here (JSON, or Prometheus "
+             "text exposition when the path ends in .prom)",
+    )
 
     scenario = argparse.ArgumentParser(add_help=False)
     scenario.add_argument("--protocol", choices=sorted(PROTOCOLS), default="trapdoor")
@@ -143,7 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--csv", type=str, default=None, help="write a per-round CSV log here")
 
     trials = sub.add_parser(
-        "trials", parents=[scenario], help="run one configuration across many seeds"
+        "trials",
+        parents=[scenario, telemetry_options],
+        help="run one configuration across many seeds",
     )
     trials.add_argument("--trials", type=int, default=10, dest="trial_count",
                         help="number of seeds to run (0 .. k-1)")
@@ -169,7 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
 
     camp_run = campaign_sub.add_parser(
-        "run", help="execute the missing cells of a campaign grid into a store"
+        "run",
+        parents=[telemetry_options],
+        help="execute the missing cells of a campaign grid into a store",
     )
     camp_run.add_argument("--store", required=True, help="SQLite result store path")
     camp_run.add_argument("--name", default="campaign", help="campaign name in the store")
@@ -200,6 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
                                "(batchable cells only; scalar fallback otherwise)")
     camp_run.add_argument("--max-cells", type=int, default=None,
                           help="cap on cells executed this invocation (resume later)")
+    camp_run.add_argument("--quiet", action="store_true",
+                          help="suppress the per-cell progress lines (summary still prints)")
 
     camp_status = campaign_sub.add_parser("status", help="report completed/total cells")
     camp_status.add_argument("--store", required=True)
@@ -223,7 +254,9 @@ def build_parser() -> argparse.ArgumentParser:
     search_sub = search.add_subparsers(dest="search_command", required=True)
 
     srch_run = search_sub.add_parser(
-        "run", help="run (or resume) an adversarial strategy search into a store"
+        "run",
+        parents=[telemetry_options],
+        help="run (or resume) an adversarial strategy search into a store",
     )
     srch_run.add_argument("--store", required=True, help="SQLite result store path")
     srch_run.add_argument("--name", default="search", help="search name in the store")
@@ -281,7 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
 
     bench_run = bench_sub.add_parser(
-        "run", help="time the benchmark scenarios and write BENCH_<rev>.json"
+        "run",
+        parents=[telemetry_options],
+        help="time the benchmark scenarios and write BENCH_<rev>.json",
     )
     bench_run.add_argument(
         "--scenarios", default="all",
@@ -396,14 +431,64 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0 if result.synchronized else 1
 
 
+def _telemetry_from_args(args: argparse.Namespace) -> Optional[Telemetry]:
+    """A live telemetry handle when ``--telemetry``/``--metrics-out`` ask for one.
+
+    Returns ``None`` otherwise, so call sites pass it straight through to the
+    ``telemetry=`` parameters (which treat ``None`` as "off").
+    """
+    if args.telemetry is None and args.metrics_out is None:
+        return None
+    if args.telemetry is not None:
+        return Telemetry.to_jsonl(args.telemetry)
+    return Telemetry()
+
+
+def _finish_telemetry(
+    telemetry: Optional[Telemetry], args: argparse.Namespace, report=None
+) -> None:
+    """Flush/close the event sink and write the ``--metrics-out`` snapshot."""
+    if telemetry is None:
+        return
+    if report is None:
+        # Resolved at call time, not definition time, so stdout redirection
+        # (including pytest's capture) is respected.
+        report = sys.stdout
+    telemetry.close()
+    if args.telemetry:
+        print(f"wrote telemetry events to {args.telemetry}", file=report)
+    if args.metrics_out:
+        target = Path(args.metrics_out)
+        if target.suffix == ".prom":
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(telemetry.prometheus(), encoding="utf-8")
+        else:
+            write_metrics_json(telemetry.registry, target)
+        print(f"wrote metrics snapshot to {target}", file=report)
+
+
 def _command_trials(args: argparse.Namespace) -> int:
     config = _scenario_config(args)
     print(f"batch     : {args.trial_count} trials, {args.workers} worker(s), "
           f"trace level {args.trace_level}")
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None:
+        telemetry.emit(
+            RunStarted(
+                protocol=args.protocol,
+                workload=args.workload,
+                trials=args.trial_count,
+                workers=args.workers,
+                batch=args.batch,
+            )
+        )
+    started = time.perf_counter()
     if args.workers > 1:
         # Chunked dispatch on a pool (torn down right after — one-shot CLI
         # calls have nothing to persist a pool across).
-        with ExecutionPool(args.workers, chunk_size=args.pool_chunk) as pool:
+        with ExecutionPool(
+            args.workers, chunk_size=args.pool_chunk, telemetry=telemetry
+        ) as pool:
             summary = run_trials(
                 config,
                 seeds=args.trial_count,
@@ -418,6 +503,15 @@ def _command_trials(args: argparse.Namespace) -> int:
             workers=args.workers,
             trace_level=TraceLevel(args.trace_level),
             batch=args.batch,
+        )
+    if telemetry is not None:
+        telemetry.emit(
+            RunCompleted(
+                protocol=args.protocol,
+                workload=args.workload,
+                trials=args.trial_count,
+                seconds=time.perf_counter() - started,
+            )
         )
     print(f"summary   : {summary.describe()}")
     rows = [
@@ -439,6 +533,7 @@ def _command_trials(args: argparse.Namespace) -> int:
     print(render_table(rows, title="Batch statistics", float_digits=2))
     if args.json:
         print(f"\nwrote JSON summary to {write_trials_json(summary, args.json)}")
+    _finish_telemetry(telemetry, args)
     return 0 if summary.liveness_rate == 1.0 else 1
 
 
@@ -471,8 +566,14 @@ def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
         seeds=args.seeds,
         max_rounds=args.max_rounds,
     )
+    telemetry = _telemetry_from_args(args)
     with CampaignRunner(
-        spec, store, workers=args.workers, pool_chunk=args.pool_chunk, batch=args.batch
+        spec,
+        store,
+        workers=args.workers,
+        pool_chunk=args.pool_chunk,
+        batch=args.batch,
+        telemetry=telemetry,
     ) as runner:
         before = runner.status()
         print(f"campaign  : {spec.name} ({before.total} cells, "
@@ -483,7 +584,8 @@ def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
             print(f"  [{progress.already_complete + progress.executed}/{progress.total}] "
                   f"{cell.label()}")
 
-        progress = runner.run(max_cells=args.max_cells, on_cell=report)
+        on_cell = None if args.quiet else report
+        progress = runner.run(max_cells=args.max_cells, on_cell=on_cell)
     print(f"progress  : {progress.describe()}")
     if progress.complete:
         print()
@@ -492,6 +594,7 @@ def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
             title=f"Campaign {spec.name} — aggregate by protocol × workload",
             float_digits=1,
         ))
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -584,14 +687,21 @@ def _search_run(args: argparse.Namespace, store: ResultStore) -> int:
         print(f"  [gen {outcome.generation}] {outcome.genome.describe():<42} "
               f"score {outcome.score:>10.1f}  ({source}, {outcome.key})")
 
+    telemetry = _telemetry_from_args(args)
     with StrategySearch(
-        spec, store, workers=args.workers, pool_chunk=args.pool_chunk, batch=args.batch
+        spec,
+        store,
+        workers=args.workers,
+        pool_chunk=args.pool_chunk,
+        batch=args.batch,
+        telemetry=telemetry,
     ) as search:
         result = search.run(max_evaluations=args.max_evaluations, on_candidate=report)
     print(f"progress  : {result.describe()}")
     if result.best is not None:
         print(f"best      : {result.best.genome.describe()} "
               f"(score {result.best.score:g}, key {result.best.key})")
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -669,7 +779,10 @@ def _bench_run(args: argparse.Namespace) -> int:
     report = sys.stderr if args.json else sys.stdout
     print(f"bench     : {len(scenarios)} scenario(s), {args.repeats} repeat(s), "
           f"{args.warmup} warmup, rev {rev}", file=report)
-    run = run_bench(scenarios, rev=rev, repeats=args.repeats, warmup=args.warmup)
+    telemetry = _telemetry_from_args(args)
+    run = run_bench(
+        scenarios, rev=rev, repeats=args.repeats, warmup=args.warmup, telemetry=telemetry
+    )
     payload = bench_run_to_dict(run)
     rows = [
         {
@@ -694,6 +807,7 @@ def _bench_run(args: argparse.Namespace) -> int:
                 store.record_bench_provenance(rev=rev, scenario=name, payload=entry)
         print(f"recorded {len(payload['scenarios'])} provenance row(s) in {args.store}",
               file=report)
+    _finish_telemetry(telemetry, args, report=report)
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
@@ -784,10 +898,27 @@ def _command_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_logging(level_name: str) -> None:
+    """Point the ``repro`` logger hierarchy at stderr at the requested level.
+
+    Only the package logger is touched (never the root logger), and the
+    handler is replaced rather than appended, so repeated :func:`main` calls
+    — the test suite invokes it hundreds of times — do not stack handlers.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level_name.upper()))
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    # Propagation stays on (the root logger has no handlers of its own by
+    # default), which keeps pytest's caplog able to see these records.
+    logger.handlers = [handler]
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
     if (
         args.command == "simulate"
         and args.csv

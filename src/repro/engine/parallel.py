@@ -28,6 +28,20 @@ There are three execution paths, chosen by the caller:
 Results are bit-identical on every path (the golden-equivalence suite pins
 this).
 
+Telemetry sits at the orchestration boundaries of these paths, never inside
+them: a live :class:`~repro.telemetry.Telemetry` handle on an
+:class:`~repro.engine.pool.ExecutionPool` counts each chunk at dispatch
+(``chunk-dispatched`` events, the in-flight queue-depth gauge, scalar/batch
+path counters), campaign runners open timing spans around the phases that
+*surround* execution (``campaign.run`` > ``campaign.dispatch`` /
+``campaign.cell`` > ``campaign.execute`` / ``campaign.commit``), the search
+wraps each live candidate in a ``search.evaluate`` span, and the bench
+harness wraps each timed scenario in ``bench.scenario``.  Nothing
+telemetry-shaped crosses the process boundary and no span or instrument call
+is ever made per simulated round — worker code and the round loops in
+:mod:`repro.engine.simulator` / :mod:`repro.engine.batch` are untouched
+(``benchmarks/test_telemetry_overhead.py`` pins that boundary statically).
+
 Configurations must be picklable to cross the process boundary (every
 built-in protocol factory, activation schedule, and adversary is).  When a
 caller hands us something unpicklable — typically a hand-rolled closure

@@ -36,6 +36,7 @@ warning, exactly like the one-shot path.
 
 from __future__ import annotations
 
+import logging
 import pickle
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
@@ -45,9 +46,18 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.engine.results import SimulationResult
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.telemetry import Telemetry, as_telemetry
+from repro.telemetry.events import (
+    BatchFallback,
+    ChunkDispatched,
+    SerialFallback,
+    WorkerCrashRecovered,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.simulator import SimulationConfig
+
+logger = logging.getLogger("repro.engine.pool")
 
 
 class WorkerCrashError(SimulationError):
@@ -145,13 +155,33 @@ def payload_is_picklable(payload: object) -> bool:
     return True
 
 
-def warn_serial_fallback(detail: Optional[str] = None, stacklevel: int = 3) -> None:
-    """The one shared unpicklable-work warning every fallback site emits."""
+def warn_serial_fallback(
+    detail: Optional[str] = None,
+    stacklevel: int = 3,
+    telemetry: Optional[Telemetry] = None,
+) -> None:
+    """The one shared unpicklable-work degrade-to-serial notification.
+
+    Every fallback site routes through here, which lands the degradation in
+    three places at once: the ``repro.engine.pool`` stdlib logger (so
+    long-running services see it in their logs, not just on a stderr that a
+    ``warnings`` filter shows once per process), the classic
+    :class:`RuntimeWarning` (so tests and interactive use keep their existing
+    contract), and — when a live telemetry handle is passed — a
+    :class:`~repro.telemetry.events.SerialFallback` event plus the
+    ``pool.serial_fallbacks`` counter.
+    """
     message = "simulation config is not picklable"
     if detail:
         message += f" ({detail})"
     message += "; running trials serially instead of with worker processes"
+    logger.warning(message)
     warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
+    if telemetry is not None and telemetry.enabled:
+        telemetry.counter(
+            "pool.serial_fallbacks", help="unpicklable batches degraded to serial"
+        ).inc()
+        telemetry.emit(SerialFallback(detail=detail))
 
 
 def _completed_future(value: list) -> "Future[list]":
@@ -171,6 +201,15 @@ class ExecutionPool:
         Seeds (or configs) per dispatched chunk.  ``None`` picks a size that
         spreads a batch over roughly ``4 × workers`` chunks — large enough to
         amortize the template pickle, small enough to keep every worker busy.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle.  A live handle
+        counts dispatched chunks/trials per execution path (scalar vs batch),
+        tracks the in-flight chunk queue depth, records worker restarts and
+        fallbacks, and emits :class:`~repro.telemetry.events.ChunkDispatched`
+        events.  ``None`` resolves to the shared disabled handle: every
+        instrument is a no-op singleton and dispatch costs nothing extra.
+        The handle lives in the submitting process only — nothing
+        telemetry-shaped is ever pickled to a worker.
 
     The underlying executor starts lazily on first use, so constructing a pool
     costs nothing, and a pool whose work was all served from a cache never
@@ -178,7 +217,12 @@ class ExecutionPool:
     reclaim the workers deterministically.
     """
 
-    def __init__(self, workers: int, chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         if workers < 1:
             raise ConfigurationError(f"an execution pool needs >= 1 worker, got {workers}")
         if chunk_size is not None and chunk_size < 1:
@@ -187,6 +231,27 @@ class ExecutionPool:
         self._chunk_size = chunk_size
         self._executor: Optional[ProcessPoolExecutor] = None
         self._starts = 0
+        # Instruments are bound once here, so the per-dispatch cost is one
+        # attribute read plus (for disabled telemetry) an empty method call.
+        self._telemetry = as_telemetry(telemetry)
+        self._metric_chunks = self._telemetry.counter(
+            "pool.chunks_dispatched", help="chunks submitted to worker processes"
+        )
+        self._metric_trials = self._telemetry.counter(
+            "pool.trials_dispatched", help="seeds submitted across all chunks"
+        )
+        self._metric_scalar_chunks = self._telemetry.counter(
+            "pool.scalar_chunks", help="chunks dispatched to the scalar per-seed loop"
+        )
+        self._metric_batch_chunks = self._telemetry.counter(
+            "pool.batch_chunks", help="chunks dispatched to the vectorized lockstep kernel"
+        )
+        self._metric_restarts = self._telemetry.counter(
+            "pool.worker_restarts", help="executor restarts after a worker crash"
+        )
+        self._inflight = self._telemetry.gauge(
+            "pool.inflight_chunks", help="chunks submitted but not yet completed"
+        )
 
     # -- introspection ----------------------------------------------------
 
@@ -213,6 +278,11 @@ class ExecutionPool:
     def running(self) -> bool:
         """True while an executor is alive."""
         return self._executor is not None
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The telemetry handle dispatches report to (disabled by default)."""
+        return self._telemetry
 
     # -- lifecycle --------------------------------------------------------
 
@@ -276,15 +346,20 @@ class ExecutionPool:
         results are still bit-identical, chunk and seed order unchanged.
         """
         chunks = self.chunk(list(seeds))
+        self._metric_trials.inc(len(seeds))
+        self._metric_chunks.inc(len(chunks))
+        (self._metric_batch_chunks if batch else self._metric_scalar_chunks).inc(len(chunks))
+        if batch and self._telemetry.enabled:
+            self._probe_batch_fallback(template)
         if not payload_is_picklable(template):
-            warn_serial_fallback()
+            warn_serial_fallback(telemetry=self._telemetry)
             return [
                 _completed_future(_run_seed_chunk(template, chunk, reduce, batch))
                 for chunk in chunks
             ]
         executor = self._ensure_executor()
         try:
-            return [
+            futures = [
                 executor.submit(_run_seed_chunk, template, chunk, reduce, batch)
                 for chunk in chunks
             ]
@@ -292,6 +367,59 @@ class ExecutionPool:
             # submit() itself raises when a worker died since the last call —
             # route it through the same self-healing path as a mid-batch crash.
             raise self.recover(error) from error
+        if self._telemetry.enabled:
+            self._observe_dispatch(futures, chunks, reduce=reduce, batch=batch)
+        return futures
+
+    def _observe_dispatch(
+        self,
+        futures: Sequence["Future[list]"],
+        chunks: Sequence[tuple],
+        reduce: bool,
+        batch: bool,
+    ) -> None:
+        """Track queue depth and emit one ChunkDispatched event per chunk.
+
+        Only runs with a live telemetry handle, so the disabled path attaches
+        no done-callbacks at all.  Done-callbacks fire on executor threads —
+        the gauge takes its own lock — and the events are emitted from the
+        submitting thread in chunk order.
+        """
+        for index, (future, chunk) in enumerate(zip(futures, chunks)):
+            self._inflight.inc()
+            future.add_done_callback(lambda _f: self._inflight.dec())
+            self._telemetry.emit(
+                ChunkDispatched(
+                    chunk_index=index,
+                    size=len(chunk),
+                    reduce=reduce,
+                    batch=batch,
+                    inflight=int(self._inflight.value),
+                )
+            )
+
+    def _probe_batch_fallback(self, template: "SimulationConfig") -> None:
+        """Emit a BatchFallback event when a batch=True template is not batchable.
+
+        The probe itself is the same check the worker performs before falling
+        back to the scalar loop, run once per dispatch in the parent — live
+        telemetry only, so the disabled path never imports the kernel here.
+        """
+        from repro.engine.batch import batchable
+
+        if batchable(template):
+            return
+        self._telemetry.counter(
+            "pool.batch_fallbacks", help="batch=True dispatches that ran on the scalar loop"
+        ).inc()
+        reason = (
+            f"config not batchable (protocol={type(template.protocol_factory).__name__}, "
+            f"adversary={type(template.adversary).__name__}, "
+            f"activation={type(template.activation).__name__}, "
+            f"trace_level={template.trace_level.value}); chunks run the scalar loop"
+        )
+        logger.info("batch fallback: %s", reason)
+        self._telemetry.emit(BatchFallback(reason=reason))
 
     def run_seeds(
         self,
@@ -319,16 +447,20 @@ class ExecutionPool:
         still in chunks and still on the persistent workers.
         """
         config_list = list(configs)
+        chunks = self.chunk(config_list)
+        self._metric_trials.inc(len(config_list))
+        self._metric_chunks.inc(len(chunks))
+        self._metric_scalar_chunks.inc(len(chunks))
         if not payload_is_picklable(config_list):
-            warn_serial_fallback()
+            warn_serial_fallback(telemetry=self._telemetry)
             return _run_config_chunk(tuple(config_list))
         executor = self._ensure_executor()
         try:
-            futures = [
-                executor.submit(_run_config_chunk, chunk) for chunk in self.chunk(config_list)
-            ]
+            futures = [executor.submit(_run_config_chunk, chunk) for chunk in chunks]
         except BrokenProcessPool as error:
             raise self.recover(error) from error
+        if self._telemetry.enabled:
+            self._observe_dispatch(futures, chunks, reduce=False, batch=False)
         return self._gather(futures)
 
     def _gather(self, futures: Sequence["Future[list]"]) -> list:
@@ -349,6 +481,14 @@ class ExecutionPool:
         what happened to whoever re-raises it.
         """
         self._discard_broken_executor()
+        self._metric_restarts.inc()
+        logger.warning("worker process crashed mid-batch (%s); pool reset for restart", error)
+        if self._telemetry.enabled:
+            self._telemetry.emit(
+                WorkerCrashRecovered(
+                    detail=str(error), restarts=int(self._metric_restarts.value)
+                )
+            )
         return WorkerCrashError(
             f"a worker process crashed mid-batch ({error}); the pool has been "
             "reset and the next call will start fresh workers — deterministic "

@@ -17,6 +17,8 @@ purely from the store (no live evaluation), which is what the CLI's
 from __future__ import annotations
 
 import json
+import logging
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Optional
@@ -27,6 +29,10 @@ from repro.exceptions import ExperimentError
 from repro.search.checkpoint import SearchCheckpoint, SearchSpec
 from repro.search.optimizers import CandidateOutcome, make_optimizer
 from repro.search.space import StrategySpace
+from repro.telemetry import Telemetry, as_telemetry
+from repro.telemetry.events import GenerationCompleted, SearchCompleted, SearchStarted
+
+logger = logging.getLogger("repro.search.runner")
 
 
 @dataclass(frozen=True)
@@ -97,6 +103,12 @@ class StrategySearch:
         Evaluate candidates on the vectorized lockstep kernel
         (:mod:`repro.engine.batch`) where their configurations are batchable
         (scalar fallback otherwise).  Never changes scores or stored records.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` handle.  The search
+        emits lifecycle events (search/generation start and completion),
+        counts executed vs. reused evaluations, tracks the best score as a
+        gauge, and times each live evaluation — all without affecting
+        checkpoints or scores.
 
     Use as a context manager (or call :meth:`close`) to reclaim the search's
     own workers deterministically.
@@ -110,13 +122,34 @@ class StrategySearch:
         pool: Optional["ExecutionPool"] = None,
         pool_chunk: Optional[int] = None,
         batch: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._spec = spec
         self._checkpoint = SearchCheckpoint(store, spec)
         self._workers = workers
         self._batch = batch
         self._owns_pool = pool is None and workers is not None and workers > 1
-        self._pool = ExecutionPool(workers, chunk_size=pool_chunk) if self._owns_pool else pool
+        self._telemetry = as_telemetry(telemetry)
+        self._pool = (
+            ExecutionPool(workers, chunk_size=pool_chunk, telemetry=self._telemetry)
+            if self._owns_pool
+            else pool
+        )
+        self._metric_executed = self._telemetry.counter(
+            "search.evaluations_executed", help="candidates evaluated live"
+        )
+        self._metric_reused = self._telemetry.counter(
+            "search.evaluations_reused", help="candidate lookups served from the store"
+        )
+        self._metric_generations = self._telemetry.counter(
+            "search.generations_completed", help="fully processed generations"
+        )
+        self._metric_best = self._telemetry.gauge(
+            "search.best_score", help="best candidate score seen so far"
+        )
+        self._metric_rate = self._telemetry.gauge(
+            "search.evaluations_per_second", help="live evaluation throughput of the last run"
+        )
 
     @property
     def spec(self) -> SearchSpec:
@@ -164,12 +197,35 @@ class StrategySearch:
         optimizer = make_optimizer(spec.optimizer, spec.population)
         optimizer.bind(space, spec.master_seed, warm_start=spec.warm_start)
 
+        telemetry = self._telemetry
+        started = time.perf_counter()
+        if telemetry.enabled:
+            logger.info(
+                "search %s: optimizer=%s population=%d generations=%d",
+                spec.name,
+                spec.optimizer,
+                spec.population,
+                spec.generations,
+            )
+            telemetry.emit(
+                SearchStarted(
+                    search=spec.name,
+                    optimizer=spec.optimizer,
+                    population=spec.population,
+                    generations=spec.generations,
+                    workers=self._pool.workers if self._pool is not None else 1,
+                    batch=self._batch,
+                )
+            )
+
         best: Optional[CandidateOutcome] = None
         executed = 0
         reused = 0
         generations_completed = 0
         stopped = False
         for generation in range(spec.generations + 1):
+            generation_started = time.perf_counter()
+            generation_executed = 0
             outcomes: list[CandidateOutcome] = []
             for index, genome in enumerate(optimizer.ask(generation)):
                 key = self._checkpoint.key_for(genome)
@@ -178,12 +234,17 @@ class StrategySearch:
                     if max_evaluations is not None and executed >= max_evaluations:
                         stopped = True
                         break
-                    evaluation = objective.evaluate(
-                        genome, workers=self._workers, pool=self._pool, batch=self._batch
-                    )
+                    with telemetry.span(
+                        "search.evaluate", generation=generation, index=index
+                    ):
+                        evaluation = objective.evaluate(
+                            genome, workers=self._workers, pool=self._pool, batch=self._batch
+                        )
                     records = evaluation.records
                     self._checkpoint.record(genome, generation, key, records)
                     executed += 1
+                    generation_executed += 1
+                    self._metric_executed.inc()
                     was_reused = False
                 else:
                     # Sharing a store across searches can serve a cache hit the
@@ -191,6 +252,7 @@ class StrategySearch:
                     # status/export read-backs see every candidate.
                     self._checkpoint.claim(key)
                     reused += 1
+                    self._metric_reused.inc()
                     was_reused = True
                 outcome = CandidateOutcome(
                     genome=genome,
@@ -203,17 +265,47 @@ class StrategySearch:
                 outcomes.append(outcome)
                 if best is None or outcome.score > best.score:
                     best = outcome
+                    self._metric_best.set(outcome.score)
                 if on_candidate is not None:
                     on_candidate(outcome)
             if stopped:
                 break
             optimizer.tell(generation, outcomes)
             generations_completed = generation + 1
+            self._metric_generations.inc()
+            if telemetry.enabled:
+                telemetry.emit(
+                    GenerationCompleted(
+                        search=spec.name,
+                        generation=generation,
+                        executed=generation_executed,
+                        reused=len(outcomes) - generation_executed,
+                        best_score=best.score if best is not None else None,
+                        seconds=time.perf_counter() - generation_started,
+                    )
+                )
+
+        seconds = time.perf_counter() - started
+        rate = executed / seconds if seconds > 0 else 0.0
+        self._metric_rate.set(rate)
+        evaluations_total = self._checkpoint.evaluation_count()
+        if telemetry.enabled:
+            telemetry.emit(
+                SearchCompleted(
+                    search=spec.name,
+                    executed=executed,
+                    reused=reused,
+                    evaluations_total=evaluations_total,
+                    best_score=best.score if best is not None else None,
+                    seconds=seconds,
+                    evaluations_per_second=rate,
+                )
+            )
 
         return SearchResult(
             spec=spec,
             best=best,
-            evaluations_total=self._checkpoint.evaluation_count(),
+            evaluations_total=evaluations_total,
             executed=executed,
             reused=reused,
             generations_completed=generations_completed,

@@ -1,0 +1,339 @@
+"""Typed structured events and the buffered JSONL sink.
+
+Every observable milestone of the execution stack is a frozen dataclass with
+a pinned ``kind`` string: run/campaign/search lifecycle, per-chunk pool
+dispatch, per-cell campaign commits, worker-crash recovery, the two fallback
+paths (serial and scalar-instead-of-batch), optimizer generations, and
+completed timing spans.  Events carry **monotonic** timestamps
+(:func:`time.monotonic`, seconds since an arbitrary process-local origin):
+deltas between two events of one process are meaningful; absolute values are
+not, and wall-clock jumps can never reorder a stream.
+
+The sink is line-delimited JSON (one event per line), buffered so that a
+campaign committing thousands of cells does not pay a write syscall per
+event.  Emission order is the stream order: each record gets a process-local
+``seq`` number at emit time, so a consumer can detect truncation and merge
+streams deterministically.
+
+Events never feed back into execution: a simulation with a sink attached
+produces byte-identical stores, checkpoints, and digests (pinned by the
+golden-equivalence suite) — the stream is a one-way export.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, ClassVar, IO, Mapping, Optional, Union
+
+from repro.exceptions import ConfigurationError
+
+
+def _monotonic() -> float:
+    return time.monotonic()
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base event: a ``kind`` discriminator plus a monotonic timestamp.
+
+    Subclasses pin ``kind`` as a ClassVar; the timestamp is captured at
+    construction (not at emit), so a span's completion event carries the
+    moment the span closed even if the sink flushes much later.
+    """
+
+    kind: ClassVar[str] = "event"
+    monotonic_s: float = field(default_factory=_monotonic, kw_only=True)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-serializable record (``kind`` first, fields after)."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        payload.update(asdict(self))
+        return payload
+
+
+# -- run lifecycle (the `trials` path) ----------------------------------------
+
+
+@dataclass(frozen=True)
+class RunStarted(TelemetryEvent):
+    """A multi-seed trial batch began."""
+
+    kind: ClassVar[str] = "run-started"
+    protocol: str
+    workload: str
+    trials: int
+    workers: int
+    batch: bool
+
+
+@dataclass(frozen=True)
+class RunCompleted(TelemetryEvent):
+    """A multi-seed trial batch finished."""
+
+    kind: ClassVar[str] = "run-completed"
+    protocol: str
+    workload: str
+    trials: int
+    seconds: float
+
+
+# -- campaign lifecycle -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignStarted(TelemetryEvent):
+    """A campaign run() invocation began executing its pending cells."""
+
+    kind: ClassVar[str] = "campaign-started"
+    campaign: str
+    total_cells: int
+    pending_cells: int
+    reused_cells: int
+    workers: int
+    batch: bool
+
+
+@dataclass(frozen=True)
+class CellCommitted(TelemetryEvent):
+    """One campaign cell's trials were committed atomically to the store."""
+
+    kind: ClassVar[str] = "cell-committed"
+    campaign: str
+    cell_key: str
+    trials: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class CampaignCompleted(TelemetryEvent):
+    """A campaign run() invocation finished (complete or capped)."""
+
+    kind: ClassVar[str] = "campaign-completed"
+    campaign: str
+    executed: int
+    reused: int
+    remaining: int
+    seconds: float
+    cells_per_second: float
+
+
+# -- search lifecycle ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SearchStarted(TelemetryEvent):
+    """A strategy search run() invocation began."""
+
+    kind: ClassVar[str] = "search-started"
+    search: str
+    optimizer: str
+    population: int
+    generations: int
+    workers: int
+    batch: bool
+
+
+@dataclass(frozen=True)
+class GenerationCompleted(TelemetryEvent):
+    """One optimizer generation (warm start included) was fully processed."""
+
+    kind: ClassVar[str] = "generation-completed"
+    search: str
+    generation: int
+    executed: int
+    reused: int
+    best_score: Optional[float]
+    seconds: float
+
+
+@dataclass(frozen=True)
+class SearchCompleted(TelemetryEvent):
+    """A strategy search run() invocation finished (complete or capped)."""
+
+    kind: ClassVar[str] = "search-completed"
+    search: str
+    executed: int
+    reused: int
+    evaluations_total: int
+    best_score: Optional[float]
+    seconds: float
+    evaluations_per_second: float
+
+
+# -- execution-pool events ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkDispatched(TelemetryEvent):
+    """One chunk of seeds (or configs) was submitted to the worker pool."""
+
+    kind: ClassVar[str] = "chunk-dispatched"
+    chunk_index: int
+    size: int
+    reduce: bool
+    batch: bool
+    inflight: int
+
+
+@dataclass(frozen=True)
+class WorkerCrashRecovered(TelemetryEvent):
+    """A worker process died; the pool discarded its executor and will restart."""
+
+    kind: ClassVar[str] = "worker-crash-recovered"
+    detail: str
+    restarts: int
+
+
+@dataclass(frozen=True)
+class SerialFallback(TelemetryEvent):
+    """Unpicklable work degraded to in-process serial execution."""
+
+    kind: ClassVar[str] = "serial-fallback"
+    detail: Optional[str]
+
+
+@dataclass(frozen=True)
+class BatchFallback(TelemetryEvent):
+    """A batch=True dispatch will run on the scalar loop (not batchable)."""
+
+    kind: ClassVar[str] = "batch-fallback"
+    reason: str
+
+
+# -- spans --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanCompleted(TelemetryEvent):
+    """A timing span closed (see :mod:`repro.telemetry.spans`)."""
+
+    kind: ClassVar[str] = "span-completed"
+    name: str
+    seconds: float
+    depth: int
+    parent: Optional[str]
+    attributes: Mapping[str, Any]
+
+
+#: Every event type, keyed by its pinned kind string (the on-disk schema —
+#: renaming a kind is a breaking change for stream consumers).
+EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
+    event_type.kind: event_type
+    for event_type in (
+        RunStarted,
+        RunCompleted,
+        CampaignStarted,
+        CellCommitted,
+        CampaignCompleted,
+        SearchStarted,
+        GenerationCompleted,
+        SearchCompleted,
+        ChunkDispatched,
+        WorkerCrashRecovered,
+        SerialFallback,
+        BatchFallback,
+        SpanCompleted,
+    )
+}
+
+
+class JsonlSink:
+    """A buffered line-delimited JSON event sink.
+
+    Records are serialized eagerly (so an event mutated later — impossible
+    for the frozen types, but cheap insurance — cannot rewrite history) and
+    buffered; the buffer is written out every ``buffer_size`` events, on
+    :meth:`flush`, and on :meth:`close`.  Each record gains a monotonically
+    increasing ``seq`` field at emit time.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        buffer_size: int = 256,
+    ) -> None:
+        if buffer_size < 1:
+            raise ConfigurationError(f"sink buffer_size must be positive, got {buffer_size}")
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[IO[str]] = self._path.open("w", encoding="utf-8")
+        self._buffer: list[str] = []
+        self._buffer_size = buffer_size
+        self._seq = 0
+
+    @property
+    def path(self) -> Path:
+        """Where the stream is written."""
+        return self._path
+
+    @property
+    def emitted(self) -> int:
+        """How many events have been emitted (buffered or written)."""
+        return self._seq
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._handle is None
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Append one event to the stream (buffered)."""
+        if self._handle is None:
+            raise ConfigurationError(f"event sink {self._path} is closed")
+        record = event.to_dict()
+        record["seq"] = self._seq
+        self._seq += 1
+        self._buffer.append(json.dumps(record, sort_keys=True, default=str))
+        if len(self._buffer) >= self._buffer_size:
+            self.flush()
+
+    @property
+    def buffered(self) -> int:
+        """Events currently waiting in the buffer."""
+        return len(self._buffer)
+
+    def flush(self) -> None:
+        """Write the buffer out (no-op when empty or closed)."""
+        if self._handle is None or not self._buffer:
+            return
+        self._handle.write("\n".join(self._buffer) + "\n")
+        self._handle.flush()
+        self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush and close the stream (idempotent)."""
+        if self._handle is None:
+            return
+        self.flush()
+        self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_jsonl_events(path: Union[str, Path]) -> list[dict[str, Any]]:
+    """Load a JSONL event stream back as dict records, in ``seq`` order.
+
+    A convenience for tests and post-hoc analysis; validates that sequence
+    numbers are the gapless ``0 .. n-1`` a single-process stream writes.
+    """
+    records: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    sequence = [record.get("seq") for record in records]
+    if sequence != list(range(len(records))):
+        raise ConfigurationError(
+            f"event stream {path} is not a gapless single-process stream "
+            f"(seq numbers {sequence[:10]}...)"
+        )
+    return records

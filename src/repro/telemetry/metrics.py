@@ -1,0 +1,319 @@
+"""The process-local metrics registry: counters, gauges, histograms.
+
+Instruments are deliberately minimal — no labels, no global state, no wire
+protocol.  A :class:`MetricsRegistry` is a named bag of three instrument
+kinds:
+
+* :class:`Counter` — a monotonically increasing total (chunks dispatched,
+  cells committed, worker restarts);
+* :class:`Gauge` — a value that goes both ways (in-flight chunk queue depth,
+  the best search score so far, end-of-run rates);
+* :class:`Histogram` — fixed-bucket cumulative counts plus sum/count (per-cell
+  commit latency, span durations).  Buckets are pinned at construction, so
+  two snapshots of the same registry are always comparable.
+
+The **disabled path costs nothing**: when telemetry is off, every lookup
+returns one of three shared no-op singletons (:data:`NULL_COUNTER`,
+:data:`NULL_GAUGE`, :data:`NULL_HISTOGRAM`) whose mutating methods are empty
+— no allocation, no locking, no branching beyond the method call itself.
+The overhead gate in ``benchmarks/test_telemetry_overhead.py`` pins that
+per-call cost.
+
+Live instruments take a small lock per mutation: updates can arrive from
+executor done-callbacks (the pool's queue-depth gauge), and a torn
+``+=`` under free-threading would corrupt totals silently.  Orchestration
+code calls these O(1) times per chunk/cell/evaluation — never per round — so
+the lock is off the hot path by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.exceptions import ConfigurationError
+
+#: Default histogram buckets for durations in seconds: micro-cells through
+#: multi-second campaign phases.  The implicit +Inf bucket is always last.
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: Union[int, float]) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Move the value up by ``amount``."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        """Move the value down by ``amount``."""
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram with sum and count.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; the +Inf
+    bucket is implicit.  ``bucket_counts`` reports *non-cumulative* per-bucket
+    counts (the exporter accumulates for the Prometheus text format).
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name!r} needs at least one bucket bound")
+        if any(later <= earlier for earlier, later in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} bucket bounds must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        index = len(self.buckets)
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = position
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        """Sum of every observed value."""
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket (non-cumulative) counts; the last entry is the +Inf bucket."""
+        with self._lock:
+            return tuple(self._counts)
+
+
+class NullCounter:
+    """The shared do-nothing counter every disabled lookup returns."""
+
+    __slots__ = ()
+    name = ""
+    help = ""
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Discard the update."""
+
+    @property
+    def value(self) -> float:
+        """Always zero."""
+        return 0.0
+
+
+class NullGauge:
+    """The shared do-nothing gauge every disabled lookup returns."""
+
+    __slots__ = ()
+    name = ""
+    help = ""
+
+    def set(self, value: Union[int, float]) -> None:
+        """Discard the update."""
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Discard the update."""
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        """Discard the update."""
+
+    @property
+    def value(self) -> float:
+        """Always zero."""
+        return 0.0
+
+
+class NullHistogram:
+    """The shared do-nothing histogram every disabled lookup returns."""
+
+    __slots__ = ()
+    name = ""
+    help = ""
+    buckets: tuple[float, ...] = ()
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Discard the observation."""
+
+    @property
+    def sum(self) -> float:
+        """Always zero."""
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        """Always zero."""
+        return 0
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Always empty."""
+        return ()
+
+
+#: The process-wide no-op instruments.  Disabled telemetry hands these out for
+#: *every* name, so the off path allocates nothing per call site — the no-op
+#: fast-path tests pin the identity.
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+#: What a registry lookup can return (the null variants come from disabled
+#: telemetry handles, never from a live registry).
+AnyCounter = Union[Counter, NullCounter]
+AnyGauge = Union[Gauge, NullGauge]
+AnyHistogram = Union[Histogram, NullHistogram]
+
+_Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named, get-or-create collection of live instruments.
+
+    Lookups are idempotent: asking for the same name again returns the same
+    instrument, and asking for an existing name as a *different* instrument
+    kind (or a histogram with different buckets) raises — a silent type
+    change would corrupt every consumer of the snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        bounds = DEFAULT_SECONDS_BUCKETS if buckets is None else tuple(buckets)
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is None:
+                created = Histogram(name, help=help, buckets=bounds)
+                self._instruments[name] = created
+                return created
+            if not isinstance(existing, Histogram):
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered as "
+                    f"{type(existing).__name__.lower()}, not histogram"
+                )
+            if existing.buckets != tuple(float(bound) for bound in bounds):
+                raise ConfigurationError(
+                    f"histogram {name!r} is already registered with buckets "
+                    f"{existing.buckets}, not {tuple(bounds)}"
+                )
+            return existing
+
+    def _get_or_create(self, kind: type, name: str, help: str) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is None:
+                created: _Instrument = kind(name, help=help)
+                self._instruments[name] = created
+                return created
+            if type(existing) is not kind:
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered as "
+                    f"{type(existing).__name__.lower()}, not {kind.__name__.lower()}"
+                )
+            return existing
+
+    def instruments(self) -> Iterator[_Instrument]:
+        """Every registered instrument, in name order (stable exports)."""
+        with self._lock:
+            snapshot = dict(self._instruments)
+        for name in sorted(snapshot):
+            yield snapshot[name]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments

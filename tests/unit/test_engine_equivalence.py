@@ -130,6 +130,31 @@ def test_pooled_chunked_execution_matches_goldens(goldens):
         assert pool.starts == 1
 
 
+def test_telemetry_enabled_execution_matches_goldens(goldens):
+    """Live telemetry leaves every golden digest byte-identical.
+
+    The full matrix runs through a telemetry-instrumented pool (events,
+    counters, dispatch gauges all firing) and must reproduce exactly the
+    digests the uninstrumented engine is pinned to — telemetry is an export,
+    never an input.
+    """
+    from repro.engine.pool import ExecutionPool
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    with ExecutionPool(workers=2, chunk_size=1, telemetry=telemetry) as pool:
+        for key in matrix_keys():
+            [result] = pool.run_seeds(config_for(key), [SEED])
+            assert execution_digest(result) == goldens[key], (
+                f"telemetry-enabled execution digest changed for {key}: "
+                "instrumentation altered engine behaviour"
+            )
+    # The instrumentation did observe the run (it was live, not a no-op)...
+    snapshot = telemetry.snapshot()
+    assert snapshot["counters"]["pool.chunks_dispatched"] == len(matrix_keys())
+    # ...and every digest above proved it changed nothing.
+
+
 def test_in_worker_reduction_matches_golden_executions():
     """Reduced rows are exactly the scalars of the golden executions.
 
