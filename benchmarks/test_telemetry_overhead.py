@@ -176,13 +176,30 @@ def test_campaign_scenario_overhead_within_budget(emit):
     counting = Telemetry()
     _run_campaign_scenario(telemetry=counting)
     snapshot = counting.snapshot()
+    # worker.* entries are excluded from the value sum: one merge_delta call
+    # folds large *values* (thousands of simulated rounds) in O(1) operations,
+    # and the disabled path skips the merge entirely (ingest guards on
+    # ``telemetry.enabled``) — counting the values would gate on work that
+    # never happens when telemetry is off.  The worker-delta path gets its own
+    # live-cost gate below.
     operations = (
-        sum(snapshot["counters"].values())
-        + sum(entry["count"] for entry in snapshot["histograms"].values())
+        sum(
+            value
+            for name, value in snapshot["counters"].items()
+            if not name.startswith("worker.")
+        )
+        + sum(
+            entry["count"]
+            for name, entry in snapshot["histograms"].items()
+            if not name.startswith("worker.")
+        )
         # Gauges: the inflight queue depth moves twice per chunk; bound it by
         # the dispatched chunk count plus one end-of-run rate set per gauge.
         + 2 * snapshot["counters"].get("pool.chunks_dispatched", 0)
         + len(snapshot["gauges"])
+        # The disabled ingest path still does two dict writes per chunk for
+        # crash attribution; bill them as one op each.
+        + 2 * snapshot["counters"].get("worker.chunks_completed", 0)
     )
     # Spans enter+exit; histograms already counted one op per completed span.
     operations += sum(
@@ -206,4 +223,61 @@ def test_campaign_scenario_overhead_within_budget(emit):
         f"projected disabled-telemetry overhead {projected_overhead * 1e3:.3f}ms exceeds "
         f"2% of the scenario runtime ({budget * 1e3:.3f}ms) — did a per-round or "
         "per-trial path gain instrument calls?"
+    )
+
+
+def test_worker_delta_path_within_budget(emit):
+    """The cross-process stats path fits the same ≤2% budget.
+
+    Two per-chunk costs exist: building the :class:`WorkerStatsDelta` inside
+    the worker (always — the chunk entry points wrap every result, telemetry
+    on or off) and folding it into the parent registry (live handles only).
+    Both are O(chunk), never O(round), so chunks × measured cost with the
+    usual safety factor must sit far inside 2% of the scenario runtime.
+    """
+    from repro.engine.pool import ReducedTrial, _chunk_stats
+    from repro.telemetry.metrics import MetricsRegistry
+
+    rows = [
+        ReducedTrial(
+            seed=seed,
+            synchronized=True,
+            agreement=True,
+            safety=True,
+            leader_count=1,
+            max_sync_latency=20,
+            rounds_simulated=1_500,
+        )
+        for seed in range(4)
+    ]
+    repeats = 2_000
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        delta = _chunk_stats(rows, True, 0.01)
+    build_cost = (time.perf_counter() - start) / repeats
+
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        registry.merge_delta(delta)
+    merge_cost = (time.perf_counter() - start) / repeats
+
+    scenario_seconds = _run_campaign_scenario(telemetry=None)
+    # The scenario dispatches 16 chunks (16 cells / pool_chunk=2 × 2 seeds).
+    chunks = 16
+    projected = chunks * (build_cost + merge_cost) * SAFETY_FACTOR
+    budget = OVERHEAD_BUDGET * scenario_seconds
+    emit(
+        "worker-delta overhead gate (campaign_many_small_cells)\n"
+        f"  scenario runtime        : {scenario_seconds * 1e3:.1f} ms\n"
+        f"  delta build per chunk   : {build_cost * 1e6:.2f} us\n"
+        f"  delta merge per chunk   : {merge_cost * 1e6:.2f} us\n"
+        f"  projected (x{SAFETY_FACTOR:.0f}, {chunks} chunks): {projected * 1e6:.1f} us\n"
+        f"  budget (2% of runtime)  : {budget * 1e3:.2f} ms"
+    )
+    assert projected <= budget, (
+        f"projected worker-delta overhead {projected * 1e3:.3f}ms exceeds 2% of the "
+        f"scenario runtime ({budget * 1e3:.3f}ms) — the per-chunk stats path must "
+        "stay O(chunk), not O(round)"
     )

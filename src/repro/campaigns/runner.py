@@ -167,6 +167,10 @@ class CampaignRunner:
         self._metric_rate = self._telemetry.gauge(
             "campaign.cells_per_second", help="executed cells per second, last run() invocation"
         )
+        self._metric_total = self._telemetry.gauge(
+            "campaign.cells_total",
+            help="cells in the campaign grid (the live monitor's progress denominator)",
+        )
 
     @property
     def spec(self) -> CampaignSpec:
@@ -242,6 +246,7 @@ class CampaignRunner:
         )
         to_run = pending if max_cells is None else pending[:max_cells]
         reused = len(cells) - len(pending)
+        self._metric_total.set(len(cells))
         self._metric_reused.inc(reused)
         started = time.perf_counter()
         if self._telemetry.enabled:
@@ -394,7 +399,9 @@ class CampaignRunner:
         for future in as_completed(chunk_owner):
             cell_index, position = chunk_owner[future]
             try:
-                chunk = future.result()
+                # ingest() merges the chunk's worker stats delta into the
+                # registry and hands back the plain reduced rows.
+                chunk = self._pool.ingest(future.result())
             except BrokenProcessPool as error:
                 raise self._pool.recover(error) from error
             chunk_results[cell_index][position] = chunk

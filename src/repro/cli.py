@@ -21,6 +21,9 @@ paper artefact inspected, without writing Python:
   schema-versioned ``BENCH_<rev>.json``, and gate against the committed
   ``benchmarks/baseline.json`` (nonzero exit on regression — the CI
   ``perf-gate`` job);
+* ``python -m repro monitor watch`` — poll a live run's ``--status-file``
+  snapshot or ``--monitor-port`` URL and print one progress line per poll
+  until the run completes;
 * ``python -m repro schedule`` — print the Figure 1 / Figure 2 schedule for a
   parameter point;
 * ``python -m repro experiments`` — list the registered paper artefacts and
@@ -78,10 +81,12 @@ from repro.protocols.trapdoor.epochs import TrapdoorSchedule
 from repro.search.checkpoint import SearchSpec, is_search_spec_json
 from repro.search.objective import OBJECTIVE_METRICS, SearchObjective
 from repro.search.optimizers import OPTIMIZERS
+from repro.exceptions import ConfigurationError
 from repro.search.runner import StrategySearch, export_search, search_status
 from repro.telemetry import Telemetry
-from repro.telemetry.events import RunCompleted, RunStarted
-from repro.telemetry.export import write_metrics_json
+from repro.telemetry.events import JsonlSink, RunCompleted, RunStarted
+from repro.telemetry.export import write_metrics_json, write_prometheus_text
+from repro.telemetry.monitor import RunMonitor, read_status, render_status_line
 
 #: The named protocol registry the scenario options draw from (shared with the
 #: campaign subsystem, so a protocol name means the same thing everywhere).
@@ -137,6 +142,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final metrics snapshot here (JSON, or Prometheus "
              "text exposition when the path ends in .prom)",
     )
+    telemetry_options.add_argument(
+        "--telemetry-rotate-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the --telemetry JSONL once it would exceed this size "
+             "(one .1 predecessor is kept; default: never rotate)",
+    )
+
+    # Live-monitor options for the long-running subcommands (trials,
+    # campaign run, search run).  Either flag turns the monitor on; both
+    # compose.  ``repro monitor watch`` consumes what these produce.
+    monitor_options = argparse.ArgumentParser(add_help=False)
+    monitor_options.add_argument(
+        "--monitor-port", type=int, default=None, metavar="PORT",
+        help="serve live /status, /metrics, and /events on this local port "
+             "while the run executes (0 = pick an ephemeral port)",
+    )
+    monitor_options.add_argument(
+        "--status-file", type=str, default=None, metavar="PATH",
+        help="atomically rewrite a JSON status snapshot here on every "
+             "monitor tick (readable mid-run; marked final on completion)",
+    )
+    monitor_options.add_argument(
+        "--monitor-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between monitor snapshots (default: 1.0)",
+    )
 
     scenario = argparse.ArgumentParser(add_help=False)
     scenario.add_argument("--protocol", choices=sorted(PROTOCOLS), default="trapdoor")
@@ -169,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trials = sub.add_parser(
         "trials",
-        parents=[scenario, telemetry_options],
+        parents=[scenario, telemetry_options, monitor_options],
         help="run one configuration across many seeds",
     )
     trials.add_argument("--trials", type=int, default=10, dest="trial_count",
@@ -197,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     camp_run = campaign_sub.add_parser(
         "run",
-        parents=[telemetry_options],
+        parents=[telemetry_options, monitor_options],
         help="execute the missing cells of a campaign grid into a store",
     )
     camp_run.add_argument("--store", required=True, help="SQLite result store path")
@@ -255,7 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     srch_run = search_sub.add_parser(
         "run",
-        parents=[telemetry_options],
+        parents=[telemetry_options, monitor_options],
         help="run (or resume) an adversarial strategy search into a store",
     )
     srch_run.add_argument("--store", required=True, help="SQLite result store path")
@@ -354,6 +383,24 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print the machine-readable comparison on stdout "
                                 "(the human-readable table moves to stderr)")
 
+    monitor = sub.add_parser(
+        "monitor", help="watch a live run's status snapshot (file or URL)"
+    )
+    monitor_sub = monitor.add_subparsers(dest="monitor_command", required=True)
+    mon_watch = monitor_sub.add_parser(
+        "watch",
+        help="poll a --status-file path or a --monitor-port URL, one "
+             "progress line per poll, until the run marks it final",
+    )
+    mon_watch.add_argument(
+        "target",
+        help="status-file path, or monitor URL like http://127.0.0.1:8787",
+    )
+    mon_watch.add_argument("--interval", type=float, default=2.0,
+                           help="seconds between polls (default: 2.0)")
+    mon_watch.add_argument("--max-polls", type=int, default=None,
+                           help="give up after this many polls (default: until final)")
+
     sched = sub.add_parser("schedule", help="print the Trapdoor / Good Samaritan schedule")
     sched.add_argument("--protocol", choices=["trapdoor", "good-samaritan"], default="trapdoor")
     sched.add_argument("--frequencies", "-F", type=int, default=8)
@@ -432,16 +479,62 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
 
 def _telemetry_from_args(args: argparse.Namespace) -> Optional[Telemetry]:
-    """A live telemetry handle when ``--telemetry``/``--metrics-out`` ask for one.
+    """A live telemetry handle when any observability flag asks for one.
 
-    Returns ``None`` otherwise, so call sites pass it straight through to the
-    ``telemetry=`` parameters (which treat ``None`` as "off").
+    ``--telemetry``, ``--metrics-out``, ``--monitor-port``, and
+    ``--status-file`` all need a live registry; with none of them the return
+    is ``None``, so call sites pass it straight through to the ``telemetry=``
+    parameters (which treat ``None`` as "off").  The monitor flags are read
+    with ``getattr`` because ``bench run`` shares the telemetry options but
+    not the monitor ones.
     """
-    if args.telemetry is None and args.metrics_out is None:
+    wants_monitor = (
+        getattr(args, "monitor_port", None) is not None
+        or getattr(args, "status_file", None) is not None
+    )
+    if args.telemetry is None and args.metrics_out is None and not wants_monitor:
         return None
     if args.telemetry is not None:
-        return Telemetry.to_jsonl(args.telemetry)
+        rotate = getattr(args, "telemetry_rotate_bytes", None)
+        return Telemetry(sink=JsonlSink(args.telemetry, max_bytes=rotate))
     return Telemetry()
+
+
+def _monitor_from_args(
+    args: argparse.Namespace,
+    telemetry: Optional[Telemetry],
+    *,
+    unit: str,
+    total: Optional[int],
+    done_metrics: Sequence[str],
+    best_metric: Optional[str] = None,
+) -> Optional[RunMonitor]:
+    """Start a :class:`RunMonitor` when the monitor flags ask for one.
+
+    Prints where the run can be watched; callers must :meth:`RunMonitor.stop`
+    in a ``finally`` (before closing the telemetry sink, so the final
+    snapshot and the ``/events`` tail still see a live handle).
+    """
+    if args.monitor_port is None and args.status_file is None:
+        return None
+    assert telemetry is not None  # _telemetry_from_args made one for these flags
+    monitor = RunMonitor(
+        telemetry,
+        status_path=args.status_file,
+        port=args.monitor_port,
+        interval=args.monitor_interval,
+        unit=unit,
+        total=total,
+        done_metrics=done_metrics,
+        best_metric=best_metric,
+    ).start()
+    if monitor.port is not None:
+        print(f"monitor   : http://127.0.0.1:{monitor.port}/status "
+              "(also /metrics, /events)")
+    if monitor.status_path is not None:
+        print(f"monitor   : status snapshots at {monitor.status_path} "
+              "(watch with: repro monitor watch)")
+    return monitor
 
 
 def _finish_telemetry(
@@ -460,8 +553,7 @@ def _finish_telemetry(
     if args.metrics_out:
         target = Path(args.metrics_out)
         if target.suffix == ".prom":
-            target.parent.mkdir(parents=True, exist_ok=True)
-            target.write_text(telemetry.prometheus(), encoding="utf-8")
+            write_prometheus_text(telemetry.registry, target)
         else:
             write_metrics_json(telemetry.registry, target)
         print(f"wrote metrics snapshot to {target}", file=report)
@@ -472,6 +564,13 @@ def _command_trials(args: argparse.Namespace) -> int:
     print(f"batch     : {args.trial_count} trials, {args.workers} worker(s), "
           f"trace level {args.trace_level}")
     telemetry = _telemetry_from_args(args)
+    monitor = _monitor_from_args(
+        args,
+        telemetry,
+        unit="trials",
+        total=args.trial_count,
+        done_metrics=("worker.trials_executed",),
+    )
     if telemetry is not None:
         telemetry.emit(
             RunStarted(
@@ -483,36 +582,42 @@ def _command_trials(args: argparse.Namespace) -> int:
             )
         )
     started = time.perf_counter()
-    if args.workers > 1:
-        # Chunked dispatch on a pool (torn down right after — one-shot CLI
-        # calls have nothing to persist a pool across).
-        with ExecutionPool(
-            args.workers, chunk_size=args.pool_chunk, telemetry=telemetry
-        ) as pool:
+    try:
+        if args.workers > 1:
+            # Chunked dispatch on a pool (torn down right after — one-shot CLI
+            # calls have nothing to persist a pool across).
+            with ExecutionPool(
+                args.workers, chunk_size=args.pool_chunk, telemetry=telemetry
+            ) as pool:
+                summary = run_trials(
+                    config,
+                    seeds=args.trial_count,
+                    trace_level=TraceLevel(args.trace_level),
+                    pool=pool,
+                    batch=args.batch,
+                )
+        else:
             summary = run_trials(
                 config,
                 seeds=args.trial_count,
+                workers=args.workers,
                 trace_level=TraceLevel(args.trace_level),
-                pool=pool,
                 batch=args.batch,
             )
-    else:
-        summary = run_trials(
-            config,
-            seeds=args.trial_count,
-            workers=args.workers,
-            trace_level=TraceLevel(args.trace_level),
-            batch=args.batch,
-        )
-    if telemetry is not None:
-        telemetry.emit(
-            RunCompleted(
-                protocol=args.protocol,
-                workload=args.workload,
-                trials=args.trial_count,
-                seconds=time.perf_counter() - started,
+        if telemetry is not None:
+            telemetry.emit(
+                RunCompleted(
+                    protocol=args.protocol,
+                    workload=args.workload,
+                    trials=args.trial_count,
+                    seconds=time.perf_counter() - started,
+                )
             )
-        )
+    finally:
+        # Final snapshot first (needs the live sink), then the sink closes
+        # inside _finish_telemetry.
+        if monitor is not None:
+            monitor.stop()
     print(f"summary   : {summary.describe()}")
     rows = [
         {
@@ -579,13 +684,24 @@ def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
         print(f"campaign  : {spec.name} ({before.total} cells, "
               f"{len(spec.seeds)} seeds/cell, store {store.path})")
         print(f"resume    : {before.already_complete} cells already complete")
+        monitor = _monitor_from_args(
+            args,
+            telemetry,
+            unit="cells",
+            total=before.total,
+            done_metrics=("campaign.cells_committed", "campaign.cells_reused"),
+        )
 
         def report(cell, progress):
             print(f"  [{progress.already_complete + progress.executed}/{progress.total}] "
                   f"{cell.label()}")
 
         on_cell = None if args.quiet else report
-        progress = runner.run(max_cells=args.max_cells, on_cell=on_cell)
+        try:
+            progress = runner.run(max_cells=args.max_cells, on_cell=on_cell)
+        finally:
+            if monitor is not None:
+                monitor.stop()
     print(f"progress  : {progress.describe()}")
     if progress.complete:
         print()
@@ -688,6 +804,14 @@ def _search_run(args: argparse.Namespace, store: ResultStore) -> int:
               f"score {outcome.score:>10.1f}  ({source}, {outcome.key})")
 
     telemetry = _telemetry_from_args(args)
+    monitor = _monitor_from_args(
+        args,
+        telemetry,
+        unit="evaluations",
+        total=None,
+        done_metrics=("search.evaluations_executed", "search.evaluations_reused"),
+        best_metric="search.best_score",
+    )
     with StrategySearch(
         spec,
         store,
@@ -696,7 +820,11 @@ def _search_run(args: argparse.Namespace, store: ResultStore) -> int:
         batch=args.batch,
         telemetry=telemetry,
     ) as search:
-        result = search.run(max_evaluations=args.max_evaluations, on_candidate=report)
+        try:
+            result = search.run(max_evaluations=args.max_evaluations, on_candidate=report)
+        finally:
+            if monitor is not None:
+                monitor.stop()
     print(f"progress  : {result.describe()}")
     if result.best is not None:
         print(f"best      : {result.best.genome.describe()} "
@@ -853,6 +981,50 @@ def _bench_compare(args: argparse.Namespace) -> int:
     return 1
 
 
+def _command_monitor(args: argparse.Namespace) -> int:
+    handlers = {
+        "watch": _monitor_watch,
+    }
+    return handlers[args.monitor_command](args)
+
+
+def _monitor_watch(args: argparse.Namespace) -> int:
+    """Poll a status file or monitor URL; one line per poll, stop on final.
+
+    Exit codes: 0 once a snapshot reports ``final`` (or the target vanishes
+    after having been seen — the run ended and cleaned up), 1 when
+    ``--max-polls`` runs out first, 2 when the target never yields a valid
+    snapshot.
+    """
+    polls = 0
+    seen_any = False
+    while args.max_polls is None or polls < args.max_polls:
+        polls += 1
+        try:
+            document = read_status(args.target)
+        except ConfigurationError as error:
+            print(f"watch     : {error}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as error:
+            if seen_any:
+                # The run finished and its endpoint/file went away between
+                # polls — everything we saw up to now stands.
+                print("watch     : target gone; assuming the run ended")
+                return 0
+            print(f"watch     : cannot read {args.target}: {error}", file=sys.stderr)
+            return 2
+        seen_any = True
+        print(render_status_line(document))
+        if document.get("final"):
+            return 0
+        if args.max_polls is not None and polls >= args.max_polls:
+            break
+        time.sleep(args.interval)
+    print(f"watch     : gave up after {polls} poll(s) without a final snapshot",
+          file=sys.stderr)
+    return 1
+
+
 def _command_schedule(args: argparse.Namespace) -> int:
     params = _params(args)
     if args.protocol == "trapdoor":
@@ -931,6 +1103,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "campaign": _command_campaign,
         "search": _command_search,
         "bench": _command_bench,
+        "monitor": _command_monitor,
         "schedule": _command_schedule,
         "experiments": _command_experiments,
         "bounds": _command_bounds,

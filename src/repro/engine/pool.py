@@ -37,7 +37,10 @@ warning, exactly like the one-shot path.
 from __future__ import annotations
 
 import logging
+import os
 import pickle
+import signal
+import time
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -53,6 +56,7 @@ from repro.telemetry.events import (
     SerialFallback,
     WorkerCrashRecovered,
 )
+from repro.telemetry.metrics import WorkerStatsDelta
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.simulator import SimulationConfig
@@ -115,35 +119,97 @@ def simulate_one(template: "SimulationConfig", seed: int) -> SimulationResult:
     return simulate(replace(template, seed=seed))
 
 
+@dataclass(frozen=True, slots=True)
+class ChunkResult:
+    """One chunk's rows plus the worker's plain-data stats delta.
+
+    This is everything a worker sends back: the results themselves and a
+    picklable :class:`~repro.telemetry.metrics.WorkerStatsDelta` — never a
+    telemetry handle, lock, or file descriptor.  The parent unwraps it via
+    :meth:`ExecutionPool.ingest`, which merges the delta into the live
+    registry (if any) and returns the bare rows, so every downstream consumer
+    still sees plain result lists.
+    """
+
+    rows: tuple
+    stats: WorkerStatsDelta
+
+
+#: First-work timestamp per process id.  Keyed by pid because forked workers
+#: inherit the parent's copy of this dict: re-keying under ``os.getpid()``
+#: makes each worker measure its *own* uptime (since its first executed
+#: chunk), not the parent's.
+_WORKER_EPOCH: dict[int, float] = {}
+
+
+def _worker_identity() -> tuple[int, float]:
+    """This process's pid and its uptime since it first executed work."""
+    pid = os.getpid()
+    now = time.monotonic()
+    return pid, now - _WORKER_EPOCH.setdefault(pid, now)
+
+
+def _chunk_stats(rows: Sequence, batched: bool, seconds: float) -> WorkerStatsDelta:
+    """The stats delta one finished chunk contributes (runs in the worker)."""
+    rounds = 0
+    for row in rows:
+        if isinstance(row, ReducedTrial):
+            rounds += row.rounds_simulated
+        else:
+            rounds += row.metrics.rounds_simulated
+    pid, uptime = _worker_identity()
+    return WorkerStatsDelta.for_chunk(
+        pid=pid,
+        uptime_s=uptime,
+        trials=len(rows),
+        rounds=rounds,
+        batched=batched,
+        seconds=seconds,
+    )
+
+
 def _run_seed_chunk(
     template: "SimulationConfig",
     seeds: tuple[int, ...],
     reduce: bool,
     batch: bool = False,
-) -> list[SimulationResult] | list[ReducedTrial]:
+) -> ChunkResult:
     """Worker entry point: run one chunk of seeds against a shared template.
 
     With ``batch=True`` the chunk runs through the vectorized lockstep kernel
     (:mod:`repro.engine.batch`) when the template is batchable — bit-identical
     to the scalar loop, just amortized across the chunk's seeds — and falls
-    back to the scalar loop per seed otherwise.
+    back to the scalar loop per seed otherwise.  The rows come back wrapped
+    in a :class:`ChunkResult` carrying this worker's stats delta.
     """
+    started = time.perf_counter()
+    batched = False
+    rows: list[SimulationResult] | list[ReducedTrial]
     if batch:
-        from repro.engine.batch import run_batch, run_reduced_batch
+        from repro.engine.batch import batchable, run_batch, run_reduced_batch
 
-        if reduce:
-            return run_reduced_batch(template, seeds)
-        return run_batch(template, seeds)
-    if reduce:
-        return [ReducedTrial.from_result(seed, simulate_one(template, seed)) for seed in seeds]
-    return [simulate_one(template, seed) for seed in seeds]
+        batched = batchable(template)
+        rows = run_reduced_batch(template, seeds) if reduce else run_batch(template, seeds)
+    elif reduce:
+        rows = [ReducedTrial.from_result(seed, simulate_one(template, seed)) for seed in seeds]
+    else:
+        rows = [simulate_one(template, seed) for seed in seeds]
+    return ChunkResult(
+        rows=tuple(rows),
+        stats=_chunk_stats(rows, batched, time.perf_counter() - started),
+    )
 
 
-def _run_config_chunk(configs: tuple["SimulationConfig", ...]) -> list[SimulationResult]:
+def _run_config_chunk(configs: tuple["SimulationConfig", ...]) -> ChunkResult:
     """Worker entry point: run one chunk of heterogeneous configurations."""
     from repro.engine.simulator import simulate
 
-    return [simulate(config) for config in configs]
+    started = time.perf_counter()
+    rows = [simulate(config) for config in configs]
+    return ChunkResult(
+        rows=tuple(rows),
+        stats=_chunk_stats(rows, False, time.perf_counter() - started),
+    )
 
 
 def payload_is_picklable(payload: object) -> bool:
@@ -184,8 +250,8 @@ def warn_serial_fallback(
         telemetry.emit(SerialFallback(detail=detail))
 
 
-def _completed_future(value: list) -> "Future[list]":
-    future: "Future[list]" = Future()
+def _completed_future(value: ChunkResult) -> "Future[ChunkResult]":
+    future: "Future[ChunkResult]" = Future()
     future.set_result(value)
     return future
 
@@ -208,8 +274,11 @@ class ExecutionPool:
         fallbacks, and emits :class:`~repro.telemetry.events.ChunkDispatched`
         events.  ``None`` resolves to the shared disabled handle: every
         instrument is a no-op singleton and dispatch costs nothing extra.
-        The handle lives in the submitting process only — nothing
-        telemetry-shaped is ever pickled to a worker.
+        The handle lives in the submitting process only — a worker never
+        receives a telemetry object; it ships back a plain
+        :class:`~repro.telemetry.metrics.WorkerStatsDelta` on each chunk,
+        which :meth:`ingest` merges into the live registry (``worker.*``
+        counters and the per-chunk simulate-seconds histogram).
 
     The underlying executor starts lazily on first use, so constructing a pool
     costs nothing, and a pool whose work was all served from a cache never
@@ -252,6 +321,14 @@ class ExecutionPool:
         self._inflight = self._telemetry.gauge(
             "pool.inflight_chunks", help="chunks submitted but not yet completed"
         )
+        self._metric_workers_seen = self._telemetry.gauge(
+            "pool.worker_processes_seen", help="distinct worker pids that returned results"
+        )
+        # Per-worker bookkeeping, fed by ingested chunk deltas and used to
+        # attribute crashes (pid + uptime on WorkerCrashRecovered).  Tracked
+        # regardless of telemetry: it also sharpens WorkerCrashError messages.
+        self._worker_stats: dict[int, WorkerStatsDelta] = {}
+        self._worker_first_seen: dict[int, float] = {}
 
     # -- introspection ----------------------------------------------------
 
@@ -328,18 +405,19 @@ class ExecutionPool:
         seeds: Sequence[int],
         reduce: bool = False,
         batch: bool = False,
-    ) -> list["Future[list]"]:
+    ) -> list["Future[ChunkResult]"]:
         """Submit one template's seed batch as chunked futures, in chunk order.
 
-        Each future resolves to the chunk's results in seed order, so
-        concatenating the futures' values in submission order reproduces the
-        serial batch exactly.  An unpicklable template degrades to serial
-        in-process execution (with a warning) behind already-completed
-        futures, so callers never special-case it.
+        Each future resolves to a :class:`ChunkResult` whose rows are in seed
+        order, so unwrapping the futures' values (via :meth:`ingest`) in
+        submission order reproduces the serial batch exactly.  An unpicklable
+        template degrades to serial in-process execution (with a warning)
+        behind already-completed futures, so callers never special-case it.
 
         Callers that consume futures out of order (e.g. as they complete)
-        must route :class:`WorkerCrashError` / ``BrokenProcessPool`` results
-        through :meth:`recover`, or simply use :meth:`run_seeds`.
+        must route every result through :meth:`ingest` (so worker deltas land
+        in the registry) and :class:`WorkerCrashError` / ``BrokenProcessPool``
+        results through :meth:`recover`, or simply use :meth:`run_seeds`.
 
         With ``batch=True`` each chunk runs through the vectorized lockstep
         kernel in its worker (scalar fallback for non-batchable templates);
@@ -373,7 +451,7 @@ class ExecutionPool:
 
     def _observe_dispatch(
         self,
-        futures: Sequence["Future[list]"],
+        futures: Sequence["Future[ChunkResult]"],
         chunks: Sequence[tuple],
         reduce: bool,
         batch: bool,
@@ -453,7 +531,7 @@ class ExecutionPool:
         self._metric_scalar_chunks.inc(len(chunks))
         if not payload_is_picklable(config_list):
             warn_serial_fallback(telemetry=self._telemetry)
-            return _run_config_chunk(tuple(config_list))
+            return self.ingest(_run_config_chunk(tuple(config_list)))
         executor = self._ensure_executor()
         try:
             futures = [executor.submit(_run_config_chunk, chunk) for chunk in chunks]
@@ -463,14 +541,59 @@ class ExecutionPool:
             self._observe_dispatch(futures, chunks, reduce=False, batch=False)
         return self._gather(futures)
 
-    def _gather(self, futures: Sequence["Future[list]"]) -> list:
+    def ingest(self, outcome: ChunkResult) -> list:
+        """Unwrap one chunk outcome: record its worker stats, return the rows.
+
+        Every completed chunk passes through here — :meth:`_gather` for the
+        pool's own consumers, and directly for callers that hold futures
+        (the campaign's as-completed loop) — so worker deltas reach the
+        registry no matter who drains the future.  With telemetry disabled
+        the delta still updates the pool's per-worker crash-attribution
+        bookkeeping (two dict writes per chunk), but nothing else.
+        """
+        stats = outcome.stats
+        # CLOCK_MONOTONIC is system-wide on the platforms the pool targets,
+        # so the worker's uptime anchors its epoch on the parent's clock too.
+        self._worker_first_seen.setdefault(stats.pid, time.monotonic() - stats.uptime_s)
+        self._worker_stats[stats.pid] = stats
+        if self._telemetry.enabled:
+            self._telemetry.registry.merge_delta(stats)
+            self._metric_workers_seen.set(len(self._worker_stats))
+        return list(outcome.rows)
+
+    def worker_stats_for(self, pid: int) -> Optional[WorkerStatsDelta]:
+        """The most recent stats delta a worker pid reported (None if unseen)."""
+        return self._worker_stats.get(pid)
+
+    def _gather(self, futures: Sequence["Future[ChunkResult]"]) -> list:
         results: list = []
         try:
             for future in futures:
-                results.extend(future.result())
+                results.extend(self.ingest(future.result()))
         except BrokenProcessPool as error:
             raise self.recover(error) from error
         return results
+
+    def _crashed_workers(self) -> list[tuple[int, Optional[float]]]:
+        """The current executor's abnormally dead workers, as (pid, uptime).
+
+        Inspected *before* the broken executor is discarded.  Workers the
+        executor's own teardown terminated (SIGTERM) are excluded, so one bad
+        worker reads differently from the collateral shutdown of the rest of
+        the pool.  Detection is best-effort: an executor that already reaped
+        its children reports nothing, and a worker that never completed a
+        chunk has no first-seen timestamp (uptime ``None``).
+        """
+        processes = getattr(self._executor, "_processes", None) or {}
+        now = time.monotonic()
+        crashed: list[tuple[int, Optional[float]]] = []
+        for pid, process in sorted(processes.items()):
+            exitcode = getattr(process, "exitcode", None)
+            if exitcode is None or exitcode in (0, -signal.SIGTERM):
+                continue
+            first_seen = self._worker_first_seen.get(pid)
+            crashed.append((pid, now - first_seen if first_seen is not None else None))
+        return crashed
 
     def recover(self, error: BaseException) -> WorkerCrashError:
         """Discard the broken executor and wrap ``error`` for re-raising.
@@ -478,19 +601,28 @@ class ExecutionPool:
         Centralizes crash handling for callers that hold futures directly:
         after this returns, the pool is reusable (the next dispatch forks
         fresh workers), and the returned :class:`WorkerCrashError` explains
-        what happened to whoever re-raises it.
+        what happened to whoever re-raises it.  Each identified dead worker
+        gets its own :class:`~repro.telemetry.events.WorkerCrashRecovered`
+        event carrying its pid and uptime at crash.
         """
+        crashed = self._crashed_workers()
         self._discard_broken_executor()
         self._metric_restarts.inc()
         logger.warning("worker process crashed mid-batch (%s); pool reset for restart", error)
         if self._telemetry.enabled:
-            self._telemetry.emit(
-                WorkerCrashRecovered(
-                    detail=str(error), restarts=int(self._metric_restarts.value)
-                )
-            )
+            restarts = int(self._metric_restarts.value)
+            if crashed:
+                for pid, uptime in crashed:
+                    self._telemetry.emit(
+                        WorkerCrashRecovered(
+                            detail=str(error), restarts=restarts, pid=pid, uptime_s=uptime
+                        )
+                    )
+            else:
+                self._telemetry.emit(WorkerCrashRecovered(detail=str(error), restarts=restarts))
+        pids = ", ".join(str(pid) for pid, _ in crashed) if crashed else "unknown pid"
         return WorkerCrashError(
-            f"a worker process crashed mid-batch ({error}); the pool has been "
-            "reset and the next call will start fresh workers — deterministic "
-            "seeds make it safe to re-submit the failed work"
+            f"a worker process crashed mid-batch ({error}; {pids}); the pool "
+            "has been reset and the next call will start fresh workers — "
+            "deterministic seeds make it safe to re-submit the failed work"
         )

@@ -30,7 +30,12 @@ from repro.search.checkpoint import SearchCheckpoint, SearchSpec
 from repro.search.optimizers import CandidateOutcome, make_optimizer
 from repro.search.space import StrategySpace
 from repro.telemetry import Telemetry, as_telemetry
-from repro.telemetry.events import GenerationCompleted, SearchCompleted, SearchStarted
+from repro.telemetry.events import (
+    BestCandidateImproved,
+    GenerationCompleted,
+    SearchCompleted,
+    SearchStarted,
+)
 
 logger = logging.getLogger("repro.search.runner")
 
@@ -266,6 +271,19 @@ class StrategySearch:
                 if best is None or outcome.score > best.score:
                     best = outcome
                     self._metric_best.set(outcome.score)
+                    if telemetry.enabled:
+                        # Lets a live monitor report *which* strategy leads,
+                        # not just the best-score gauge's value.
+                        telemetry.emit(
+                            BestCandidateImproved(
+                                search=spec.name,
+                                generation=generation,
+                                index=index,
+                                score=outcome.score,
+                                strategy=genome.describe(),
+                                key=key,
+                            )
+                        )
                 if on_candidate is not None:
                     on_candidate(outcome)
             if stopped:

@@ -14,8 +14,14 @@ Two invariants the rest of the stack leans on:
   one-way export: stores, search checkpoints, and
   :func:`~repro.engine.serialization.execution_digest` goldens are
   byte-identical with telemetry on or off (pinned by the golden-equivalence
-  suite).  Handles live in the orchestrating process only — nothing
-  telemetry-shaped ever crosses the worker-process boundary.
+  suite).  Handles live in the orchestrating process only — a worker never
+  receives a telemetry object, lock, or file descriptor.  What *does* cross
+  the boundary is plain data: each chunk result piggybacks a picklable
+  :class:`~repro.telemetry.metrics.WorkerStatsDelta` that the parent folds
+  into its own registry via
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.merge_delta` (see
+  :mod:`repro.engine.pool`), so in-worker work is observable — live, via
+  :mod:`repro.telemetry.monitor` — without shipping handles.
 * **Off costs (almost) nothing.**  :data:`TELEMETRY_OFF` — the module-level
   disabled singleton every ``telemetry=None`` parameter resolves to via
   :func:`as_telemetry` — hands out shared no-op instruments and spans: no
@@ -28,13 +34,16 @@ Two invariants the rest of the stack leans on:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Union
+
+from repro.exceptions import ConfigurationError
 
 from repro.telemetry.events import JsonlSink, SpanCompleted, TelemetryEvent
 from repro.telemetry.export import (
     registry_snapshot,
     render_prometheus,
     write_metrics_json,
+    write_prometheus_text,
 )
 from repro.telemetry.metrics import (
     NULL_COUNTER,
@@ -57,6 +66,7 @@ __all__ = [
     "registry_snapshot",
     "render_prometheus",
     "write_metrics_json",
+    "write_prometheus_text",
 ]
 
 
@@ -85,6 +95,7 @@ class Telemetry:
         self._sink = sink
         self._registry = registry if registry is not None else MetricsRegistry()
         self._span_stack: list[str] = []
+        self._taps: tuple[Callable[[TelemetryEvent], None], ...] = ()
 
     @classmethod
     def to_jsonl(cls, path: Union[str, Path], buffer_size: int = 256) -> "Telemetry":
@@ -106,12 +117,25 @@ class Telemetry:
     # -- events -----------------------------------------------------------
 
     def emit(self, event: TelemetryEvent) -> None:
-        """Record one event: count it per kind, and append it to the sink."""
-        self._registry.counter(
-            f"events.{event.kind}", help=f"emitted {event.kind} events"
-        ).inc()
+        """Record one event: count it per kind, append it to the sink, fan out."""
+        self._registry.counter(f"events.{event.kind}", help=f"emitted {event.kind} events").inc()
         if self._sink is not None:
             self._sink.emit(event)
+        for tap in self._taps:
+            tap(event)
+
+    def add_event_tap(self, tap: Callable[[TelemetryEvent], None]) -> None:
+        """Register an in-process observer called for every emitted event.
+
+        Taps power the live monitor's recent-events view.  They run on the
+        emitting thread, so they must be fast and must not raise — an
+        exception would propagate into the orchestration call site.
+        """
+        self._taps = (*self._taps, tap)
+
+    def remove_event_tap(self, tap: Callable[[TelemetryEvent], None]) -> None:
+        """Deregister a tap (no-op if it was never added)."""
+        self._taps = tuple(existing for existing in self._taps if existing is not tap)
 
     # -- metrics ----------------------------------------------------------
 
@@ -209,6 +233,16 @@ class DisabledTelemetry(Telemetry):
 
     def emit(self, event: TelemetryEvent) -> None:
         """Discard the event."""
+
+    def add_event_tap(self, tap: Callable[[TelemetryEvent], None]) -> None:
+        """Refuse: a disabled handle emits no events, so a tap would hear nothing."""
+        raise ConfigurationError(
+            "disabled telemetry emits no events to tap; attach the monitor "
+            "to a live Telemetry handle"
+        )
+
+    def remove_event_tap(self, tap: Callable[[TelemetryEvent], None]) -> None:
+        """Nothing to remove."""
 
     def counter(self, name: str, help: str = "") -> AnyCounter:
         """The shared no-op counter, whatever the name."""

@@ -23,6 +23,8 @@ golden-equivalence suite) — the stream is a one-way export.
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -150,6 +152,24 @@ class GenerationCompleted(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class BestCandidateImproved(TelemetryEvent):
+    """A search candidate beat the best score seen so far.
+
+    Carries the genome's human-readable description, so a live monitor (and
+    anyone tailing the stream) can show *which* strategy currently leads, not
+    just its score.
+    """
+
+    kind: ClassVar[str] = "best-candidate-improved"
+    search: str
+    generation: int
+    index: int
+    score: float
+    strategy: str
+    key: str
+
+
+@dataclass(frozen=True)
 class SearchCompleted(TelemetryEvent):
     """A strategy search run() invocation finished (complete or capped)."""
 
@@ -180,11 +200,20 @@ class ChunkDispatched(TelemetryEvent):
 
 @dataclass(frozen=True)
 class WorkerCrashRecovered(TelemetryEvent):
-    """A worker process died; the pool discarded its executor and will restart."""
+    """A worker process died; the pool discarded its executor and will restart.
+
+    ``pid``/``uptime_s`` identify which worker died and how long it had been
+    alive (as observed by the pool), so repeated crashes of one short-lived
+    worker read differently from a crash storm across the pool.  Both are
+    ``None`` when the executor reaped its children before the pool could
+    inspect them — detection is best-effort by nature.
+    """
 
     kind: ClassVar[str] = "worker-crash-recovered"
     detail: str
     restarts: int
+    pid: Optional[int] = None
+    uptime_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -230,6 +259,7 @@ EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
         CampaignCompleted,
         SearchStarted,
         GenerationCompleted,
+        BestCandidateImproved,
         SearchCompleted,
         ChunkDispatched,
         WorkerCrashRecovered,
@@ -248,26 +278,54 @@ class JsonlSink:
     buffered; the buffer is written out every ``buffer_size`` events, on
     :meth:`flush`, and on :meth:`close`.  Each record gains a monotonically
     increasing ``seq`` field at emit time.
+
+    With ``max_bytes`` set, the stream rotates: once a flush would push the
+    current file past the limit, it is renamed to ``<path>.1`` (replacing any
+    previous rotation) and a fresh file starts — disk usage stays bounded at
+    roughly twice ``max_bytes`` however long the run lasts.  ``seq`` keeps
+    counting across rotations, so the surviving window
+    (:func:`read_jsonl_events` stitches ``<path>.1`` + ``<path>``) is still
+    provably gapless; only events rotated out more than once are gone.
+
+    Emission and flushing take a small lock: a live monitor's HTTP thread may
+    flush the sink (to serve ``/events``) while the run thread is emitting.
     """
 
     def __init__(
         self,
         path: Union[str, Path],
         buffer_size: int = 256,
+        max_bytes: Optional[int] = None,
     ) -> None:
         if buffer_size < 1:
             raise ConfigurationError(f"sink buffer_size must be positive, got {buffer_size}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ConfigurationError(f"sink max_bytes must be positive, got {max_bytes}")
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._handle: Optional[IO[str]] = self._path.open("w", encoding="utf-8")
         self._buffer: list[str] = []
         self._buffer_size = buffer_size
+        self._max_bytes = max_bytes
+        self._written = 0
+        self._rotations = 0
         self._seq = 0
+        self._lock = threading.Lock()
 
     @property
     def path(self) -> Path:
         """Where the stream is written."""
         return self._path
+
+    @property
+    def rotated_path(self) -> Path:
+        """Where the previous rotation lives (may not exist yet)."""
+        return self._path.with_name(self._path.name + ".1")
+
+    @property
+    def rotations(self) -> int:
+        """How many times the stream has rotated."""
+        return self._rotations
 
     @property
     def emitted(self) -> int:
@@ -281,14 +339,15 @@ class JsonlSink:
 
     def emit(self, event: TelemetryEvent) -> None:
         """Append one event to the stream (buffered)."""
-        if self._handle is None:
-            raise ConfigurationError(f"event sink {self._path} is closed")
         record = event.to_dict()
-        record["seq"] = self._seq
-        self._seq += 1
-        self._buffer.append(json.dumps(record, sort_keys=True, default=str))
-        if len(self._buffer) >= self._buffer_size:
-            self.flush()
+        with self._lock:
+            if self._handle is None:
+                raise ConfigurationError(f"event sink {self._path} is closed")
+            record["seq"] = self._seq
+            self._seq += 1
+            self._buffer.append(json.dumps(record, sort_keys=True, default=str))
+            if len(self._buffer) >= self._buffer_size:
+                self._flush_locked()
 
     @property
     def buffered(self) -> int:
@@ -297,19 +356,42 @@ class JsonlSink:
 
     def flush(self) -> None:
         """Write the buffer out (no-op when empty or closed)."""
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
         if self._handle is None or not self._buffer:
             return
-        self._handle.write("\n".join(self._buffer) + "\n")
+        # json.dumps defaults to ASCII-only output, so character length is
+        # byte length and the rotation check needs no extra encode pass.
+        payload = "\n".join(self._buffer) + "\n"
+        if (
+            self._max_bytes is not None
+            and self._written > 0
+            and self._written + len(payload) > self._max_bytes
+        ):
+            self._rotate_locked()
+        self._handle.write(payload)
         self._handle.flush()
+        self._written += len(payload)
         self._buffer.clear()
+
+    def _rotate_locked(self) -> None:
+        assert self._handle is not None
+        self._handle.close()
+        os.replace(self._path, self.rotated_path)
+        self._handle = self._path.open("w", encoding="utf-8")
+        self._written = 0
+        self._rotations += 1
 
     def close(self) -> None:
         """Flush and close the stream (idempotent)."""
-        if self._handle is None:
-            return
-        self.flush()
-        self._handle.close()
-        self._handle = None
+        with self._lock:
+            if self._handle is None:
+                return
+            self._flush_locked()
+            self._handle.close()
+            self._handle = None
 
     def __enter__(self) -> "JsonlSink":
         return self
@@ -321,17 +403,27 @@ class JsonlSink:
 def read_jsonl_events(path: Union[str, Path]) -> list[dict[str, Any]]:
     """Load a JSONL event stream back as dict records, in ``seq`` order.
 
-    A convenience for tests and post-hoc analysis; validates that sequence
-    numbers are the gapless ``0 .. n-1`` a single-process stream writes.
+    A convenience for tests and post-hoc analysis.  When the sink rotated
+    (a ``<path>.1`` sibling exists), the rotated file is stitched in front of
+    the current one and the combined window may start past zero; either way
+    the sequence numbers must be gapless and consecutive — an unrotated
+    stream must still be exactly ``0 .. n-1``.
     """
+    main = Path(path)
+    rotated = main.with_name(main.name + ".1")
+    sources = ([rotated] if rotated.exists() else []) + [main]
     records: list[dict[str, Any]] = []
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    for source in sources:
+        with source.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
     sequence = [record.get("seq") for record in records]
-    if sequence != list(range(len(records))):
+    start = 0
+    if rotated.exists() and sequence and isinstance(sequence[0], int):
+        start = sequence[0]
+    if sequence != list(range(start, start + len(records))):
         raise ConfigurationError(
             f"event stream {path} is not a gapless single-process stream "
             f"(seq numbers {sequence[:10]}...)"

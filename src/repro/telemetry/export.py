@@ -55,6 +55,19 @@ def write_metrics_json(registry: MetricsRegistry, path: Union[str, Path]) -> Pat
     return target
 
 
+def write_prometheus_text(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Write the Prometheus text exposition to ``path`` and return the path.
+
+    The file-based sibling of serving :func:`render_prometheus` from a
+    ``/metrics`` endpoint — drop the output where a node-exporter textfile
+    collector picks it up.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_prometheus(registry), encoding="utf-8")
+    return target
+
+
 def _prometheus_name(name: str) -> str:
     """Map a dotted internal metric name to a Prometheus-legal one."""
     cleaned = "".join(ch if ch.isalnum() else "_" for ch in name)

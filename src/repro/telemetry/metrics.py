@@ -29,6 +29,7 @@ the lock is off the hot path by construction.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Union
 
 from repro.exceptions import ConfigurationError
@@ -47,6 +48,71 @@ DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
     10.0,
     60.0,
 )
+
+#: The pinned bucket bounds every :class:`WorkerStatsDelta` histogram is
+#: recorded against.  Workers ship raw per-bucket counts (not observations),
+#: so both sides of the process boundary must agree on the bounds; sharing
+#: one constant keeps them in lockstep by construction, and
+#: :meth:`MetricsRegistry.merge_delta` re-checks the length on every merge.
+WORKER_SECONDS_BUCKETS: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerStatsDelta:
+    """Plain, picklable per-chunk execution stats a worker ships back.
+
+    This is the only telemetry-adjacent thing that crosses the worker-process
+    boundary: pure data (no handles, locks, or file descriptors), piggybacked
+    on each chunk result and folded into the parent's registry by
+    :meth:`MetricsRegistry.merge_delta`.  All fields are deltas relative to
+    the previous chunk except ``pid``/``uptime_s``, which identify the worker
+    process and how long it had been executing work when the chunk finished.
+    """
+
+    pid: int
+    uptime_s: float
+    chunks: int
+    trials: int
+    rounds: int
+    scalar_trials: int
+    batch_trials: int
+    simulate_seconds_sum: float
+    simulate_seconds_count: int
+    #: Non-cumulative counts per :data:`WORKER_SECONDS_BUCKETS` bound, with
+    #: the trailing +Inf slot — same layout as :meth:`Histogram.bucket_counts`.
+    simulate_seconds_buckets: tuple[int, ...]
+
+    @classmethod
+    def for_chunk(
+        cls,
+        *,
+        pid: int,
+        uptime_s: float,
+        trials: int,
+        rounds: int,
+        batched: bool,
+        seconds: float,
+    ) -> "WorkerStatsDelta":
+        """The delta one finished chunk contributes (one histogram observation)."""
+        counts = [0] * (len(WORKER_SECONDS_BUCKETS) + 1)
+        index = len(WORKER_SECONDS_BUCKETS)
+        for position, bound in enumerate(WORKER_SECONDS_BUCKETS):
+            if seconds <= bound:
+                index = position
+                break
+        counts[index] = 1
+        return cls(
+            pid=pid,
+            uptime_s=uptime_s,
+            chunks=1,
+            trials=trials,
+            rounds=rounds,
+            scalar_trials=0 if batched else trials,
+            batch_trials=trials if batched else 0,
+            simulate_seconds_sum=seconds,
+            simulate_seconds_count=1,
+            simulate_seconds_buckets=tuple(counts),
+        )
 
 
 class Counter:
@@ -147,6 +213,26 @@ class Histogram:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+
+    def merge_counts(self, counts: Sequence[int], total: float, count: int) -> None:
+        """Fold pre-bucketed observations in (the worker-delta merge path).
+
+        ``counts`` must use this histogram's exact bucket layout (one slot per
+        finite bound plus the trailing +Inf slot); merging is additive and
+        therefore order-independent.
+        """
+        if len(counts) != len(self._counts):
+            raise ConfigurationError(
+                f"histogram {self.name!r} has {len(self._counts)} bucket slots "
+                f"(including +Inf); cannot merge {len(counts)} counts"
+            )
+        if count < 0 or any(increment < 0 for increment in counts):
+            raise ConfigurationError(f"histogram {self.name!r} merge counts must be non-negative")
+        with self._lock:
+            for index, increment in enumerate(counts):
+                self._counts[index] += increment
+            self._sum += total
+            self._count += count
 
     @property
     def sum(self) -> float:
@@ -304,6 +390,42 @@ class MetricsRegistry:
                     f"{type(existing).__name__.lower()}, not {kind.__name__.lower()}"
                 )
             return existing
+
+    def merge_delta(self, delta: WorkerStatsDelta) -> None:
+        """Fold one worker's chunk delta into the ``worker.*`` instruments.
+
+        Deterministic and order-independent: every field is added, so merging
+        the same multiset of deltas in any interleaving (any worker count, any
+        chunk completion order) yields the same registry state.  The usual
+        registry conflict checks apply — a ``worker.*`` name already
+        registered as a different kind, or the histogram registered with other
+        buckets, raises instead of silently corrupting the totals — and
+        :meth:`Histogram.merge_counts` re-validates the delta's bucket layout.
+        """
+        self.counter(
+            "worker.chunks_completed", help="chunks finished inside worker processes"
+        ).inc(delta.chunks)
+        self.counter(
+            "worker.trials_executed", help="trials executed inside worker processes"
+        ).inc(delta.trials)
+        self.counter(
+            "worker.rounds_simulated", help="simulated rounds summed across worker trials"
+        ).inc(delta.rounds)
+        self.counter(
+            "worker.scalar_trials", help="worker trials run on the scalar per-seed loop"
+        ).inc(delta.scalar_trials)
+        self.counter(
+            "worker.batch_trials", help="worker trials run on the vectorized lockstep kernel"
+        ).inc(delta.batch_trials)
+        self.histogram(
+            "worker.chunk_simulate_seconds",
+            help="in-worker wall time per executed chunk",
+            buckets=WORKER_SECONDS_BUCKETS,
+        ).merge_counts(
+            delta.simulate_seconds_buckets,
+            delta.simulate_seconds_sum,
+            delta.simulate_seconds_count,
+        )
 
     def instruments(self) -> Iterator[_Instrument]:
         """Every registered instrument, in name order (stable exports)."""

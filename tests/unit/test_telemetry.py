@@ -264,6 +264,75 @@ class TestEventsAndSink:
         telemetry.emit(SerialFallback(detail=None))
         assert telemetry.snapshot()["counters"]["events.serial-fallback"] == 2
 
+    def test_sink_rotates_at_max_bytes_and_read_back_stitches(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path, buffer_size=1, max_bytes=200) as sink:
+            emitted = 12
+            for index in range(emitted):
+                sink.emit(SerialFallback(detail=f"event-{index:02d}"))
+            assert sink.rotations >= 1
+            assert sink.rotated_path.exists()
+        # Stitched read-back: the .1 predecessor plus the live file come back
+        # as one gapless stream in emission order.  Only one predecessor is
+        # kept, so after several rotations the stream is the newest gapless
+        # suffix of the run, always ending at the last emitted event.
+        records = read_jsonl_events(path)
+        sequence = [record["seq"] for record in records]
+        assert sequence == list(range(sequence[0], emitted))
+        assert [record["detail"] for record in records] == [
+            f"event-{index:02d}" for index in sequence
+        ]
+        # Only one predecessor is kept, so the pair stays near the byte bound.
+        assert len(path.read_bytes()) <= 200
+        assert len(sink.rotated_path.read_bytes()) <= 200
+
+    def test_sink_rejects_bad_max_bytes(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="max_bytes"):
+            JsonlSink(tmp_path / "r.jsonl", max_bytes=0)
+
+    def test_rotated_stream_with_dropped_predecessor_still_reads(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path, buffer_size=1, max_bytes=200) as sink:
+            for index in range(12):
+                sink.emit(SerialFallback(detail=str(index)))
+            assert sink.rotations >= 2  # at least one rotation overwrote .1
+        sink.rotated_path.unlink()
+        # Without the predecessor the live file alone is no longer seq-0-based,
+        # which read_jsonl_events must flag rather than silently truncate.
+        with pytest.raises(ConfigurationError, match="gapless"):
+            read_jsonl_events(path)
+
+    def test_worker_crash_event_carries_pid_and_uptime(self):
+        from repro.telemetry.events import WorkerCrashRecovered
+
+        record = WorkerCrashRecovered(
+            detail="boom", restarts=2, pid=4242, uptime_s=1.25
+        ).to_dict()
+        assert record["pid"] == 4242
+        assert record["uptime_s"] == 1.25
+        # Both fields default to None: attribution is best-effort.
+        bare = WorkerCrashRecovered(detail="boom", restarts=1)
+        assert bare.pid is None and bare.uptime_s is None
+
+    def test_event_taps_fan_out_and_detach(self):
+        telemetry = Telemetry()
+        seen: list[TelemetryEvent] = []
+        # Taps detach by identity, so hold one reference (a fresh bound
+        # method each access would never match).
+        tap = seen.append
+        telemetry.add_event_tap(tap)
+        first = SerialFallback(detail="a")
+        telemetry.emit(first)
+        telemetry.remove_event_tap(tap)
+        telemetry.emit(SerialFallback(detail="b"))
+        assert seen == [first]
+        telemetry.remove_event_tap(tap)  # removing again is a no-op
+
+    def test_disabled_handle_refuses_event_taps(self):
+        with pytest.raises(ConfigurationError, match="disabled telemetry"):
+            TELEMETRY_OFF.add_event_tap(lambda event: None)
+        TELEMETRY_OFF.remove_event_tap(lambda event: None)  # no-op, no raise
+
 
 class TestSpans:
     def test_spans_nest_with_depth_and_parent(self, tmp_path):
