@@ -21,6 +21,7 @@ from _bench_helpers import run_once
 from repro.adversary.activation import StaggeredActivation
 from repro.adversary.jammers import RandomJammer
 from repro.engine.observers import TraceLevel
+from repro.engine.plan import ExecutionPlan
 from repro.engine.runner import run_trials
 from repro.engine.simulator import SimulationConfig, simulate
 from repro.experiments.tables import render_table
@@ -138,7 +139,7 @@ def test_parallel_trace_free_batch_matches_serial_full_trace(benchmark, emit):
         serial_elapsed = time.perf_counter() - serial_start
         parallel_start = time.perf_counter()
         parallel = run_trials(
-            replace(config), seeds=seeds, workers=4, trace_level=TraceLevel.NONE
+            replace(config), seeds=seeds, trace_level=TraceLevel.NONE, plan=ExecutionPlan(workers=4)
         )
         parallel_elapsed = time.perf_counter() - parallel_start
         return serial, parallel, serial_elapsed, parallel_elapsed

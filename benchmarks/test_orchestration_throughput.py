@@ -28,6 +28,7 @@ from _bench_helpers import run_once
 from repro.campaigns.runner import CampaignRunner
 from repro.campaigns.spec import CampaignSpec
 from repro.campaigns.store import ResultStore, TrialRecord
+from repro.engine.plan import ExecutionPlan
 from repro.engine.runner import run_trials
 from repro.experiments.tables import render_table
 
@@ -48,14 +49,14 @@ GRID = CampaignSpec(
 def _run_fresh_pool_per_cell(store: ResultStore) -> None:
     """The pre-pool execution path, reproduced exactly.
 
-    One ``run_trials(workers=2)`` call per cell — i.e. one fresh
+    One ``run_trials(plan=ExecutionPlan(workers=2))`` call per cell — i.e. one fresh
     ``ProcessPoolExecutor`` spin-up/teardown per cell, full configs out, full
     ``SimulationResult`` objects back, reduction to store rows in the parent.
     """
     GRID.validate_workloads()
     store.register_campaign(GRID.name, GRID.to_json())
     for cell in GRID.cells():
-        summary = run_trials(cell.config(), seeds=cell.seeds, workers=2)
+        summary = run_trials(cell.config(), seeds=cell.seeds, plan=ExecutionPlan(workers=2))
         records = [
             TrialRecord.from_result(seed, result)
             for seed, result in zip(summary.seeds, summary.results)
@@ -65,7 +66,7 @@ def _run_fresh_pool_per_cell(store: ResultStore) -> None:
 
 def _run_persistent_pool(store: ResultStore) -> None:
     """The pooled path: one pool for the whole grid, chunked and reduced."""
-    with CampaignRunner(GRID, store, workers=2, pool_chunk=2) as runner:
+    with CampaignRunner(GRID, store, plan=ExecutionPlan(workers=2, pool_chunk=2)) as runner:
         runner.run()
 
 

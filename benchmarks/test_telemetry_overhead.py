@@ -34,6 +34,7 @@ from repro.bench.scenarios import resolve_scenarios
 from repro.campaigns.runner import CampaignRunner
 from repro.campaigns.spec import CampaignSpec
 from repro.campaigns.store import ResultStore
+from repro.engine.plan import ExecutionPlan
 from repro.telemetry import TELEMETRY_OFF, Telemetry
 from repro.telemetry.metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
 from repro.telemetry.spans import NULL_SPAN

@@ -28,6 +28,7 @@ from repro.campaigns.runner import CampaignRunner
 from repro.campaigns.spec import CampaignSpec
 from repro.campaigns.store import ResultStore
 from repro.engine.observers import TraceLevel
+from repro.engine.plan import ExecutionPlan
 from repro.engine.serialization import execution_digest
 from repro.engine.simulator import SimulationConfig, simulate
 from repro.exceptions import ConfigurationError
@@ -218,7 +219,7 @@ def _campaign_parallel_slice() -> ScenarioWork:
     )
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         with ResultStore(Path(tmp) / "bench-slice.db") as store:
-            runner = CampaignRunner(spec, store, workers=4)
+            runner = CampaignRunner(spec, store, plan=ExecutionPlan(workers=4))
             progress = runner.run()
             rows = [
                 {"key": key, "cell": description, "trials": [record.seed for record in records]}
@@ -266,7 +267,7 @@ def _campaign_many_small_cells() -> ScenarioWork:
     )
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         with ResultStore(Path(tmp) / "many-small-cells.db") as store:
-            with CampaignRunner(spec, store, workers=2, pool_chunk=2) as runner:
+            with CampaignRunner(spec, store, plan=ExecutionPlan(workers=2, pool_chunk=2)) as runner:
                 progress = runner.run()
             rows = [
                 {
@@ -322,7 +323,7 @@ def _search_generation() -> ScenarioWork:
         warm_start=True,
     )
     with ResultStore(":memory:") as store:
-        with StrategySearch(spec, store, workers=2, pool_chunk=2) as search:
+        with StrategySearch(spec, store, plan=ExecutionPlan(workers=2, pool_chunk=2)) as search:
             result = search.run()
         best = result.best
     assert best is not None  # the warm start always evaluates something

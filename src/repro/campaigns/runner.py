@@ -32,6 +32,7 @@ from typing import Callable, Optional, Sequence
 from repro.campaigns.spec import CampaignCell, CampaignSpec
 from repro.campaigns.store import ResultStore, TrialRecord
 from repro.engine.observers import TraceLevel
+from repro.engine.plan import ExecutionPlan, resolve_plan
 from repro.engine.pool import (
     ExecutionPool,
     ReducedTrial,
@@ -92,11 +93,7 @@ class CampaignRunner:
     store:
         The persistent store holding completed cells.
     workers:
-        Worker processes.  ``workers > 1`` makes the runner hold one
-        persistent :class:`~repro.engine.pool.ExecutionPool` for its whole
-        lifetime (all ``run`` invocations included) and batch every pending
-        cell onto it; ``None``/1 executes serially in-process.  Either way
-        the stored rows are bit-identical.
+        Deprecated — pass ``plan=ExecutionPlan(workers=...)``.
     trace_level:
         Per-trial trace retention.  Campaign cells persist only summary
         scalars, so the default is :attr:`TraceLevel.NONE` — memory stays
@@ -105,16 +102,21 @@ class CampaignRunner:
     pool:
         Optional externally owned :class:`~repro.engine.pool.ExecutionPool`
         to share with other subsystems (e.g. one pool across several
-        campaigns and a search); overrides ``workers``.  The runner never
-        shuts down a pool it was handed.
+        campaigns and a search); overrides the plan's worker count for
+        dispatch.  The runner never shuts down a pool it was handed.
     pool_chunk:
-        Chunk size for the runner's own pool (ignored with ``pool=``;
-        ``None`` = automatic).
+        Deprecated — pass ``plan=ExecutionPlan(pool_chunk=...)``.
     batch:
-        Execute each cell's seed batch on the vectorized lockstep kernel
-        (:mod:`repro.engine.batch`) where the cell's configuration is
-        batchable, with transparent scalar fallback otherwise.  Works on both
-        the serial and the pooled path and never changes the stored rows.
+        Deprecated — pass ``plan=ExecutionPlan(batch=True)``.
+    plan:
+        The :class:`~repro.engine.plan.ExecutionPlan` for the campaign.  A
+        parallel plan makes the runner hold one persistent
+        :class:`~repro.engine.pool.ExecutionPool` for its whole lifetime
+        (all ``run`` invocations included) and batch every pending cell onto
+        it with the plan's chunk size; a serial plan executes in-process.
+        ``plan.batch`` routes batchable cells through the vectorized
+        lockstep kernel with transparent scalar fallback.  No plan ever
+        changes the stored rows — they are bit-identical on every path.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` handle.  A live handle
         gets campaign lifecycle events, per-cell
@@ -138,19 +140,19 @@ class CampaignRunner:
         pool_chunk: Optional[int] = None,
         batch: bool = False,
         telemetry: Optional[Telemetry] = None,
+        *,
+        plan: Optional[ExecutionPlan] = None,
     ) -> None:
         self._spec = spec
         self._store = store
-        self._workers = workers
-        self._trace_level = trace_level
-        self._batch = batch
-        self._telemetry = as_telemetry(telemetry)
-        self._owns_pool = pool is None and workers is not None and workers > 1
-        self._pool = (
-            ExecutionPool(workers, chunk_size=pool_chunk, telemetry=self._telemetry)
-            if self._owns_pool
-            else pool
+        self._plan = resolve_plan(
+            plan, api="CampaignRunner", workers=workers, pool_chunk=pool_chunk, batch=batch
         )
+        self._trace_level = trace_level
+        self._batch = self._plan.batch
+        self._telemetry = as_telemetry(telemetry)
+        self._owns_pool = pool is None and self._plan.parallel
+        self._pool = self._plan.pool(telemetry=self._telemetry) if self._owns_pool else pool
         self._metric_cells = self._telemetry.counter(
             "campaign.cells_committed", help="cells executed and committed to the store"
         )
@@ -176,6 +178,11 @@ class CampaignRunner:
     def spec(self) -> CampaignSpec:
         """The spec this runner completes."""
         return self._spec
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The resolved execution plan this runner follows."""
+        return self._plan
 
     @property
     def pool(self) -> Optional[ExecutionPool]:
@@ -350,7 +357,7 @@ class CampaignRunner:
                         seeds=cell.seeds,
                         trace_level=None,
                         pool=pool,
-                        batch=self._batch,
+                        plan=self._plan.serial(),
                     )
                 with self._telemetry.span("campaign.commit"):
                     self._commit_cell(cell, reduced)

@@ -67,6 +67,7 @@ from repro.campaigns.runner import CampaignRunner
 from repro.campaigns.spec import CAMPAIGN_WORKLOADS, CampaignSpec, workload_with_adversary
 from repro.campaigns.store import ResultStore
 from repro.engine.observers import TraceLevel
+from repro.engine.plan import ExecutionPlan
 from repro.engine.pool import ExecutionPool
 from repro.engine.runner import run_trials
 from repro.engine.serialization import write_result_json, write_round_log_csv, write_trials_json
@@ -83,6 +84,13 @@ from repro.search.objective import OBJECTIVE_METRICS, SearchObjective
 from repro.search.optimizers import OPTIMIZERS
 from repro.exceptions import ConfigurationError
 from repro.search.runner import StrategySearch, export_search, search_status
+from repro.service import (
+    CampaignService,
+    JobRequest,
+    ServiceClient,
+    ServiceError,
+    connect_from_announce,
+)
 from repro.telemetry import Telemetry
 from repro.telemetry.events import JsonlSink, RunCompleted, RunStarted
 from repro.telemetry.export import write_metrics_json, write_prometheus_text
@@ -116,6 +124,57 @@ def _int_list(text: str) -> tuple[int, ...]:
     return values
 
 
+def observability_options(include_monitor: bool = True) -> argparse.ArgumentParser:
+    """The shared observability option group for executing subcommands.
+
+    One definition covers ``trials``, ``campaign run``, ``search run``,
+    ``serve``, and (telemetry flags only) ``bench run``, so every executing
+    command spells the flags identically and help text cannot drift.
+    Inspection subcommands (status/export/compare) execute nothing, so they
+    take none of these.
+
+    Parameters
+    ----------
+    include_monitor:
+        Also include the live-monitor flags (``--monitor-port``,
+        ``--status-file``, ``--monitor-interval``).  Either monitor flag
+        turns the monitor on; both compose.  ``repro monitor watch``
+        consumes what these produce.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--telemetry", type=str, default=None, metavar="PATH",
+        help="stream structured telemetry events to this JSONL file",
+    )
+    group.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the final metrics snapshot here (JSON, or Prometheus "
+             "text exposition when the path ends in .prom)",
+    )
+    group.add_argument(
+        "--telemetry-rotate-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the --telemetry JSONL once it would exceed this size "
+             "(one .1 predecessor is kept; default: never rotate)",
+    )
+    if include_monitor:
+        group.add_argument(
+            "--monitor-port", type=int, default=None, metavar="PORT",
+            help="serve live /status, /metrics, and /events on this local port "
+                 "while the run executes (0 = pick an ephemeral port)",
+        )
+        group.add_argument(
+            "--status-file", type=str, default=None, metavar="PATH",
+            help="atomically rewrite a JSON status snapshot here on every "
+                 "monitor tick (readable mid-run; marked final on completion)",
+        )
+        group.add_argument(
+            "--monitor-interval", type=float, default=1.0, metavar="SECONDS",
+            help="seconds between monitor snapshots (default: 1.0)",
+        )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,43 +188,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    # Telemetry options shared by every executing subcommand (trials,
-    # campaign run, search run, bench run).  Inspection subcommands
-    # (status/export/compare) execute nothing, so they take neither flag.
-    telemetry_options = argparse.ArgumentParser(add_help=False)
-    telemetry_options.add_argument(
-        "--telemetry", type=str, default=None, metavar="PATH",
-        help="stream structured telemetry events to this JSONL file",
-    )
-    telemetry_options.add_argument(
-        "--metrics-out", type=str, default=None, metavar="PATH",
-        help="write the final metrics snapshot here (JSON, or Prometheus "
-             "text exposition when the path ends in .prom)",
-    )
-    telemetry_options.add_argument(
-        "--telemetry-rotate-bytes", type=int, default=None, metavar="BYTES",
-        help="rotate the --telemetry JSONL once it would exceed this size "
-             "(one .1 predecessor is kept; default: never rotate)",
-    )
-
-    # Live-monitor options for the long-running subcommands (trials,
-    # campaign run, search run).  Either flag turns the monitor on; both
-    # compose.  ``repro monitor watch`` consumes what these produce.
-    monitor_options = argparse.ArgumentParser(add_help=False)
-    monitor_options.add_argument(
-        "--monitor-port", type=int, default=None, metavar="PORT",
-        help="serve live /status, /metrics, and /events on this local port "
-             "while the run executes (0 = pick an ephemeral port)",
-    )
-    monitor_options.add_argument(
-        "--status-file", type=str, default=None, metavar="PATH",
-        help="atomically rewrite a JSON status snapshot here on every "
-             "monitor tick (readable mid-run; marked final on completion)",
-    )
-    monitor_options.add_argument(
-        "--monitor-interval", type=float, default=1.0, metavar="SECONDS",
-        help="seconds between monitor snapshots (default: 1.0)",
-    )
+    observability = observability_options()
+    telemetry_options = observability_options(include_monitor=False)
 
     scenario = argparse.ArgumentParser(add_help=False)
     scenario.add_argument("--protocol", choices=sorted(PROTOCOLS), default="trapdoor")
@@ -198,7 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trials = sub.add_parser(
         "trials",
-        parents=[scenario, telemetry_options, monitor_options],
+        parents=[scenario, observability],
         help="run one configuration across many seeds",
     )
     trials.add_argument("--trials", type=int, default=10, dest="trial_count",
@@ -226,7 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     camp_run = campaign_sub.add_parser(
         "run",
-        parents=[telemetry_options, monitor_options],
+        parents=[observability],
         help="execute the missing cells of a campaign grid into a store",
     )
     camp_run.add_argument("--store", required=True, help="SQLite result store path")
@@ -284,7 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     srch_run = search_sub.add_parser(
         "run",
-        parents=[telemetry_options, monitor_options],
+        parents=[observability],
         help="run (or resume) an adversarial strategy search into a store",
     )
     srch_run.add_argument("--store", required=True, help="SQLite result store path")
@@ -400,6 +424,80 @@ def build_parser() -> argparse.ArgumentParser:
                            help="seconds between polls (default: 2.0)")
     mon_watch.add_argument("--max-polls", type=int, default=None,
                            help="give up after this many polls (default: until final)")
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[observability],
+        help="run the campaign service: accept job submissions from many "
+             "clients, execute them one at a time on a shared pool",
+    )
+    serve.add_argument("--run-dir", required=True,
+                       help="service state root (per-job dirs under <run-dir>/jobs; "
+                            "relative job store paths resolve against it)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="NDJSON protocol port (default 0 = ephemeral; "
+                            "pair with --announce so clients can find it)")
+    serve.add_argument("--http-port", type=int, default=None,
+                       help="also serve the read-only HTTP status facade on this "
+                            "port: /status, /jobs, /jobs/<id>/status in the "
+                            "monitor snapshot schema (0 = ephemeral)")
+    serve.add_argument("--announce", default=None, metavar="PATH",
+                       help="write {host, port, http_port} JSON here once bound "
+                            "(what repro client --connect reads)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes on the service's shared execution "
+                            "pool, reused across every job (1 = serial)")
+    serve.add_argument("--pool-chunk", type=int, default=None,
+                       help="trials per dispatched pool chunk (default: automatic)")
+    serve.add_argument("--max-queued", type=int, default=8,
+                       help="admission bound on waiting jobs; submissions past "
+                            "it are refused immediately (default: 8)")
+
+    client = sub.add_parser("client", help="talk to a running campaign service")
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+    connection = argparse.ArgumentParser(add_help=False)
+    connection.add_argument("--host", default="127.0.0.1")
+    connection.add_argument("--port", type=int, default=None,
+                            help="service NDJSON port")
+    connection.add_argument("--connect", default=None, metavar="PATH",
+                            help="announce file written by repro serve --announce "
+                                 "(alternative to --host/--port)")
+    cl_submit = client_sub.add_parser(
+        "submit", parents=[connection], help="submit a job-request JSON document"
+    )
+    cl_submit.add_argument("--request", required=True, metavar="PATH",
+                           help="job request JSON file ('-' reads stdin); see "
+                                "repro.service.protocol.JobRequest")
+    cl_submit.add_argument("--wait", action="store_true",
+                           help="stream the job to completion; exit 0 only if "
+                                "it completed")
+    cl_status = client_sub.add_parser(
+        "status", parents=[connection],
+        help="a job's status document (monitor schema), or the service's",
+    )
+    cl_status.add_argument("--job", default=None, help="job id (default: the service)")
+    cl_watch = client_sub.add_parser(
+        "watch", parents=[connection],
+        help="stream a job's progress records as NDJSON until it finishes",
+    )
+    cl_watch.add_argument("--job", required=True)
+    cl_cancel = client_sub.add_parser(
+        "cancel", parents=[connection],
+        help="cancel a job (queued: withdrawn now; running: stops at its "
+             "next commit, exactly resumable by resubmitting)",
+    )
+    cl_cancel.add_argument("--job", required=True)
+    client_sub.add_parser("jobs", parents=[connection], help="list every job")
+    cl_store = client_sub.add_parser(
+        "store-status", parents=[connection],
+        help="read-only store query served from the WAL store mid-run",
+    )
+    cl_store.add_argument("--store", required=True,
+                          help="store path (relative resolves against the "
+                               "service run dir)")
+    client_sub.add_parser("shutdown", parents=[connection],
+                          help="stop the service gracefully")
 
     sched = sub.add_parser("schedule", help="print the Trapdoor / Good Samaritan schedule")
     sched.add_argument("--protocol", choices=["trapdoor", "good-samaritan"], default="trapdoor")
@@ -559,6 +657,15 @@ def _finish_telemetry(
         print(f"wrote metrics snapshot to {target}", file=report)
 
 
+def _plan_from_args(args: argparse.Namespace) -> ExecutionPlan:
+    """The execution plan the command-line execution knobs describe."""
+    return ExecutionPlan(
+        workers=args.workers,
+        pool_chunk=args.pool_chunk,
+        batch=getattr(args, "batch", False),
+    )
+
+
 def _command_trials(args: argparse.Namespace) -> int:
     config = _scenario_config(args)
     print(f"batch     : {args.trial_count} trials, {args.workers} worker(s), "
@@ -582,27 +689,28 @@ def _command_trials(args: argparse.Namespace) -> int:
             )
         )
     started = time.perf_counter()
+    plan = _plan_from_args(args)
     try:
-        if args.workers > 1:
+        if plan.parallel:
             # Chunked dispatch on a pool (torn down right after — one-shot CLI
-            # calls have nothing to persist a pool across).
+            # calls have nothing to persist a pool across).  Built explicitly
+            # rather than via plan.pool() so the pool sees the telemetry handle.
             with ExecutionPool(
-                args.workers, chunk_size=args.pool_chunk, telemetry=telemetry
+                plan.workers, chunk_size=plan.pool_chunk, telemetry=telemetry
             ) as pool:
                 summary = run_trials(
                     config,
                     seeds=args.trial_count,
                     trace_level=TraceLevel(args.trace_level),
                     pool=pool,
-                    batch=args.batch,
+                    plan=plan.serial(),
                 )
         else:
             summary = run_trials(
                 config,
                 seeds=args.trial_count,
-                workers=args.workers,
                 trace_level=TraceLevel(args.trace_level),
-                batch=args.batch,
+                plan=plan,
             )
         if telemetry is not None:
             telemetry.emit(
@@ -675,9 +783,7 @@ def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
     with CampaignRunner(
         spec,
         store,
-        workers=args.workers,
-        pool_chunk=args.pool_chunk,
-        batch=args.batch,
+        plan=_plan_from_args(args),
         telemetry=telemetry,
     ) as runner:
         before = runner.status()
@@ -815,9 +921,7 @@ def _search_run(args: argparse.Namespace, store: ResultStore) -> int:
     with StrategySearch(
         spec,
         store,
-        workers=args.workers,
-        pool_chunk=args.pool_chunk,
-        batch=args.batch,
+        plan=_plan_from_args(args),
         telemetry=telemetry,
     ) as search:
         try:
@@ -1038,6 +1142,110 @@ def _command_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    telemetry = _telemetry_from_args(args)
+    service = CampaignService(
+        args.run_dir,
+        host=args.host,
+        port=args.port,
+        plan=_plan_from_args(args),
+        max_queued=args.max_queued,
+        monitor_interval=args.monitor_interval,
+        http_port=args.http_port,
+        telemetry=telemetry,
+        announce_path=args.announce,
+    )
+    service.start()
+    print(f"service   : ndjson protocol on {args.host}:{service.port} "
+          f"(submit with: repro client submit)")
+    if service.http_port is not None:
+        print(f"service   : status facade at http://{args.host}:{service.http_port}/status "
+              "(also /jobs, /jobs/<id>/status)")
+    if args.announce:
+        print(f"service   : announce file {args.announce}")
+    print(f"service   : run dir {args.run_dir}, "
+          f"{'shared pool, ' + str(args.workers) + ' workers' if args.workers > 1 else 'serial execution'}, "
+          f"max {args.max_queued} queued")
+    # The service-level monitor watches the shared pool's worker metrics
+    # across jobs (per-job monitors live under <run-dir>/jobs/<id>/).
+    monitor = _monitor_from_args(
+        args,
+        telemetry,
+        unit="trials",
+        total=None,
+        done_metrics=("worker.trials_executed",),
+    )
+    try:
+        service.wait()
+    except KeyboardInterrupt:
+        print("\nstopping  : draining; a running job halts at its next commit "
+              "(resume by resubmitting the identical request)")
+    finally:
+        if monitor is not None:
+            monitor.stop()
+        service.stop()
+        _finish_telemetry(telemetry, args)
+    return 0
+
+
+def _client_connection(args: argparse.Namespace) -> ServiceClient:
+    if args.connect is not None:
+        return connect_from_announce(args.connect)
+    if args.port is None:
+        raise ConfigurationError("repro client needs --port (or --connect ANNOUNCE_FILE)")
+    return ServiceClient(args.host, args.port)
+
+
+def _command_client(args: argparse.Namespace) -> int:
+    try:
+        with _client_connection(args) as client:
+            return _client_dispatch(args, client)
+    except (ServiceError, ConfigurationError, ConnectionRefusedError) as error:
+        print(f"error     : {error}", file=sys.stderr)
+        return 1
+
+
+def _client_dispatch(args: argparse.Namespace, client: ServiceClient) -> int:
+    command = args.client_command
+    if command == "submit":
+        text = sys.stdin.read() if args.request == "-" else Path(args.request).read_text()
+        request = JobRequest.from_json(text)
+        if args.wait:
+            response = client.request({"op": "submit", "request": request.to_dict()})
+            print(json.dumps({k: v for k, v in response.items() if k != "ok"}))
+            final = None
+            for record in client.watch(response["job"]):
+                print(json.dumps(record))
+                final = record
+            return 0 if final is not None and final.get("state") == "completed" else 1
+        response = client.submit(request)
+        print(json.dumps({k: v for k, v in response.items() if k != "ok"}))
+        return 0
+    if command == "status":
+        print(json.dumps(client.status(args.job), indent=2))
+        return 0
+    if command == "watch":
+        final = None
+        for record in client.watch(args.job):
+            print(json.dumps(record))
+            final = record
+        return 0 if final is not None and final.get("state") in (None, "completed") else 1
+    if command == "cancel":
+        response = client.cancel(args.job)
+        print(json.dumps({k: v for k, v in response.items() if k != "ok"}))
+        return 0
+    if command == "jobs":
+        print(json.dumps(client.jobs(), indent=2))
+        return 0
+    if command == "store-status":
+        response = client.store_status(args.store)
+        print(json.dumps({k: v for k, v in response.items() if k != "ok"}, indent=2))
+        return 0
+    response = client.shutdown()
+    print(json.dumps({k: v for k, v in response.items() if k != "ok"}))
+    return 0
+
+
 def _command_experiments(_args: argparse.Namespace) -> int:
     rows = [
         {
@@ -1104,6 +1312,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "search": _command_search,
         "bench": _command_bench,
         "monitor": _command_monitor,
+        "serve": _command_serve,
+        "client": _command_client,
         "schedule": _command_schedule,
         "experiments": _command_experiments,
         "bounds": _command_bounds,

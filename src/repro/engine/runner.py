@@ -17,6 +17,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.engine.observers import TraceLevel
 from repro.engine.parallel import run_configs
+from repro.engine.plan import ExecutionPlan, resolve_plan
 from repro.engine.pool import ExecutionPool, ReducedTrial, simulate_one
 from repro.engine.results import SimulationResult
 from repro.engine.simulator import SimulationConfig
@@ -174,6 +175,8 @@ def run_trials(
     trace_level: Optional[TraceLevel] = None,
     pool: Optional[ExecutionPool] = None,
     batch: bool = False,
+    *,
+    plan: Optional[ExecutionPlan] = None,
 ) -> TrialSummary:
     """Run the same configuration across many seeds.
 
@@ -188,12 +191,9 @@ def run_trials(
         Optional hook to customize the configuration per seed (used by
         experiments that need, e.g., a freshly pre-drawn oblivious adversary
         per trial).  The hook runs in the parent process, so it does not need
-        to be picklable even with ``workers > 1``.
+        to be picklable even under a parallel plan.
     workers:
-        If greater than 1, run the trials on a *one-shot* process pool of
-        this size (created and torn down inside this call).  Every execution
-        derives all randomness from its own seed and results are returned in
-        seed order, so a parallel batch is identical to a serial one.
+        Deprecated — pass ``plan=ExecutionPlan(workers=...)``.
     trace_level:
         Optional override of the configuration's
         :class:`~repro.engine.observers.TraceLevel` for the whole batch
@@ -202,29 +202,48 @@ def run_trials(
         Optional persistent :class:`~repro.engine.pool.ExecutionPool`.  The
         batch is dispatched in chunks onto the pool's long-lived workers
         (shipping the shared template once per chunk), which callers with
-        many batches — campaigns, search — reuse across calls.  Neither
-        ``pool`` nor ``workers`` ever changes results.
+        many batches — campaigns, search — reuse across calls.  A live pool
+        is not serializable, so it stays a separate argument from the plan
+        and wins dispatch when both are given.  Neither ``pool`` nor the
+        plan ever changes results.
     batch:
-        Run same-template seed batches through the vectorized lockstep kernel
-        (:mod:`repro.engine.batch`) where the configuration is batchable, with
-        transparent scalar fallback otherwise.  Never changes results; ignored
-        when ``config_for_seed`` makes the batch heterogeneous.
+        Deprecated — pass ``plan=ExecutionPlan(batch=True)``.
+    plan:
+        The :class:`~repro.engine.plan.ExecutionPlan` for the batch: worker
+        count (``1`` = serial, ``>1`` = a one-shot process pool created and
+        torn down inside this call), optional pool chunk size, and whether
+        same-template batches route through the vectorized lockstep kernel
+        (:mod:`repro.engine.batch`, transparent scalar fallback; ignored when
+        ``config_for_seed`` makes the batch heterogeneous).  Every execution
+        derives all randomness from its own seed and results come back in
+        seed order, so no plan ever changes results.
     """
+    resolved = resolve_plan(plan, api="run_trials", workers=workers, batch=batch)
     seed_list = _normalize_seeds(seeds)
     if pool is not None and config_for_seed is None:
         # Template-and-delta: the configs differ only by seed, so ship the
         # template once per chunk instead of len(seeds) full configs.
-        results = pool.run_seeds(_template_for(config, trace_level), seed_list, batch=batch)
+        results = pool.run_seeds(
+            _template_for(config, trace_level), seed_list, batch=resolved.batch
+        )
         return TrialSummary(results=tuple(results), seeds=seed_list)
-    if batch and config_for_seed is None:
+    if resolved.batch and config_for_seed is None:
         template = _template_for(config, trace_level)
-        if workers is not None and workers > 1:
-            with ExecutionPool(workers) as one_shot:
+        if resolved.parallel:
+            with ExecutionPool(resolved.workers, chunk_size=resolved.pool_chunk) as one_shot:
                 results = one_shot.run_seeds(template, seed_list, batch=True)
             return TrialSummary(results=tuple(results), seeds=seed_list)
         from repro.engine.batch import run_batch
 
         return TrialSummary(results=tuple(run_batch(template, seed_list)), seeds=seed_list)
+    if pool is None and config_for_seed is None and resolved.parallel and resolved.pool_chunk:
+        # An explicitly chunked parallel plan: honor the chunk size via a
+        # one-shot pool (run_configs has no chunking knob).  Same results
+        # either way — chunking only shapes dispatch.
+        template = _template_for(config, trace_level)
+        with ExecutionPool(resolved.workers, chunk_size=resolved.pool_chunk) as one_shot:
+            results = one_shot.run_seeds(template, seed_list)
+        return TrialSummary(results=tuple(results), seeds=seed_list)
 
     configs = []
     for seed in seed_list:
@@ -235,7 +254,7 @@ def run_trials(
             trial_config = config_for_seed(trial_config, seed)
         configs.append(trial_config)
 
-    results = run_configs(configs, workers=workers or 1, pool=pool)
+    results = run_configs(configs, workers=resolved.workers, pool=pool)
     return TrialSummary(results=tuple(results), seeds=seed_list)
 
 
@@ -245,6 +264,8 @@ def run_reduced_trials(
     trace_level: Optional[TraceLevel] = TraceLevel.NONE,
     pool: Optional[ExecutionPool] = None,
     batch: bool = False,
+    *,
+    plan: Optional[ExecutionPlan] = None,
 ) -> tuple[ReducedTrial, ...]:
     """Run a multi-seed batch, keeping only the persisted summary scalars.
 
@@ -261,14 +282,23 @@ def run_reduced_trials(
 
     ``trace_level`` defaults to :attr:`TraceLevel.NONE` (summary consumers
     never read traces); pass ``None`` to keep the config's own level.
-    ``batch=True`` routes batchable templates through the vectorized lockstep
-    kernel (scalar fallback otherwise) — identical rows either way.
+    Execution routing comes from ``plan`` — a parallel plan without a live
+    ``pool`` runs on a one-shot pool; ``plan.batch`` routes batchable
+    templates through the vectorized lockstep kernel (scalar fallback
+    otherwise) — identical rows on every path.  ``batch=`` is the deprecated
+    spelling of ``plan=ExecutionPlan(batch=True)``.
     """
+    resolved = resolve_plan(plan, api="run_reduced_trials", batch=batch)
     seed_list = _normalize_seeds(seeds)
     template = _template_for(config, trace_level)
     if pool is not None:
-        return tuple(pool.run_seeds(template, seed_list, reduce=True, batch=batch))
-    if batch:
+        return tuple(pool.run_seeds(template, seed_list, reduce=True, batch=resolved.batch))
+    if resolved.parallel:
+        with ExecutionPool(resolved.workers, chunk_size=resolved.pool_chunk) as one_shot:
+            return tuple(
+                one_shot.run_seeds(template, seed_list, reduce=True, batch=resolved.batch)
+            )
+    if resolved.batch:
         from repro.engine.batch import run_reduced_batch
 
         return tuple(run_reduced_batch(template, seed_list))

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 from repro.adversary.activation import ActivationSchedule
 from repro.adversary.base import InterferenceAdversary
 from repro.engine.observers import TraceLevel
+from repro.engine.plan import ExecutionPlan, resolve_plan
 from repro.engine.runner import TrialSummary, run_trials
 from repro.engine.simulator import SimulationConfig
 from repro.exceptions import ExperimentError
@@ -113,9 +114,7 @@ class ExperimentHarness:
         :func:`repro.engine.runner.run_trials` (used e.g. to pre-draw a fresh
         oblivious jammer per seed).
     workers:
-        If greater than 1, run each point's trials on a *one-shot* process
-        pool of this size (forwarded to :func:`repro.engine.runner.run_trials`;
-        results are identical to a serial run, just faster).
+        Deprecated — pass ``plan=ExecutionPlan(workers=...)``.
     trace_level:
         Optional :class:`~repro.engine.observers.TraceLevel` applied to every
         trial.  Sweeps that only consume summary statistics should pass
@@ -123,8 +122,13 @@ class ExperimentHarness:
     pool:
         Optional persistent :class:`~repro.engine.pool.ExecutionPool` shared
         across every point of every sweep this harness runs (and with any
-        other subsystem holding the same pool).  Overrides ``workers`` for
-        dispatch; never changes results.
+        other subsystem holding the same pool).  Overrides the plan's worker
+        count for dispatch; never changes results.
+    plan:
+        The :class:`~repro.engine.plan.ExecutionPlan` applied to every
+        point's trial batch (forwarded to
+        :func:`repro.engine.runner.run_trials`; results are identical to a
+        serial run under every plan).
     """
 
     def __init__(
@@ -134,10 +138,12 @@ class ExperimentHarness:
         workers: int | None = None,
         trace_level: TraceLevel | None = None,
         pool: "ExecutionPool | None" = None,
+        *,
+        plan: ExecutionPlan | None = None,
     ) -> None:
         self._seeds = seeds
         self._config_hook = config_hook
-        self._workers = workers
+        self._plan = resolve_plan(plan, api="ExperimentHarness", workers=workers)
         self._trace_level = trace_level
         self._pool = pool
 
@@ -154,9 +160,9 @@ class ExperimentHarness:
             config,
             seeds=self._seeds,
             config_for_seed=self._config_hook,
-            workers=self._workers,
             trace_level=self._trace_level,
             pool=self._pool,
+            plan=self._plan,
         )
         return SweepResult(point=point, summary=summary)
 

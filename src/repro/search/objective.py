@@ -24,6 +24,7 @@ from typing import Any, Mapping, Sequence
 from repro.campaigns.spec import resolve_workload
 from repro.campaigns.store import TrialRecord
 from repro.engine.observers import TraceLevel
+from repro.engine.plan import ExecutionPlan
 from repro.engine.pool import ExecutionPool
 from repro.engine.runner import interpolated_percentile, run_reduced_trials, run_trials
 from repro.engine.simulator import SimulationConfig
@@ -202,34 +203,41 @@ class SearchObjective:
         workers: int | None = None,
         pool: ExecutionPool | None = None,
         batch: bool = False,
+        *,
+        plan: ExecutionPlan | None = None,
     ) -> Evaluation:
         """Run a genome across every seed and score the outcome.
 
-        Neither ``workers`` (a one-shot process pool per call) nor ``pool``
-        (a persistent :class:`~repro.engine.pool.ExecutionPool` the caller
-        reuses across candidates — what :class:`~repro.search.runner.StrategySearch`
-        holds for a whole search) nor ``batch`` (the vectorized lockstep
-        kernel, scalar fallback where the candidate is not batchable) ever
-        changes results, so none of them is part of any candidate identity.
-        On the pooled path workers reduce each trial to the persisted scalars
-        in-process, so a search over thousands of candidates ships back only
+        Neither ``plan`` (how the seed batch executes — worker count, pool
+        chunking, the vectorized lockstep kernel with scalar fallback) nor
+        ``pool`` (a persistent :class:`~repro.engine.pool.ExecutionPool` the
+        caller reuses across candidates — what
+        :class:`~repro.search.runner.StrategySearch` holds for a whole
+        search) ever changes results, so neither is part of any candidate
+        identity.  ``workers``/``batch`` are the pre-plan spellings, kept as
+        convenience aliases here (the deprecation lives on the public entry
+        points one layer up).  On the pooled path workers reduce each trial
+        to the persisted scalars in-process, so a search over thousands of
+        candidates ships back only
         :class:`~repro.campaigns.store.TrialRecord`-shaped rows.
         """
-        if pool is not None or batch:
+        if plan is None:
+            plan = ExecutionPlan(workers=workers if workers is not None else 1, batch=batch)
+        if pool is not None or plan.batch:
             reduced = run_reduced_trials(
                 self.config_for(genome),
                 seeds=self.seeds,
                 trace_level=TraceLevel.NONE,
                 pool=pool,
-                batch=batch,
+                plan=plan,
             )
             records = tuple(TrialRecord.from_reduced(trial) for trial in reduced)
             return Evaluation(genome=genome, records=records, score=self.score_records(records))
         summary = run_trials(
             self.config_for(genome),
             seeds=self.seeds,
-            workers=workers,
             trace_level=TraceLevel.NONE,
+            plan=plan,
         )
         records = tuple(
             TrialRecord.from_result(seed, result)

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional
 
 from repro.campaigns.store import ResultStore
+from repro.engine.plan import ExecutionPlan, resolve_plan
 from repro.engine.pool import ExecutionPool
 from repro.exceptions import ExperimentError
 from repro.search.checkpoint import SearchCheckpoint, SearchSpec
@@ -92,22 +93,24 @@ class StrategySearch:
     store:
         The persistent result store evaluations checkpoint into.
     workers:
-        Worker processes per candidate's seed batch.  With ``workers > 1``
-        the search holds one persistent
-        :class:`~repro.engine.pool.ExecutionPool` across *all* candidates and
-        generations (started lazily at the first live evaluation), instead of
-        paying pool spin-up per candidate.  Never changes results.
+        Deprecated — pass ``plan=ExecutionPlan(workers=...)``.
     pool:
         Optional externally owned pool to share with other subsystems;
-        overrides ``workers``.  The search never shuts down a pool it was
-        handed.
+        overrides the plan's worker count for dispatch.  The search never
+        shuts down a pool it was handed.
     pool_chunk:
-        Chunk size for the search's own pool (ignored with ``pool=``;
-        ``None`` = automatic).
+        Deprecated — pass ``plan=ExecutionPlan(pool_chunk=...)``.
     batch:
-        Evaluate candidates on the vectorized lockstep kernel
-        (:mod:`repro.engine.batch`) where their configurations are batchable
-        (scalar fallback otherwise).  Never changes scores or stored records.
+        Deprecated — pass ``plan=ExecutionPlan(batch=True)``.
+    plan:
+        The :class:`~repro.engine.plan.ExecutionPlan` for every candidate's
+        seed batch.  A parallel plan makes the search hold one persistent
+        :class:`~repro.engine.pool.ExecutionPool` across *all* candidates
+        and generations (instead of paying pool spin-up per candidate) with
+        the plan's chunk size; ``plan.batch`` evaluates candidates on the
+        vectorized lockstep kernel where their configurations are batchable
+        (scalar fallback otherwise).  No plan ever changes scores or stored
+        records.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` handle.  The search
         emits lifecycle events (search/generation start and completion),
@@ -128,18 +131,18 @@ class StrategySearch:
         pool_chunk: Optional[int] = None,
         batch: bool = False,
         telemetry: Optional[Telemetry] = None,
+        *,
+        plan: Optional[ExecutionPlan] = None,
     ) -> None:
         self._spec = spec
         self._checkpoint = SearchCheckpoint(store, spec)
-        self._workers = workers
-        self._batch = batch
-        self._owns_pool = pool is None and workers is not None and workers > 1
-        self._telemetry = as_telemetry(telemetry)
-        self._pool = (
-            ExecutionPool(workers, chunk_size=pool_chunk, telemetry=self._telemetry)
-            if self._owns_pool
-            else pool
+        self._plan = resolve_plan(
+            plan, api="StrategySearch", workers=workers, pool_chunk=pool_chunk, batch=batch
         )
+        self._batch = self._plan.batch
+        self._owns_pool = pool is None and self._plan.parallel
+        self._telemetry = as_telemetry(telemetry)
+        self._pool = self._plan.pool(telemetry=self._telemetry) if self._owns_pool else pool
         self._metric_executed = self._telemetry.counter(
             "search.evaluations_executed", help="candidates evaluated live"
         )
@@ -160,6 +163,11 @@ class StrategySearch:
     def spec(self) -> SearchSpec:
         """The spec this search completes."""
         return self._spec
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The resolved execution plan this search follows."""
+        return self._plan
 
     @property
     def pool(self) -> Optional["ExecutionPool"]:
@@ -243,7 +251,7 @@ class StrategySearch:
                         "search.evaluate", generation=generation, index=index
                     ):
                         evaluation = objective.evaluate(
-                            genome, workers=self._workers, pool=self._pool, batch=self._batch
+                            genome, pool=self._pool, plan=self._plan.serial()
                         )
                     records = evaluation.records
                     self._checkpoint.record(genome, generation, key, records)

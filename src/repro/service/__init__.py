@@ -1,0 +1,34 @@
+"""The campaign service: async job submission over the shared execution stack.
+
+One public surface, three layers:
+
+- :mod:`repro.service.protocol` — the schema-versioned wire format
+  (:class:`JobRequest`, ``repro.service.job/v1``);
+- :mod:`repro.service.server` — :class:`CampaignService`, the asyncio NDJSON
+  front end, priority queue with admission control, single-executor byte-
+  identical job execution, and the RunMonitor-compatible HTTP status facade;
+- :mod:`repro.service.client` — :class:`ServiceClient`, the blocking client
+  the ``repro client`` CLI and tests drive.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, connect_from_announce, read_announce
+from repro.service.jobs import AdmissionError, Job, JobCancelled, JobQueue, JobState
+from repro.service.protocol import JOB_KINDS, JOB_SCHEMA, JobRequest
+from repro.service.server import SERVICE_SCHEMA, CampaignService
+
+__all__ = [
+    "AdmissionError",
+    "CampaignService",
+    "Job",
+    "JobCancelled",
+    "JobQueue",
+    "JobRequest",
+    "JobState",
+    "JOB_KINDS",
+    "JOB_SCHEMA",
+    "SERVICE_SCHEMA",
+    "ServiceClient",
+    "ServiceError",
+    "connect_from_announce",
+    "read_announce",
+]

@@ -172,6 +172,32 @@ def test_in_worker_reduction_matches_golden_executions():
             assert reduced == ReducedTrial.from_result(SEED, simulate(config_for(key)))
 
 
+def test_plan_execution_matches_goldens(goldens):
+    """``run_trials(plan=...)`` reproduces the goldens under every plan shape.
+
+    The serial plan, a parallel plan, and a parallel chunked plan must all
+    yield bit-identical executions — the execution plan is pure dispatch
+    configuration, never an input to the simulation.  Covers a matrix slice
+    (one activation pattern) to stay fast.
+    """
+    from repro.engine.plan import ExecutionPlan
+    from repro.engine.runner import run_trials
+
+    keys = [key for key in matrix_keys() if key.endswith("|trickle")]
+    plans = [
+        ExecutionPlan(),
+        ExecutionPlan(workers=2),
+        ExecutionPlan(workers=2, pool_chunk=1),
+    ]
+    for plan in plans:
+        for key in keys:
+            summary = run_trials(config_for(key), seeds=[SEED], plan=plan)
+            assert execution_digest(summary.results[0]) == goldens[key], (
+                f"digest changed for {key} under plan {plan.describe()}: the "
+                "plan-routed path no longer reproduces the in-process engine"
+            )
+
+
 def test_trace_free_run_matches_full_trace_run():
     """Report and metrics are independent of the trace level (one spot check)."""
     key = "trapdoor|random|staggered"

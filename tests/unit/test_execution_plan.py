@@ -1,0 +1,281 @@
+"""The unified execution surface: ExecutionPlan and the legacy-kwarg shims.
+
+Pins the three contracts of the API redesign:
+
+- :class:`~repro.engine.plan.ExecutionPlan` is a frozen, validated,
+  JSON-round-trippable value — the one serializable spelling of "how should
+  this execute" shared by the Python API, the CLI, and the service wire
+  schema.
+- Every public entry point (:func:`run_trials`, :func:`run_reduced_trials`,
+  :class:`CampaignRunner`, :class:`StrategySearch`,
+  :class:`ExperimentHarness`) accepts ``plan=``; the legacy execution kwargs
+  still work but each emits a :class:`DeprecationWarning` naming the plan
+  replacement, and mixing both spellings is rejected outright.
+- Results are identical whichever spelling dispatches them.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.adversary.activation import SimultaneousActivation
+from repro.adversary.jammers import NoInterference
+from repro.campaigns.runner import CampaignRunner
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.engine.plan import PLAN_SCHEMA, ExecutionPlan, resolve_plan
+from repro.engine.runner import run_reduced_trials, run_trials
+from repro.engine.simulator import SimulationConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments.harness import ExperimentHarness
+from repro.params import ModelParameters
+from repro.protocols.registry import protocol_factory
+from repro.search.checkpoint import SearchSpec
+from repro.search.objective import SearchObjective
+from repro.search.runner import StrategySearch
+
+PARAMS = ModelParameters(frequencies=4, disruption_budget=1, participant_bound=8)
+
+
+def small_config() -> SimulationConfig:
+    return SimulationConfig(
+        params=PARAMS,
+        protocol_factory=protocol_factory("trapdoor"),
+        activation=SimultaneousActivation(count=2),
+        adversary=NoInterference(),
+        max_rounds=2_000,
+    )
+
+
+class TestExecutionPlanValue:
+    def test_json_round_trip_is_identity(self):
+        plan = ExecutionPlan(
+            workers=4,
+            pool_chunk=2,
+            batch=True,
+            telemetry_events="events.jsonl",
+            telemetry_rotate_bytes=1_000_000,
+            metrics_out="metrics.json",
+        )
+        assert ExecutionPlan.from_json(plan.to_json()) == plan
+        assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+
+    def test_default_plan_is_serial(self):
+        plan = ExecutionPlan()
+        assert not plan.parallel
+        assert plan.workers == 1
+        assert plan.pool() is None
+
+    def test_dict_form_is_schema_tagged(self):
+        assert ExecutionPlan().to_dict()["schema"] == PLAN_SCHEMA
+
+    def test_serial_keeps_batch_drops_dispatch(self):
+        plan = ExecutionPlan(workers=8, pool_chunk=4, batch=True)
+        serial = plan.serial()
+        assert serial.workers == 1
+        assert serial.pool_chunk is None
+        assert serial.batch is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"workers": -1},
+            {"pool_chunk": 0},
+            {"telemetry_rotate_bytes": 0},
+        ],
+    )
+    def test_invalid_fields_are_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan(**kwargs)
+
+    def test_from_dict_rejects_unknown_schema(self):
+        data = ExecutionPlan().to_dict()
+        data["schema"] = "repro.execution-plan/v999"
+        with pytest.raises(ConfigurationError, match="schema"):
+            ExecutionPlan.from_dict(data)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = ExecutionPlan().to_dict()
+        data["wrokers"] = 4
+        with pytest.raises(ConfigurationError, match="wrokers"):
+            ExecutionPlan.from_dict(data)
+
+    def test_from_json_rejects_malformed_text(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPlan.from_json("{not json")
+
+
+class TestResolvePlanShim:
+    def test_no_arguments_resolves_to_default(self):
+        assert resolve_plan(None, api="x") == ExecutionPlan()
+
+    def test_plan_passes_through_unchanged(self):
+        plan = ExecutionPlan(workers=3)
+        assert resolve_plan(plan, api="x") is plan
+
+    def test_mixing_plan_and_legacy_kwargs_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="both plan="):
+            resolve_plan(ExecutionPlan(), api="x", workers=2)
+
+    def test_each_legacy_kwarg_warns_with_the_plan_replacement(self):
+        for kwarg, kwargs in [
+            ("workers", {"workers": 2}),
+            ("pool_chunk", {"pool_chunk": 3}),
+            ("batch", {"batch": True}),
+        ]:
+            with pytest.warns(DeprecationWarning, match=rf"plan=ExecutionPlan\({kwarg}="):
+                resolved = resolve_plan(None, api="x", **kwargs)
+            assert getattr(resolved, kwarg) == kwargs[kwarg]
+
+
+class TestPublicEntryPointDeprecations:
+    """Every public execution API warns on legacy kwargs and honours plan=."""
+
+    def test_run_trials_workers_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"run_trials\(workers=.*plan="):
+            run_trials(small_config(), seeds=1, workers=2)
+
+    def test_run_trials_batch_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"run_trials\(batch=.*plan="):
+            run_trials(small_config(), seeds=1, batch=True)
+
+    def test_run_reduced_trials_batch_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"run_reduced_trials\(batch="):
+            run_reduced_trials(small_config(), seeds=1, batch=True)
+
+    def test_experiment_harness_workers_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"ExperimentHarness\(workers="):
+            ExperimentHarness(seeds=1, workers=2)
+
+    def test_campaign_runner_legacy_kwargs_warn(self, tmp_path):
+        spec = _campaign_spec("deprecated-campaign")
+        with ResultStore(str(tmp_path / "store.sqlite")) as store:
+            for kwarg, kwargs in [
+                ("workers", {"workers": 2}),
+                ("pool_chunk", {"pool_chunk": 2}),
+                ("batch", {"batch": True}),
+            ]:
+                with pytest.warns(DeprecationWarning, match=rf"CampaignRunner\({kwarg}="):
+                    with CampaignRunner(spec, store, **kwargs):
+                        pass
+
+    def test_strategy_search_legacy_kwargs_warn(self, tmp_path):
+        spec = _search_spec("deprecated-search")
+        with ResultStore(str(tmp_path / "store.sqlite")) as store:
+            for kwarg, kwargs in [
+                ("workers", {"workers": 2}),
+                ("pool_chunk", {"pool_chunk": 2}),
+                ("batch", {"batch": True}),
+            ]:
+                with pytest.warns(DeprecationWarning, match=rf"StrategySearch\({kwarg}="):
+                    with StrategySearch(spec, store, **kwargs):
+                        pass
+
+    def test_plan_spelling_is_warning_free(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_trials(small_config(), seeds=1, plan=ExecutionPlan())
+            ExperimentHarness(seeds=1, plan=ExecutionPlan())
+            with ResultStore(str(tmp_path / "store.sqlite")) as store:
+                with CampaignRunner(
+                    _campaign_spec("plan-campaign"), store, plan=ExecutionPlan()
+                ):
+                    pass
+                with StrategySearch(
+                    _search_spec("plan-search"), store, plan=ExecutionPlan()
+                ):
+                    pass
+
+
+class TestSpellingEquivalence:
+    """Legacy kwargs and plan= dispatch to identical results."""
+
+    def test_run_trials_plan_equals_legacy_equals_serial(self):
+        serial = run_trials(small_config(), seeds=3)
+        via_plan = run_trials(small_config(), seeds=3, plan=ExecutionPlan(workers=2))
+        with pytest.warns(DeprecationWarning):
+            via_legacy = run_trials(small_config(), seeds=3, workers=2)
+        assert via_plan.latencies() == serial.latencies()
+        assert via_legacy.latencies() == serial.latencies()
+        for a, b in zip(via_plan.results, serial.results):
+            assert a.metrics == b.metrics
+
+    def test_run_trials_chunked_plan_matches_serial(self):
+        serial = run_trials(small_config(), seeds=4)
+        chunked = run_trials(
+            small_config(), seeds=4, plan=ExecutionPlan(workers=2, pool_chunk=2)
+        )
+        assert chunked.latencies() == serial.latencies()
+
+    def test_run_reduced_trials_parallel_plan_matches_serial(self):
+        serial = run_reduced_trials(small_config(), seeds=3)
+        parallel = run_reduced_trials(
+            small_config(), seeds=3, plan=ExecutionPlan(workers=2, pool_chunk=1)
+        )
+        assert parallel == serial
+
+    def test_campaign_runner_plan_matches_legacy_stores(self, tmp_path):
+        spec = _campaign_spec("equivalence")
+        with ResultStore(str(tmp_path / "via_plan.sqlite")) as store:
+            with CampaignRunner(spec, store, plan=ExecutionPlan(workers=2)) as runner:
+                runner.run()
+            plan_cells = list(store.iter_cells("equivalence"))
+        with ResultStore(str(tmp_path / "via_legacy.sqlite")) as store:
+            with pytest.warns(DeprecationWarning):
+                runner = CampaignRunner(spec, store, workers=2)
+            with runner:
+                runner.run()
+            legacy_cells = list(store.iter_cells("equivalence"))
+        assert plan_cells == legacy_cells
+
+
+def _campaign_spec(name: str) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        protocols=("trapdoor",),
+        workloads=("quiet_start",),
+        frequencies=(4,),
+        budgets=(1,),
+        participants=(16,),
+        node_counts=(3,),
+        seeds=(0, 1),
+        max_rounds=2_000,
+    )
+
+
+def _search_spec(name: str) -> SearchSpec:
+    objective = SearchObjective(
+        protocol="trapdoor",
+        workload="quiet_start",
+        frequencies=4,
+        budget=1,
+        participants=16,
+        node_count=3,
+        seeds=(0, 1),
+        max_rounds=2_000,
+    )
+    return SearchSpec(
+        name=name,
+        objective=objective,
+        optimizer="hill-climb",
+        population=2,
+        generations=1,
+        master_seed=0,
+    )
+
+
+class TestPlanOnTheWire:
+    """The plan travels inside service job requests byte-for-byte."""
+
+    def test_job_request_embeds_the_plan_json(self):
+        from repro.service import JobRequest
+
+        plan = ExecutionPlan(workers=2, pool_chunk=2, batch=True)
+        request = JobRequest.for_campaign(_campaign_spec("wire"), store="s.sqlite", plan=plan)
+        wire = json.loads(request.to_json())
+        assert wire["plan"] == plan.to_dict()
+        assert JobRequest.from_json(request.to_json()).plan == plan

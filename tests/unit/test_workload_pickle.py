@@ -28,6 +28,7 @@ from repro.adversary.activation import (
 from repro.adversary.jammers import NoInterference, RandomJammer
 from repro.adversary.oblivious import ObliviousSchedule
 from repro.cli import JAMMERS
+from repro.engine.plan import ExecutionPlan
 from repro.engine.runner import run_trials
 from repro.engine.simulator import SimulationConfig
 from repro.experiments.workloads import SIMPLE_WORKLOADS, synchronized_start_low_jam
@@ -99,7 +100,7 @@ class TestWorkloadsRunOnWorkers:
             # The unpicklable-config fallback emits a RuntimeWarning; a truly
             # picklable workload must cross the process boundary silently.
             warnings.simplefilter("error")
-            parallel = run_trials(config, seeds=2, workers=2)
+            parallel = run_trials(config, seeds=2, plan=ExecutionPlan(workers=2))
         assert parallel.latencies() == serial.latencies()
         assert parallel.liveness_rate == serial.liveness_rate
         for serial_result, parallel_result in zip(serial.results, parallel.results):
@@ -125,7 +126,7 @@ class TestCrashableFactoryRegression:
         serial = run_trials(config, seeds=2)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            parallel = run_trials(config, seeds=2, workers=2)
+            parallel = run_trials(config, seeds=2, plan=ExecutionPlan(workers=2))
         assert parallel.latencies() == serial.latencies()
 
     def test_pre_drawn_oblivious_jammer_runs_on_workers(self):
@@ -142,5 +143,5 @@ class TestCrashableFactoryRegression:
         serial = run_trials(config, seeds=2)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            parallel = run_trials(config, seeds=2, workers=2)
+            parallel = run_trials(config, seeds=2, plan=ExecutionPlan(workers=2))
         assert parallel.latencies() == serial.latencies()
