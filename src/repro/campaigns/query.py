@@ -126,14 +126,42 @@ class StoredSummary:
         """An interpolated empirical latency percentile (``fraction`` in ``[0, 1]``)."""
         return interpolated_percentile(self.sorted_latencies, fraction, assume_sorted=True)
 
+    def stabilization_rounds(self) -> list[int]:
+        """Per-trial worst rounds-to-reconverge (fault-injected trials only).
+
+        Mirrors :meth:`TrialSummary.stabilization_rounds`; empty for
+        fault-free cells, whose stored column is NULL.
+        """
+        return [
+            r.stabilization_rounds
+            for r in self.records
+            if r.stabilization_rounds is not None
+        ]
+
+    @property
+    def max_stabilization_rounds(self) -> int | None:
+        """Worst rounds-to-reconverge across the cell (``None`` fault-free)."""
+        rounds = self.stabilization_rounds()
+        return max(rounds) if rounds else None
+
+    @property
+    def mean_stabilization_rounds(self) -> float | None:
+        """Mean per-trial worst rounds-to-reconverge (``None`` fault-free)."""
+        rounds = self.stabilization_rounds()
+        return statistics.fmean(rounds) if rounds else None
+
     def describe(self) -> str:
         """One-line summary matching :meth:`TrialSummary.describe`."""
         mean = f"{self.mean_latency:.1f}" if self.mean_latency is not None else "-"
         worst = self.max_latency if self.max_latency is not None else "-"
-        return (
+        line = (
             f"{self.trials} trials: liveness {self.liveness_rate:.0%}, "
             f"agreement {self.agreement_rate:.0%}, mean latency {mean}, worst {worst}"
         )
+        stabilization = self.max_stabilization_rounds
+        if stabilization is not None:
+            line += f", stabilization {stabilization}"
+        return line
 
 
 def summary_for_cell(store: ResultStore, key: str) -> StoredSummary:
@@ -145,7 +173,7 @@ def summary_for_cell(store: ResultStore, key: str) -> StoredSummary:
 
 
 def _statistics_row(summary: StoredSummary) -> dict[str, Any]:
-    return {
+    row = {
         "trials": summary.trials,
         "liveness": summary.liveness_rate,
         "agreement": summary.agreement_rate,
@@ -156,6 +184,12 @@ def _statistics_row(summary: StoredSummary) -> dict[str, Any]:
         "max_latency": summary.max_latency,
         "mean_rounds": summary.mean_rounds,
     }
+    # Stabilization columns appear only when the group holds fault-injected
+    # trials, keeping fault-free tables and exports unchanged.
+    if summary.max_stabilization_rounds is not None:
+        row["max_stabilization_rounds"] = summary.max_stabilization_rounds
+        row["mean_stabilization_rounds"] = summary.mean_stabilization_rounds
+    return row
 
 
 def cell_rows(store: ResultStore, campaign: Optional[str] = None) -> list[dict[str, Any]]:

@@ -41,7 +41,12 @@ from repro.engine.pool import (
 )
 from repro.engine.runner import run_reduced_trials
 from repro.telemetry import Telemetry, as_telemetry
-from repro.telemetry.events import CampaignCompleted, CampaignStarted, CellCommitted
+from repro.telemetry.events import (
+    CampaignCompleted,
+    CampaignStarted,
+    CellCommitted,
+    FaultInjected,
+)
 
 logger = logging.getLogger("repro.campaigns.runner")
 
@@ -321,6 +326,14 @@ class CampaignRunner:
     def _commit_cell(self, cell: CampaignCell, reduced: Sequence[ReducedTrial]) -> None:
         records = [TrialRecord.from_reduced(trial) for trial in reduced]
         self._store.record_cell(self._spec.name, cell.key, cell.describe_dict(), records)
+        if self._telemetry.enabled and cell.faults is not None:
+            # Reduced rows carry only the per-trial worst recovery, so the
+            # event stream gets one FaultInjected per fault-injected trial
+            # (round_index None) on both the serial and pooled paths.
+            for trial in reduced:
+                self._telemetry.emit(
+                    FaultInjected(seed=trial.seed, recovery_rounds=trial.stabilization_rounds)
+                )
 
     def _observe_commit(
         self, cell: CampaignCell, reduced: Sequence[ReducedTrial], seconds: float

@@ -26,6 +26,7 @@ from repro.adversary.registry import resolve as resolve_adversary
 from repro.engine.simulator import SimulationConfig
 from repro.exceptions import ConfigurationError
 from repro.experiments.workloads import SIMPLE_WORKLOADS, Workload
+from repro.faults.plan import FaultPlan
 from repro.params import ModelParameters
 from repro.protocols.registry import PROTOCOL_FACTORIES, protocol_factory
 
@@ -116,6 +117,11 @@ class CampaignCell:
         The explicit seed list the cell runs.
     max_rounds:
         Per-execution round cap.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` injected into every
+        trial of the cell.  Part of the cell identity when set; ``None``
+        (the default) leaves the description — and therefore every existing
+        cell key — unchanged.
     """
 
     protocol: str
@@ -124,10 +130,11 @@ class CampaignCell:
     node_count: int
     seeds: tuple[int, ...]
     max_rounds: int
+    faults: FaultPlan | None = None
 
     def describe_dict(self) -> dict[str, Any]:
         """The canonical JSON-serializable description the key is hashed from."""
-        return {
+        description: dict[str, Any] = {
             "schema": SPEC_SCHEMA_VERSION,
             "protocol": self.protocol,
             "workload": self.workload,
@@ -138,6 +145,9 @@ class CampaignCell:
             "seeds": list(self.seeds),
             "max_rounds": self.max_rounds,
         }
+        if self.faults is not None:
+            description["faults"] = self.faults.to_dict()
+        return description
 
     @property
     def key(self) -> str:
@@ -146,10 +156,13 @@ class CampaignCell:
 
     def label(self) -> str:
         """Short human-readable label used in status output."""
-        return (
+        label = (
             f"{self.protocol} × {self.workload} × {self.params.describe()}, "
             f"n={self.node_count}, {len(self.seeds)} seeds"
         )
+        if self.faults is not None:
+            label += f", {self.faults.describe()}"
+        return label
 
     def config(self) -> SimulationConfig:
         """Resolve the cell into a runnable simulation configuration."""
@@ -160,6 +173,7 @@ class CampaignCell:
             activation=workload.activation,
             adversary=workload.adversary,
             max_rounds=self.max_rounds,
+            faults=self.faults,
         )
 
 
@@ -189,6 +203,12 @@ class CampaignSpec:
         applied to every cell.
     max_rounds:
         Per-execution round cap for every cell.
+    fault_plans:
+        The fault-injection axis: each entry is a
+        :class:`~repro.faults.plan.FaultPlan` or ``None`` (fault-free).  The
+        default single-``None`` axis reproduces the historical grid exactly
+        (cell keys and the serialized spec are unchanged).  A single plan may
+        be passed bare and is wrapped into a one-entry axis.
     """
 
     name: str
@@ -200,6 +220,7 @@ class CampaignSpec:
     node_counts: tuple[int, ...]
     seeds: tuple[int, ...] = field(default=(0, 1, 2))
     max_rounds: int = 50_000
+    fault_plans: tuple[FaultPlan | None, ...] = (None,)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocols", tuple(self.protocols))
@@ -212,6 +233,15 @@ class CampaignSpec:
         object.__setattr__(
             self, "seeds", tuple(range(seeds)) if isinstance(seeds, int) else tuple(seeds)
         )
+        fault_plans = self.fault_plans
+        if fault_plans is None or isinstance(fault_plans, FaultPlan):
+            fault_plans = (fault_plans,)
+        object.__setattr__(self, "fault_plans", tuple(fault_plans))
+        for plan in self.fault_plans:
+            if plan is not None and not isinstance(plan, FaultPlan):
+                raise ConfigurationError(
+                    f"fault_plans entries must be FaultPlan or None, got {type(plan).__name__}"
+                )
         if not self.name:
             raise ConfigurationError("a campaign needs a non-empty name")
         for axis, values in (
@@ -222,6 +252,7 @@ class CampaignSpec:
             ("participants", self.participants),
             ("node_counts", self.node_counts),
             ("seeds", self.seeds),
+            ("fault_plans", self.fault_plans),
         ):
             if not values:
                 raise ConfigurationError(f"campaign axis {axis!r} must not be empty")
@@ -256,13 +287,14 @@ class CampaignSpec:
         name only runnable cells.
         """
         expanded = []
-        for protocol, workload, f, t, n, node_count in itertools.product(
+        for protocol, workload, f, t, n, node_count, faults in itertools.product(
             self.protocols,
             self.workloads,
             self.frequencies,
             self.budgets,
             self.participants,
             self.node_counts,
+            self.fault_plans,
         ):
             params = ModelParameters(
                 frequencies=f, disruption_budget=t, participant_bound=n
@@ -280,13 +312,18 @@ class CampaignSpec:
                     node_count=node_count,
                     seeds=self.seeds,
                     max_rounds=self.max_rounds,
+                    faults=faults,
                 )
             )
         return tuple(expanded)
 
     def to_dict(self) -> dict[str, Any]:
-        """A JSON-serializable description of the grid."""
-        return {
+        """A JSON-serializable description of the grid.
+
+        The ``fault_plans`` key appears only for a non-default axis, so specs
+        persisted by earlier releases round-trip byte-identically.
+        """
+        data: dict[str, Any] = {
             "schema": SPEC_SCHEMA_VERSION,
             "name": self.name,
             "protocols": list(self.protocols),
@@ -298,6 +335,11 @@ class CampaignSpec:
             "seeds": list(self.seeds),
             "max_rounds": self.max_rounds,
         }
+        if self.fault_plans != (None,):
+            data["fault_plans"] = [
+                plan.to_dict() if plan is not None else None for plan in self.fault_plans
+            ]
+        return data
 
     def to_json(self) -> str:
         """Canonical JSON form (stable across processes, used by the store)."""
@@ -312,6 +354,10 @@ class CampaignSpec:
                 f"campaign spec schema {schema} is not supported "
                 f"(this build writes schema {SPEC_SCHEMA_VERSION})"
             )
+        fault_plans = tuple(
+            FaultPlan.from_dict(entry) if entry is not None else None
+            for entry in data.get("fault_plans", [None])
+        )
         return cls(
             name=data["name"],
             protocols=tuple(data["protocols"]),
@@ -322,6 +368,7 @@ class CampaignSpec:
             node_counts=tuple(data["node_counts"]),
             seeds=tuple(data["seeds"]),
             max_rounds=data["max_rounds"],
+            fault_plans=fault_plans,
         )
 
     @classmethod

@@ -62,6 +62,7 @@ CREATE TABLE IF NOT EXISTS trials (
     leader_count    INTEGER NOT NULL,
     max_sync_latency INTEGER,
     rounds_simulated INTEGER NOT NULL,
+    stabilization_rounds INTEGER,
     PRIMARY KEY (cell_key, seed)
 );
 CREATE TABLE IF NOT EXISTS bench_provenance (
@@ -90,6 +91,7 @@ class TrialRecord:
     leader_count: int
     max_sync_latency: Optional[int]
     rounds_simulated: int
+    stabilization_rounds: Optional[int] = None
 
     @classmethod
     def from_result(cls, seed: int, result: SimulationResult) -> "TrialRecord":
@@ -102,6 +104,7 @@ class TrialRecord:
             leader_count=result.leader_count,
             max_sync_latency=result.max_sync_latency,
             rounds_simulated=result.metrics.rounds_simulated,
+            stabilization_rounds=result.stabilization_rounds,
         )
 
     @classmethod
@@ -121,6 +124,7 @@ class TrialRecord:
             leader_count=reduced.leader_count,
             max_sync_latency=reduced.max_sync_latency,
             rounds_simulated=reduced.rounds_simulated,
+            stabilization_rounds=reduced.stabilization_rounds,
         )
 
 
@@ -155,6 +159,18 @@ class ResultStore:
             self._connection.execute("PRAGMA synchronous=NORMAL")
         with self._connection:
             self._connection.executescript(_SCHEMA)
+            # Additive migration (no schema-version bump, like bench_provenance):
+            # databases written before fault injection lack the
+            # stabilization_rounds column; their rows read back as NULL, which
+            # is exactly what fault-free trials store anyway.
+            columns = {
+                row[1]
+                for row in self._connection.execute("PRAGMA table_info(trials)").fetchall()
+            }
+            if "stabilization_rounds" not in columns:
+                self._connection.execute(
+                    "ALTER TABLE trials ADD COLUMN stabilization_rounds INTEGER"
+                )
             row = self._connection.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()
@@ -323,8 +339,8 @@ class ResultStore:
     def _insert_trials(self, key: str, records: Sequence[TrialRecord]) -> None:
         self._connection.executemany(
                 "INSERT INTO trials (cell_key, seed, synchronized, agreement, safety,"
-                " leader_count, max_sync_latency, rounds_simulated)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                " leader_count, max_sync_latency, rounds_simulated, stabilization_rounds)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 [
                     (
                         key,
@@ -335,6 +351,7 @@ class ResultStore:
                         record.leader_count,
                         record.max_sync_latency,
                         record.rounds_simulated,
+                        record.stabilization_rounds,
                     )
                     for record in records
                 ],
@@ -353,7 +370,7 @@ class ResultStore:
         """The stored trials of one cell, in seed order."""
         rows = self._connection.execute(
             "SELECT seed, synchronized, agreement, safety, leader_count,"
-            " max_sync_latency, rounds_simulated FROM trials"
+            " max_sync_latency, rounds_simulated, stabilization_rounds FROM trials"
             " WHERE cell_key = ? ORDER BY seed",
             (key,),
         ).fetchall()
@@ -366,6 +383,7 @@ class ResultStore:
                 leader_count=row[4],
                 max_sync_latency=row[5],
                 rounds_simulated=row[6],
+                stabilization_rounds=row[7],
             )
             for row in rows
         )

@@ -73,6 +73,7 @@ from repro.engine.runner import run_trials
 from repro.engine.serialization import write_result_json, write_round_log_csv, write_trials_json
 from repro.engine.simulator import SimulationConfig, simulate
 from repro.experiments.registry import EXPERIMENTS
+from repro.faults import FaultPlan, load_fault_plan
 from repro.experiments.tables import render_table
 from repro.experiments.workloads import SIMPLE_WORKLOADS
 from repro.params import ModelParameters
@@ -92,7 +93,7 @@ from repro.service import (
     connect_from_announce,
 )
 from repro.telemetry import Telemetry
-from repro.telemetry.events import JsonlSink, RunCompleted, RunStarted
+from repro.telemetry.events import FaultInjected, JsonlSink, RunCompleted, RunStarted
 from repro.telemetry.export import write_metrics_json, write_prometheus_text
 from repro.telemetry.monitor import RunMonitor, read_status, render_status_line
 
@@ -206,6 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--jammer", choices=sorted(JAMMERS), default=None,
                           help="override the workload's interference adversary")
     scenario.add_argument("--max-rounds", type=int, default=100_000)
+    scenario.add_argument("--faults", type=str, default=None, metavar="PLAN.json",
+                          help="inject a fault plan (churn / Byzantine / corruption; "
+                               "see repro.faults.FaultPlan) into every execution")
 
     sim = sub.add_parser(
         "simulate", parents=[scenario], help="run one execution and print its summary"
@@ -272,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated activated-device counts")
     camp_run.add_argument("--seeds", type=int, default=3, help="seeds per cell (0 .. k-1)")
     camp_run.add_argument("--max-rounds", type=int, default=50_000)
+    camp_run.add_argument("--faults", type=str, default=None, metavar="PLAN.json",
+                          help="inject this fault plan into every cell of the grid "
+                               "(part of each cell's identity — fault-free cells "
+                               "stay separately resumable)")
     camp_run.add_argument("--workers", type=int, default=1,
                           help="worker processes on the campaign's persistent execution "
                                "pool (1 = serial)")
@@ -325,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     srch_run.add_argument("--max-rounds", type=int, default=20_000)
     srch_run.add_argument("--metric", choices=OBJECTIVE_METRICS, default="median_latency",
                           help="objective the search maximizes")
+    srch_run.add_argument("--faults", type=str, default=None, metavar="PLAN.json",
+                          help="score every candidate in this fault environment "
+                               "(part of the objective's identity)")
     srch_run.add_argument("--optimizer", choices=sorted(OPTIMIZERS), default="hill-climb")
     srch_run.add_argument("--population", type=int, default=8,
                           help="candidates per optimizer generation")
@@ -463,6 +474,12 @@ def build_parser() -> argparse.ArgumentParser:
     connection.add_argument("--connect", default=None, metavar="PATH",
                             help="announce file written by repro serve --announce "
                                  "(alternative to --host/--port)")
+    connection.add_argument("--connect-retries", type=int, default=0,
+                            help="re-attempt a refused TCP connect this many times "
+                                 "with jittered exponential backoff (default: 0)")
+    connection.add_argument("--connect-backoff", type=float, default=0.2,
+                            help="base backoff seconds between connect attempts, "
+                                 "doubled per attempt (default: 0.2)")
     cl_submit = client_sub.add_parser(
         "submit", parents=[connection], help="submit a job-request JSON document"
     )
@@ -524,22 +541,32 @@ def _params(args: argparse.Namespace) -> ModelParameters:
     )
 
 
+def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """The ``--faults`` plan, loaded and validated (``None`` without the flag)."""
+    path = getattr(args, "faults", None)
+    return load_fault_plan(path) if path else None
+
+
 def _scenario_config(args: argparse.Namespace) -> SimulationConfig:
     """Build the configuration the scenario options name, printing the banner."""
     params = _params(args)
     workload = SIMPLE_WORKLOADS[args.workload](args.nodes)
     adversary = JAMMERS[args.jammer]() if args.jammer else workload.adversary
+    faults = _fault_plan_from_args(args)
     config = SimulationConfig(
         params=params,
         protocol_factory=PROTOCOLS[args.protocol](),
         activation=workload.activation,
         adversary=adversary,
         max_rounds=args.max_rounds,
+        faults=faults,
     )
     print(f"model     : {params.describe()}")
     print(f"protocol  : {args.protocol}")
     print(f"workload  : {workload.description}")
     print(f"adversary : {adversary.describe()}")
+    if faults is not None:
+        print(f"faults    : {faults.describe()} [{faults.key()}]")
     return config
 
 
@@ -713,6 +740,21 @@ def _command_trials(args: argparse.Namespace) -> int:
                 plan=plan,
             )
         if telemetry is not None:
+            if config.faults is not None:
+                # One event per injection epoch per trial, carrying where the
+                # epoch started and how many rounds reconvergence took.
+                for seed, result in zip(summary.seeds, summary.results):
+                    if result.stabilization is None:
+                        continue
+                    for epoch, recovery in zip(
+                        result.stabilization.epochs,
+                        result.stabilization.recovery_rounds,
+                    ):
+                        telemetry.emit(
+                            FaultInjected(
+                                seed=seed, recovery_rounds=recovery, round_index=epoch
+                            )
+                        )
             telemetry.emit(
                 RunCompleted(
                     protocol=args.protocol,
@@ -768,6 +810,7 @@ def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
             for base in args.workloads
             for jammer in args.jammers
         )
+    faults = _fault_plan_from_args(args)
     spec = CampaignSpec(
         name=args.name,
         protocols=args.protocols,
@@ -778,7 +821,10 @@ def _campaign_run(args: argparse.Namespace, store: ResultStore) -> int:
         node_counts=args.node_counts,
         seeds=args.seeds,
         max_rounds=args.max_rounds,
+        fault_plans=(faults,) if faults is not None else (None,),
     )
+    if faults is not None:
+        print(f"faults    : {faults.describe()} [{faults.key()}]")
     telemetry = _telemetry_from_args(args)
     with CampaignRunner(
         spec,
@@ -888,6 +934,7 @@ def _search_run(args: argparse.Namespace, store: ResultStore) -> int:
         seeds=args.seeds,
         max_rounds=args.max_rounds,
         metric=args.metric,
+        faults=_fault_plan_from_args(args),
     )
     spec = SearchSpec(
         name=args.name,
@@ -1190,10 +1237,19 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 def _client_connection(args: argparse.Namespace) -> ServiceClient:
     if args.connect is not None:
-        return connect_from_announce(args.connect)
+        return connect_from_announce(
+            args.connect,
+            connect_retries=args.connect_retries,
+            connect_backoff=args.connect_backoff,
+        )
     if args.port is None:
         raise ConfigurationError("repro client needs --port (or --connect ANNOUNCE_FILE)")
-    return ServiceClient(args.host, args.port)
+    return ServiceClient(
+        args.host,
+        args.port,
+        connect_retries=args.connect_retries,
+        connect_backoff=args.connect_backoff,
+    )
 
 
 def _command_client(args: argparse.Namespace) -> int:

@@ -38,6 +38,7 @@ otherwise, so callers can pass any configuration.
 from __future__ import annotations
 
 import math
+import multiprocessing
 import random
 from dataclasses import dataclass
 from collections import Counter
@@ -66,7 +67,7 @@ from repro.adversary.jammers import (
 from repro.engine.checker import PropertyReport, PropertyViolation
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.observers import TraceLevel
-from repro.engine.pool import ReducedTrial, simulate_one
+from repro.engine.pool import ReducedTrial, simulate_one, warn_fault_batch_fallback
 from repro.engine.results import SimulationResult
 from repro.engine.rng import derive_seed
 from repro.engine.simulator import SimulationConfig
@@ -406,6 +407,10 @@ def batchable(config: SimulationConfig) -> bool:
     engine would.
     """
     if config.trace_level is not TraceLevel.NONE:
+        return False
+    if config.faults is not None:
+        # Fault injection (churn/Byzantine/corruption) rewrites per-node state
+        # mid-run — inherently scalar; the fallback loop handles it.
         return False
     if type(config.activation) not in _BATCHABLE_ACTIVATIONS:
         return False
@@ -776,6 +781,11 @@ def _lockstep(config: SimulationConfig, seeds: Sequence[int]) -> list[Simulation
     return results
 
 
+def _in_pool_worker() -> bool:
+    """Whether this process is a pool worker (its dispatch already warned)."""
+    return multiprocessing.current_process().name != "MainProcess"
+
+
 def run_batch(template: SimulationConfig, seeds: Sequence[int]) -> list[SimulationResult]:
     """Run a multi-seed batch, vectorized when possible, in seed order.
 
@@ -787,6 +797,8 @@ def run_batch(template: SimulationConfig, seeds: Sequence[int]) -> list[Simulati
     if not seed_list:
         return []
     if not batchable(template):
+        if template.faults is not None and not _in_pool_worker():
+            warn_fault_batch_fallback(template.faults)
         return [simulate_one(template, seed) for seed in seed_list]
     return _lockstep(template, seed_list)
 

@@ -118,15 +118,41 @@ class StreamingPropertyChecker(BaseRoundObserver):
     automatically) and call :meth:`report` at the end.  The report — including
     the order of recorded violations — is identical to what the historical
     post-hoc checker produced from a full trace.
+
+    Parameters
+    ----------
+    exclude:
+        Node ids exempt from every property (the fault subsystem passes the
+        Byzantine set here — forging nodes are adversarial hardware, not
+        protocol instances, so their behaviour proves nothing about the
+        protocol).  Excluded nodes get no per-node state and do not count
+        toward liveness.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, exclude: frozenset[NodeId] = frozenset()) -> None:
         self._nodes: dict[NodeId, _NodeCheckState] = {}
         self._round_violations: list[PropertyViolation] = []
         self._rounds_seen = 0
+        self._exclude = exclude
 
     def on_activation(self, node_id: NodeId, global_round: GlobalRound) -> None:
+        if node_id in self._exclude:
+            return
         self._nodes[node_id] = _NodeCheckState()
+
+    def reset_node(self, node_id: NodeId) -> None:
+        """Forget a node's sequence state (fault injection only).
+
+        Called when churn rejoin or transient corruption rebuilds a node's
+        protocol from scratch: the fresh instance legitimately restarts at ⊥,
+        so the synch-commit and correctness chains must restart with it.  The
+        first-synchronization latch is kept — liveness asks whether the node
+        *ever* synchronized.
+        """
+        state = self._nodes.get(node_id)
+        if state is not None:
+            state.previous = None
+            state.committed = False
 
     def on_round(self, record: RoundRecord) -> None:
         """Fold one round into the incremental property state.

@@ -116,6 +116,26 @@ class NodeRuntime:
         self._activation_round = global_round
         self._protocol.on_activate()
 
+    def reincarnate(self, rng: random.Random, factory: ProtocolFactory) -> None:
+        """Rebuild the node as if freshly activated (fault injection only).
+
+        Used by churn rejoins and transient-corruption recovery: the old
+        protocol instance, context, and uid are discarded and the node
+        restarts at local round 1 on the provided random stream — the same
+        state transitions as :meth:`activate`, minus the double-activation
+        guard.  ``first_sync_local_round`` stays latched (liveness and the
+        sync-latency metric measure the *first* synchronization; recovery
+        time is the stabilization tracker's job).
+        """
+        if self._protocol is None:
+            raise SimulationError(f"node {self.node_id} reincarnated before activation")
+        uid = draw_uid(rng, self._params.participant_bound)
+        self._rng = rng
+        self._context = ProtocolContext(params=self._params, rng=rng, uid=uid, local_round=1)
+        self._protocol = factory(self._context)
+        self.outputs_recorded = 0
+        self._protocol.on_activate()
+
     # -- per-round driving ----------------------------------------------
 
     def begin_round(self) -> None:

@@ -42,10 +42,11 @@ import pickle
 import signal
 import time
 import warnings
+import weakref
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.engine.results import SimulationResult
 from repro.exceptions import ConfigurationError, SimulationError
@@ -53,6 +54,7 @@ from repro.telemetry import Telemetry, as_telemetry
 from repro.telemetry.events import (
     BatchFallback,
     ChunkDispatched,
+    ChunkRetried,
     SerialFallback,
     WorkerCrashRecovered,
 )
@@ -92,6 +94,7 @@ class ReducedTrial:
     leader_count: int
     max_sync_latency: Optional[int]
     rounds_simulated: int
+    stabilization_rounds: Optional[int] = None
 
     @classmethod
     def from_result(cls, seed: int, result: SimulationResult) -> "ReducedTrial":
@@ -104,6 +107,7 @@ class ReducedTrial:
             leader_count=result.leader_count,
             max_sync_latency=result.max_sync_latency,
             rounds_simulated=result.metrics.rounds_simulated,
+            stabilization_rounds=result.stabilization_rounds,
         )
 
 
@@ -250,10 +254,36 @@ def warn_serial_fallback(
         telemetry.emit(SerialFallback(detail=detail))
 
 
+def warn_fault_batch_fallback(plan: object, stacklevel: int = 3) -> None:
+    """The one ``--batch`` + fault-plan degrade-to-scalar notification.
+
+    Fault injection rewrites per-node state mid-run, which the vectorized
+    lockstep kernel cannot replay — the batch silently running a *different*
+    engine would be worse than the slowdown, so every entry point that routes
+    a fault-injected template at the kernel warns exactly once per batch
+    (parent-side; the in-worker fallback stays quiet).
+    """
+    message = (
+        f"fault plan {plan.describe()} cannot run on the vectorized lockstep "  # type: ignore[attr-defined]
+        "kernel; the batch degrades to the scalar engine per seed"
+    )
+    logger.warning(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
+
+
 def _completed_future(value: ChunkResult) -> "Future[ChunkResult]":
     future: "Future[ChunkResult]" = Future()
     future.set_result(value)
     return future
+
+
+@dataclass(slots=True)
+class _ChunkPayload:
+    """What the pool needs to re-dispatch one chunk after a worker crash."""
+
+    fn: Callable[..., ChunkResult]
+    args: tuple
+    attempt: int = 0
 
 
 class ExecutionPool:
@@ -267,6 +297,14 @@ class ExecutionPool:
         Seeds (or configs) per dispatched chunk.  ``None`` picks a size that
         spreads a batch over roughly ``4 × workers`` chunks — large enough to
         amortize the template pickle, small enough to keep every worker busy.
+    crash_retries:
+        How many times :meth:`run_seeds` / :meth:`run_configs` re-dispatch a
+        chunk whose worker process crashed before letting the
+        :class:`WorkerCrashError` propagate (deterministic seeds make the
+        re-run byte-identical).  ``0`` restores fail-fast.  Callers that
+        drain futures themselves (e.g. the campaign's as-completed loop)
+        keep the raise-after-:meth:`recover` contract and retry at their own
+        layer if desired.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` handle.  A live handle
         counts dispatched chunks/trials per execution path (scalar vs batch),
@@ -291,13 +329,17 @@ class ExecutionPool:
         workers: int,
         chunk_size: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        crash_retries: int = 2,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"an execution pool needs >= 1 worker, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
+        if crash_retries < 0:
+            raise ConfigurationError(f"crash_retries must be >= 0, got {crash_retries}")
         self._workers = workers
         self._chunk_size = chunk_size
+        self._crash_retries = crash_retries
         self._executor: Optional[ProcessPoolExecutor] = None
         self._starts = 0
         # Instruments are bound once here, so the per-dispatch cost is one
@@ -318,6 +360,9 @@ class ExecutionPool:
         self._metric_restarts = self._telemetry.counter(
             "pool.worker_restarts", help="executor restarts after a worker crash"
         )
+        self._metric_chunk_retries = self._telemetry.counter(
+            "pool.chunk_retries", help="chunks re-dispatched after a worker crash"
+        )
         self._inflight = self._telemetry.gauge(
             "pool.inflight_chunks", help="chunks submitted but not yet completed"
         )
@@ -329,6 +374,13 @@ class ExecutionPool:
         # regardless of telemetry: it also sharpens WorkerCrashError messages.
         self._worker_stats: dict[int, WorkerStatsDelta] = {}
         self._worker_first_seen: dict[int, float] = {}
+        # Re-dispatch payloads keyed by in-flight future, so _gather can
+        # resubmit a chunk whose worker crashed.  Weak keys: callers that
+        # drain futures themselves (the campaign's as-completed loop) never
+        # pop entries, and must not pin their futures alive here.
+        self._chunk_payloads: "weakref.WeakKeyDictionary[Future[ChunkResult], _ChunkPayload]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # -- introspection ----------------------------------------------------
 
@@ -341,6 +393,11 @@ class ExecutionPool:
     def chunk_size(self) -> Optional[int]:
         """The configured chunk size (None = automatic)."""
         return self._chunk_size
+
+    @property
+    def crash_retries(self) -> int:
+        """How many times a crashed chunk is re-dispatched before raising."""
+        return self._crash_retries
 
     @property
     def starts(self) -> int:
@@ -435,12 +492,19 @@ class ExecutionPool:
                 _completed_future(_run_seed_chunk(template, chunk, reduce, batch))
                 for chunk in chunks
             ]
+        if batch and template.faults is not None:
+            # The unpicklable path above warns from run_batch in-process
+            # instead, so each dispatch warns exactly once either way.
+            warn_fault_batch_fallback(template.faults)
         executor = self._ensure_executor()
         try:
-            futures = [
-                executor.submit(_run_seed_chunk, template, chunk, reduce, batch)
-                for chunk in chunks
-            ]
+            futures = []
+            for chunk in chunks:
+                future = executor.submit(_run_seed_chunk, template, chunk, reduce, batch)
+                self._chunk_payloads[future] = _ChunkPayload(
+                    fn=_run_seed_chunk, args=(template, chunk, reduce, batch)
+                )
+                futures.append(future)
         except BrokenProcessPool as error:
             # submit() itself raises when a worker died since the last call —
             # route it through the same self-healing path as a mid-batch crash.
@@ -490,11 +554,12 @@ class ExecutionPool:
         self._telemetry.counter(
             "pool.batch_fallbacks", help="batch=True dispatches that ran on the scalar loop"
         ).inc()
+        faults_note = f", faults={template.faults.describe()}" if template.faults else ""
         reason = (
             f"config not batchable (protocol={type(template.protocol_factory).__name__}, "
             f"adversary={type(template.adversary).__name__}, "
             f"activation={type(template.activation).__name__}, "
-            f"trace_level={template.trace_level.value}); chunks run the scalar loop"
+            f"trace_level={template.trace_level.value}{faults_note}); chunks run the scalar loop"
         )
         logger.info("batch fallback: %s", reason)
         self._telemetry.emit(BatchFallback(reason=reason))
@@ -534,7 +599,11 @@ class ExecutionPool:
             return self.ingest(_run_config_chunk(tuple(config_list)))
         executor = self._ensure_executor()
         try:
-            futures = [executor.submit(_run_config_chunk, chunk) for chunk in chunks]
+            futures = []
+            for chunk in chunks:
+                future = executor.submit(_run_config_chunk, chunk)
+                self._chunk_payloads[future] = _ChunkPayload(fn=_run_config_chunk, args=(chunk,))
+                futures.append(future)
         except BrokenProcessPool as error:
             raise self.recover(error) from error
         if self._telemetry.enabled:
@@ -566,13 +635,68 @@ class ExecutionPool:
         return self._worker_stats.get(pid)
 
     def _gather(self, futures: Sequence["Future[ChunkResult]"]) -> list:
+        """Drain futures in chunk order, retrying crashed chunks within budget.
+
+        A worker crash breaks the whole executor, so every not-yet-consumed
+        future fails together; all of them are re-dispatched as one group on a
+        fresh executor (rows still land in chunk order — each retry future
+        replaces its predecessor in place).  After ``crash_retries`` failed
+        attempts for the same chunk the :class:`WorkerCrashError` propagates,
+        exactly like the pre-retry behaviour with ``crash_retries=0``.
+        """
+        pending = list(futures)
         results: list = []
-        try:
-            for future in futures:
-                results.extend(self.ingest(future.result()))
-        except BrokenProcessPool as error:
-            raise self.recover(error) from error
+        index = 0
+        while index < len(pending):
+            future = pending[index]
+            try:
+                outcome = future.result()
+            except BrokenProcessPool as error:
+                pending[index:] = self._retry_chunks(pending[index:], error)
+                continue
+            self._chunk_payloads.pop(future, None)
+            results.extend(self.ingest(outcome))
+            index += 1
         return results
+
+    def _retry_chunks(
+        self, dead: Sequence["Future[ChunkResult]"], error: BrokenProcessPool
+    ) -> list["Future[ChunkResult]"]:
+        """Re-dispatch the chunks behind a group of crash-failed futures.
+
+        Raises the wrapped :class:`WorkerCrashError` when any of them has
+        exhausted its retry budget (or was submitted by a caller the pool has
+        no payload for) — :meth:`recover` runs either way, so the pool is
+        reusable after the raise.
+        """
+        payloads = [self._chunk_payloads.pop(future, None) for future in dead]
+        crash = self.recover(error)
+        if any(p is None or p.attempt >= self._crash_retries for p in payloads):
+            raise crash from error
+        executor = self._ensure_executor()
+        fresh: list["Future[ChunkResult]"] = []
+        try:
+            for payload in payloads:
+                assert payload is not None  # narrowed by the budget check above
+                future = executor.submit(payload.fn, *payload.args)
+                payload.attempt += 1
+                self._chunk_payloads[future] = payload
+                fresh.append(future)
+        except BrokenProcessPool as resubmit_error:
+            raise self.recover(resubmit_error) from resubmit_error
+        attempt = max(payload.attempt for payload in payloads if payload is not None)
+        self._metric_chunk_retries.inc(len(fresh))
+        logger.warning(
+            "re-dispatching %d chunk(s) after worker crash (attempt %d of %d)",
+            len(fresh),
+            attempt,
+            self._crash_retries,
+        )
+        if self._telemetry.enabled:
+            self._telemetry.emit(
+                ChunkRetried(detail=str(error), chunks=len(fresh), attempt=attempt)
+            )
+        return fresh
 
     def _crashed_workers(self) -> list[tuple[int, Optional[float]]]:
         """The current executor's abnormally dead workers, as (pid, uptime).

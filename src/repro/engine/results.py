@@ -13,6 +13,7 @@ from typing import Optional
 from repro.engine.checker import PropertyReport
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.trace import ExecutionTrace
+from repro.faults.stabilization import StabilizationReport
 
 
 @dataclass(frozen=True)
@@ -31,11 +32,16 @@ class SimulationResult:
         The property-checker report for the execution.
     metrics:
         Aggregate execution metrics.
+    stabilization:
+        Rounds-to-reconverge measurements for fault-injected executions
+        (``None`` for fault-free runs, which keeps their serialized digests
+        byte-identical to earlier releases).
     """
 
     trace: Optional[ExecutionTrace]
     report: PropertyReport
     metrics: ExecutionMetrics
+    stabilization: Optional[StabilizationReport] = None
 
     @property
     def synchronized(self) -> bool:
@@ -66,6 +72,13 @@ class SimulationResult:
     def agreement_holds(self) -> bool:
         """True if no two nodes ever disagreed on the round number."""
         return self.report.agreement_holds
+
+    @property
+    def stabilization_rounds(self) -> int | None:
+        """Worst rounds-to-reconverge over injection epochs (``None`` fault-free)."""
+        if self.stabilization is None:
+            return None
+        return self.stabilization.max_recovery_rounds
 
     def summary(self) -> str:
         """A one-line human-readable summary."""

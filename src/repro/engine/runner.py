@@ -21,6 +21,7 @@ from repro.engine.plan import ExecutionPlan, resolve_plan
 from repro.engine.pool import ExecutionPool, ReducedTrial, simulate_one
 from repro.engine.results import SimulationResult
 from repro.engine.simulator import SimulationConfig
+from repro.faults.plan import FaultPlan
 
 
 def interpolated_percentile(
@@ -149,14 +150,40 @@ class TrialSummary:
         """
         return interpolated_percentile(self.sorted_latencies, fraction, assume_sorted=True)
 
+    def stabilization_rounds(self) -> list[int]:
+        """Per-trial worst rounds-to-reconverge, fault-injected trials only.
+
+        In seed order; empty for fault-free batches (every result's
+        ``stabilization`` is ``None`` there).
+        """
+        return [
+            r.stabilization_rounds for r in self.results if r.stabilization_rounds is not None
+        ]
+
+    @property
+    def max_stabilization_rounds(self) -> int | None:
+        """Worst rounds-to-reconverge across the batch (``None`` fault-free)."""
+        rounds = self.stabilization_rounds()
+        return max(rounds) if rounds else None
+
+    @property
+    def mean_stabilization_rounds(self) -> float | None:
+        """Mean per-trial worst rounds-to-reconverge (``None`` fault-free)."""
+        rounds = self.stabilization_rounds()
+        return statistics.fmean(rounds) if rounds else None
+
     def describe(self) -> str:
         """One-line summary used by experiment tables."""
         mean = f"{self.mean_latency:.1f}" if self.mean_latency is not None else "-"
         worst = self.max_latency if self.max_latency is not None else "-"
-        return (
+        line = (
             f"{self.trials} trials: liveness {self.liveness_rate:.0%}, "
             f"agreement {self.agreement_rate:.0%}, mean latency {mean}, worst {worst}"
         )
+        stabilization = self.max_stabilization_rounds
+        if stabilization is not None:
+            line += f", stabilization {stabilization}"
+        return line
 
 
 def _normalize_seeds(seeds: Sequence[int] | int) -> tuple[int, ...]:
@@ -177,6 +204,7 @@ def run_trials(
     batch: bool = False,
     *,
     plan: Optional[ExecutionPlan] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> TrialSummary:
     """Run the same configuration across many seeds.
 
@@ -217,7 +245,13 @@ def run_trials(
         ``config_for_seed`` makes the batch heterogeneous).  Every execution
         derives all randomness from its own seed and results come back in
         seed order, so no plan ever changes results.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` applied to every trial
+        (sugar for ``replace(config, faults=...)``); fault randomness derives
+        from each trial's own seed, so the plan never breaks determinism.
     """
+    if faults is not None:
+        config = replace(config, faults=faults)
     resolved = resolve_plan(plan, api="run_trials", workers=workers, batch=batch)
     seed_list = _normalize_seeds(seeds)
     if pool is not None and config_for_seed is None:
@@ -266,6 +300,7 @@ def run_reduced_trials(
     batch: bool = False,
     *,
     plan: Optional[ExecutionPlan] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> tuple[ReducedTrial, ...]:
     """Run a multi-seed batch, keeping only the persisted summary scalars.
 
@@ -286,8 +321,12 @@ def run_reduced_trials(
     ``pool`` runs on a one-shot pool; ``plan.batch`` routes batchable
     templates through the vectorized lockstep kernel (scalar fallback
     otherwise) — identical rows on every path.  ``batch=`` is the deprecated
-    spelling of ``plan=ExecutionPlan(batch=True)``.
+    spelling of ``plan=ExecutionPlan(batch=True)``.  ``faults=`` applies a
+    :class:`~repro.faults.plan.FaultPlan` to every trial, exactly as in
+    :func:`run_trials`; the rows then carry ``stabilization_rounds``.
     """
+    if faults is not None:
+        config = replace(config, faults=faults)
     resolved = resolve_plan(plan, api="run_reduced_trials", batch=batch)
     seed_list = _normalize_seeds(seeds)
     template = _template_for(config, trace_level)

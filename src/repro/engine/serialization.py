@@ -86,7 +86,7 @@ def result_to_dict(result: SimulationResult, include_rounds: bool = False) -> di
     """
     metrics = result.metrics
     report = result.report
-    return {
+    data: dict[str, Any] = {
         "trace": (
             trace_to_dict(result.trace, include_rounds=include_rounds)
             if result.trace is not None
@@ -132,6 +132,11 @@ def result_to_dict(result: SimulationResult, include_rounds: bool = False) -> di
             },
         },
     }
+    # Present only for fault-injected executions, so fault-free exports stay
+    # byte-identical to earlier releases.
+    if result.stabilization is not None:
+        data["stabilization"] = result.stabilization.to_dict()
+    return data
 
 
 def trial_summary_to_dict(summary: TrialSummary) -> dict[str, Any]:
@@ -139,32 +144,40 @@ def trial_summary_to_dict(summary: TrialSummary) -> dict[str, Any]:
 
     Mirrors the statistics the ``trials`` CLI table prints (the aggregate),
     plus one compact row per trial so the distribution can be re-derived
-    without re-running anything.
+    without re-running anything.  Stabilization keys appear only for
+    fault-injected batches, keeping fault-free exports byte-identical.
     """
+    statistics_block: dict[str, Any] = {
+        "liveness_rate": summary.liveness_rate,
+        "agreement_rate": summary.agreement_rate,
+        "safety_rate": summary.safety_rate,
+        "unique_leader_rate": summary.unique_leader_rate,
+        "mean_latency": summary.mean_latency,
+        "median_latency": summary.median_latency,
+        "p90_latency": summary.percentile_latency(0.9),
+        "max_latency": summary.max_latency,
+    }
+    if summary.max_stabilization_rounds is not None:
+        statistics_block["max_stabilization_rounds"] = summary.max_stabilization_rounds
+        statistics_block["mean_stabilization_rounds"] = summary.mean_stabilization_rounds
+    rows = []
+    for seed, result in zip(summary.seeds, summary.results):
+        row: dict[str, Any] = {
+            "seed": seed,
+            "synchronized": result.synchronized,
+            "agreement": result.agreement_holds,
+            "leader_count": result.leader_count,
+            "max_sync_latency": result.max_sync_latency,
+            "rounds_simulated": result.rounds_simulated,
+        }
+        if result.stabilization_rounds is not None:
+            row["stabilization_rounds"] = result.stabilization_rounds
+        rows.append(row)
     return {
         "trials": summary.trials,
         "seeds": list(summary.seeds),
-        "statistics": {
-            "liveness_rate": summary.liveness_rate,
-            "agreement_rate": summary.agreement_rate,
-            "safety_rate": summary.safety_rate,
-            "unique_leader_rate": summary.unique_leader_rate,
-            "mean_latency": summary.mean_latency,
-            "median_latency": summary.median_latency,
-            "p90_latency": summary.percentile_latency(0.9),
-            "max_latency": summary.max_latency,
-        },
-        "results": [
-            {
-                "seed": seed,
-                "synchronized": result.synchronized,
-                "agreement": result.agreement_holds,
-                "leader_count": result.leader_count,
-                "max_sync_latency": result.max_sync_latency,
-                "rounds_simulated": result.rounds_simulated,
-            }
-            for seed, result in zip(summary.seeds, summary.results)
-        ],
+        "statistics": statistics_block,
+        "results": rows,
     }
 
 
@@ -259,6 +272,11 @@ def execution_digest_dict(result: SimulationResult) -> dict[str, Any]:
             },
         },
     }
+    # Fault-injected executions carry the stabilization report in the digest
+    # (reconvergence is observable behaviour); fault-free digests are
+    # unchanged from earlier releases.
+    if result.stabilization is not None:
+        data["stabilization"] = result.stabilization.to_dict()
     if result.trace is None:
         data["trace"] = None
     else:

@@ -38,6 +38,9 @@ from repro.engine.results import SimulationResult
 from repro.engine.rng import RandomStreams
 from repro.engine.trace import RoundRecord
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.stabilization import StabilizationTracker
 from repro.params import ModelParameters
 from repro.protocols.base import ProtocolContext, ProtocolFactory, SynchronizationProtocol
 from repro.radio.actions import RadioAction
@@ -84,6 +87,12 @@ class SimulationConfig:
     spectrum_window:
         Optional bound on the spectrum log's retained history (the aggregate
         occupancy counters adversaries use still cover the full execution).
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` injected into the
+        round loop (churn, Byzantine nodes, transient corruption).  An empty
+        plan is normalized to ``None``, so fault-free executions — and their
+        golden digests — are bit-identical whether the field was omitted or
+        set to an empty plan.
     """
 
     params: ModelParameters
@@ -98,8 +107,11 @@ class SimulationConfig:
     trace_level: TraceLevel = TraceLevel.FULL
     trace_sample_interval: int = 100
     spectrum_window: Optional[int] = None
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
+        if self.faults is not None and self.faults.empty:
+            self.faults = None
         if self.max_rounds < 1:
             raise ConfigurationError(f"max_rounds must be positive, got {self.max_rounds}")
         if self.extra_rounds_after_sync < 0:
@@ -180,7 +192,14 @@ class Simulator:
             recorder = TraceRecorder(
                 level=config.trace_level, sample_interval=config.trace_sample_interval
             )
-        checker = StreamingPropertyChecker()
+        injector: FaultInjector | None = None
+        if config.faults is not None:
+            injector = FaultInjector(
+                config.faults, self._streams, config.activation.node_count, config.params
+            )
+        checker = StreamingPropertyChecker(
+            exclude=injector.byzantine_nodes if injector is not None else frozenset()
+        )
         metrics = MetricsObserver()
         observers: tuple[RoundObserver, ...] = tuple(
             observer
@@ -197,6 +216,20 @@ class Simulator:
         # per-observer attribute lookup.  With TraceLevel.NONE the tuple holds
         # no recorder at all: streaming observers only, nothing buffered.
         notify_round = tuple(observer.on_round for observer in observers)
+        if injector is not None:
+            # Fault-injected executions run a separate loop so the fault-free
+            # hot path below stays exactly as the perf baseline pinned it (no
+            # per-node membership checks added to every round).
+            return self._run_with_faults(
+                injector,
+                checker,
+                metrics,
+                recorder,
+                observers,
+                notify_round,
+                activation_rng,
+                adversary_rng,
+            )
         rows = self._active_rows
         activations_for_round = config.activation.activations_for_round
         resolve_round = self._network.resolve_round
@@ -273,7 +306,195 @@ class Simulator:
             metrics=metrics.result(leader_uids=frozenset(self._leader_uids)),
         )
 
+    def _run_with_faults(
+        self,
+        injector: FaultInjector,
+        checker: StreamingPropertyChecker,
+        metrics: MetricsObserver,
+        recorder: TraceRecorder | None,
+        observers: tuple[RoundObserver, ...],
+        notify_round: tuple,
+        activation_rng,
+        adversary_rng,
+    ) -> SimulationResult:
+        """The fault-injected twin of the :meth:`run` round loop.
+
+        Same per-node state transitions, plus: scheduled faults applied at
+        each round start, Byzantine nodes' actions replaced by forged
+        broadcasts (their protocol instances are bypassed entirely once they
+        turn — no reception, ⊥ output, CONTENDER role), and a per-round
+        convergence observation fed to the stabilization tracker.  The run
+        stops once every activation *and* every scheduled fault has happened
+        and the present honest nodes have reconverged.
+        """
+        config = self._config
+        rows = self._active_rows
+        activations_for_round = config.activation.activations_for_round
+        resolve_round = self._network.resolve_round
+        choose_disruption = self._choose_disruption
+        synced_nodes = self._synced_nodes
+        leader_uids = self._leader_uids
+        leader_role = Role.LEADER
+        contender_role = Role.CONTENDER
+        byzantine = injector.byzantine_nodes
+        tracker = StabilizationTracker()
+        departed: dict[NodeId, NodeRuntime] = {}
+
+        rounds_simulated = 0
+        grace_remaining: int | None = None
+        for global_round in range(1, config.max_rounds + 1):
+            activations = activations_for_round(global_round, activation_rng)
+            if activations:
+                self._activate(activations, global_round, observers)
+
+            injected = self._apply_faults(global_round, injector, checker, departed)
+            if injector.byzantine_starts_at(global_round):
+                injected = True
+            if injected:
+                tracker.record_epoch(global_round)
+
+            forging = injector.byzantine_active(global_round)
+            actions: dict[NodeId, RadioAction] = {}
+            for node_id, node, protocol, context in rows:
+                if forging and node_id in byzantine:
+                    actions[node_id] = injector.byzantine_action(node_id)
+                    continue
+                if node.outputs_recorded:
+                    context.local_round += 1
+                actions[node_id] = protocol.choose_action()
+
+            disrupted = choose_disruption(global_round, adversary_rng, len(rows))
+            resolution = resolve_round(global_round, actions, disrupted, activations)
+
+            outputs: dict[NodeId, SyncOutput] = {}
+            roles: dict[NodeId, Role] = {}
+            outcomes = resolution.outcomes
+            distinct: set[int] = set()
+            honest_present = 0
+            unsynchronized = 0
+            for node_id, node, protocol, context in rows:
+                if forging and node_id in byzantine:
+                    outputs[node_id] = None
+                    roles[node_id] = contender_role
+                    continue
+                outcome = outcomes.get(node_id)
+                if outcome is None:
+                    raise SimulationError(
+                        f"node {node_id} acted in round {global_round} but got no outcome"
+                    )
+                protocol.on_reception(outcome)
+                output = protocol.current_output()
+                if output is not None and node.first_sync_local_round is None:
+                    node.first_sync_local_round = context.local_round
+                    synced_nodes.add(node_id)
+                node.outputs_recorded += 1
+                outputs[node_id] = output
+                role = protocol.role
+                roles[node_id] = role
+                if role is leader_role:
+                    leader_uids.add(context.uid)
+                honest_present += 1
+                if output is None:
+                    unsynchronized += 1
+                else:
+                    distinct.add(output)
+            converged = honest_present > 0 and unsynchronized == 0 and len(distinct) <= 1
+            tracker.observe_round(global_round, converged)
+
+            record = RoundRecord(
+                global_round=global_round,
+                outputs=outputs,
+                roles=roles,
+                activity=resolution.activity,
+            )
+            for notify in notify_round:
+                notify(record)
+            rounds_simulated = global_round
+
+            if self._should_stop_with_faults(global_round, injector, converged):
+                if grace_remaining is None:
+                    grace_remaining = config.extra_rounds_after_sync
+                if grace_remaining <= 0:
+                    break
+                grace_remaining -= 1
+            else:
+                grace_remaining = None
+
+        for observer in observers:
+            observer.on_simulation_end(rounds_simulated)
+
+        return SimulationResult(
+            trace=recorder.trace if recorder is not None else None,
+            report=checker.report(),
+            metrics=metrics.result(leader_uids=frozenset(self._leader_uids)),
+            stabilization=tracker.finalize(rounds_simulated),
+        )
+
     # -- internals --------------------------------------------------------
+
+    def _apply_faults(
+        self,
+        global_round: int,
+        injector: FaultInjector,
+        checker: StreamingPropertyChecker,
+        departed: dict[NodeId, NodeRuntime],
+    ) -> bool:
+        """Apply the round's scheduled churn/corruption; True if anything fired.
+
+        Events naming nodes that are not currently present (not yet
+        activated, already departed, or — for corruption — Byzantine) are
+        skipped, so one plan sweeps cleanly across node-count axes.
+        """
+        injected = False
+        rows = self._active_rows
+        for node_id in injector.leaves_at(global_round):
+            for index, row in enumerate(rows):
+                if row[0] == node_id:
+                    departed[node_id] = row[1]
+                    del rows[index]
+                    injected = True
+                    break
+        for node_id in injector.rejoins_at(global_round):
+            runtime = departed.pop(node_id, None)
+            if runtime is None:
+                continue
+            runtime.reincarnate(
+                injector.rejoin_stream(node_id, global_round), self._protocol_factory
+            )
+            rows.append((node_id, runtime, runtime.protocol, runtime.context))
+            checker.reset_node(node_id)
+            injected = True
+        byzantine = injector.byzantine_nodes
+        for node_id in injector.corruptions_at(global_round):
+            if node_id in byzantine:
+                continue
+            for index, row in enumerate(rows):
+                if row[0] == node_id:
+                    runtime = row[1]
+                    runtime.reincarnate(
+                        injector.corruption_stream(node_id, global_round),
+                        self._protocol_factory,
+                    )
+                    rows[index] = (node_id, runtime, runtime.protocol, runtime.context)
+                    checker.reset_node(node_id)
+                    injected = True
+                    break
+        return injected
+
+    def _should_stop_with_faults(
+        self, global_round: int, injector: FaultInjector, converged: bool
+    ) -> bool:
+        """Stop once activations and scheduled faults are exhausted and the
+        present honest nodes have reconverged."""
+        if not self._config.stop_when_synchronized:
+            return False
+        if self._pending_activations > 0:
+            return False
+        if global_round < self._config.activation.last_activation_round():
+            return False
+        if global_round < injector.last_fault_round:
+            return False
+        return converged
 
     def _activate(
         self,

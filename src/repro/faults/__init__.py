@@ -1,0 +1,32 @@
+"""Fault injection: churn, Byzantine nodes, transient corruption.
+
+Public surface of the fault subsystem:
+
+* :class:`FaultPlan` / :class:`ChurnEvent` / :class:`CorruptionEvent` — the
+  declarative, schema-versioned, content-hashed plan documents;
+* :func:`load_fault_plan` — the CLI ``--faults PLAN.json`` loader;
+* :class:`FaultInjector` — per-execution deterministic realization;
+* :class:`StabilizationTracker` / :class:`StabilizationReport` — the
+  rounds-to-reconverge measurement attached to fault-injected results.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_SCHEMA_VERSION,
+    ChurnEvent,
+    CorruptionEvent,
+    FaultPlan,
+    load_fault_plan,
+)
+from repro.faults.stabilization import StabilizationReport, StabilizationTracker
+
+__all__ = [
+    "FAULT_SCHEMA_VERSION",
+    "ChurnEvent",
+    "CorruptionEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "StabilizationReport",
+    "StabilizationTracker",
+    "load_fault_plan",
+]

@@ -1,0 +1,100 @@
+"""Stabilization measurement: rounds-to-reconverge after fault injections.
+
+The snap-stabilization literature asks how long a protocol needs to return to
+a legitimate configuration after its state is perturbed.  For the wireless
+synchronization problem the legitimate configuration is *converged output
+agreement*: every present honest node emits a non-⊥ round number and all of
+them agree.
+
+:class:`StabilizationTracker` is fed by the simulator's fault-aware round
+loop: each round in which at least one injection applied opens an *epoch*,
+and each subsequent round reports whether the present honest nodes are
+converged.  The per-epoch recovery time is the number of rounds from the
+injection until the first converged round end (0 = the system was already
+converged again at the end of the injection round itself).  Epochs that never
+reconverge before the run ends are charged ``rounds_simulated - epoch + 1`` —
+strictly greater than any in-run recovery value, so "never recovered" always
+dominates "recovered late" in aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class StabilizationReport:
+    """Per-execution stabilization measurements.
+
+    Attributes
+    ----------
+    epochs:
+        The global rounds at which injections applied, in order (a round with
+        several simultaneous injections is one epoch).
+    recovery_rounds:
+        For each epoch, rounds until the present honest nodes reconverged
+        (see module docstring for the never-reconverged charge).
+    reconverged:
+        True when every epoch reconverged before the run ended.
+    """
+
+    epochs: tuple[int, ...] = ()
+    recovery_rounds: tuple[int, ...] = ()
+    reconverged: bool = True
+
+    @property
+    def max_recovery_rounds(self) -> Optional[int]:
+        """The worst per-epoch recovery time (``None`` when nothing fired)."""
+        return max(self.recovery_rounds) if self.recovery_rounds else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "epochs": list(self.epochs),
+            "recovery_rounds": list(self.recovery_rounds),
+            "reconverged": self.reconverged,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "StabilizationReport":
+        return cls(
+            epochs=tuple(int(r) for r in doc.get("epochs", ())),
+            recovery_rounds=tuple(int(r) for r in doc.get("recovery_rounds", ())),
+            reconverged=bool(doc.get("reconverged", True)),
+        )
+
+
+class StabilizationTracker:
+    """Accumulates per-epoch reconvergence times during one execution."""
+
+    def __init__(self) -> None:
+        self._epochs: list[int] = []
+        self._recovery: list[Optional[int]] = []
+        self._pending: list[int] = []  # indices into _epochs awaiting reconvergence
+
+    def record_epoch(self, global_round: int) -> None:
+        """Open an injection epoch at ``global_round`` (idempotent per round)."""
+        if self._epochs and self._epochs[-1] == global_round:
+            return
+        self._pending.append(len(self._epochs))
+        self._epochs.append(global_round)
+        self._recovery.append(None)
+
+    def observe_round(self, global_round: int, converged: bool) -> None:
+        """Fold one round-end convergence observation into the pending epochs."""
+        if converged and self._pending:
+            for index in self._pending:
+                self._recovery[index] = global_round - self._epochs[index]
+            self._pending.clear()
+
+    def finalize(self, rounds_simulated: int) -> StabilizationReport:
+        """Charge unrecovered epochs and assemble the report."""
+        reconverged = not self._pending
+        for index in self._pending:
+            self._recovery[index] = rounds_simulated - self._epochs[index] + 1
+        self._pending.clear()
+        return StabilizationReport(
+            epochs=tuple(self._epochs),
+            recovery_rounds=tuple(r for r in self._recovery if r is not None),
+            reconverged=reconverged,
+        )

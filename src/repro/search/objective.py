@@ -29,9 +29,10 @@ from repro.engine.pool import ExecutionPool
 from repro.engine.runner import interpolated_percentile, run_reduced_trials, run_trials
 from repro.engine.simulator import SimulationConfig
 from repro.exceptions import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.params import ModelParameters
 from repro.protocols.registry import PROTOCOL_FACTORIES, protocol_factory
-from repro.search.space import StrategyGenome
+from repro.search.space import FaultGenome, StrategyGenome
 
 #: Version of the objective-description layout (part of every candidate key).
 OBJECTIVE_SCHEMA_VERSION = 1
@@ -88,6 +89,11 @@ class SearchObjective:
         execution that never synchronized).
     metric:
         One of :data:`OBJECTIVE_METRICS`.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` injected into every
+        evaluation (the environment the candidates are scored in).  Part of
+        the evaluation identity when set; a :class:`FaultGenome` candidate's
+        own plan takes precedence over it.
     """
 
     protocol: str = "trapdoor"
@@ -99,6 +105,7 @@ class SearchObjective:
     seeds: tuple[int, ...] = (0, 1, 2, 3, 4)
     max_rounds: int = 20_000
     metric: str = "median_latency"
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         seeds = self.seeds
@@ -140,9 +147,11 @@ class SearchObjective:
         Deliberately excludes ``metric``: it only changes how stored trial
         records are reduced to a score, never the records themselves.
         Candidate store keys hash this dict, so searches that differ only in
-        their metric share every evaluation.
+        their metric share every evaluation.  The ``faults`` key appears only
+        when a plan is set, keeping every fault-free objective's identity —
+        and its warm-started checkpoints — unchanged.
         """
-        return {
+        data: dict[str, Any] = {
             "schema": OBJECTIVE_SCHEMA_VERSION,
             "kind": "adversary-search-objective",
             "protocol": self.protocol,
@@ -154,14 +163,20 @@ class SearchObjective:
             "seeds": list(self.seeds),
             "max_rounds": self.max_rounds,
         }
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
+        return data
 
     def describe(self) -> str:
         """Short label for banners and tables."""
-        return (
+        label = (
             f"{self.protocol} × {self.workload} × F={self.frequencies}, t={self.budget}, "
             f"N={self.participants}, n={self.node_count}, {len(self.seeds)} seeds, "
             f"maximize {self.metric}"
         )
+        if self.faults is not None:
+            label += f", {self.faults.describe()}"
+        return label
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SearchObjective":
@@ -172,6 +187,7 @@ class SearchObjective:
                 f"search objective schema {schema} is not supported "
                 f"(this build writes schema {OBJECTIVE_SCHEMA_VERSION})"
             )
+        faults = data.get("faults")
         return cls(
             protocol=data["protocol"],
             workload=data["workload"],
@@ -182,19 +198,28 @@ class SearchObjective:
             seeds=tuple(data["seeds"]),
             max_rounds=data["max_rounds"],
             metric=data["metric"],
+            faults=FaultPlan.from_dict(faults) if faults is not None else None,
         )
 
     # -- evaluation -------------------------------------------------------
 
     def config_for(self, genome: StrategyGenome) -> SimulationConfig:
-        """The runnable configuration for one candidate strategy."""
+        """The runnable configuration for one candidate strategy.
+
+        A :class:`~repro.search.space.FaultGenome` carries its strategy in
+        the fault plan rather than the adversary slot (its ``decode`` yields
+        the quiet adversary), so its plan replaces the objective's own
+        ``faults`` environment for that evaluation.
+        """
         workload = resolve_workload(self.workload, self.node_count)
+        faults = genome.plan if isinstance(genome, FaultGenome) else self.faults
         return SimulationConfig(
             params=self.params,
             protocol_factory=protocol_factory(self.protocol),
             activation=workload.activation,
             adversary=genome.decode(self.params),
             max_rounds=self.max_rounds,
+            faults=faults,
         )
 
     def evaluate(

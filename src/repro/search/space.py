@@ -41,6 +41,7 @@ from repro.adversary.registry import ADVERSARY_FACTORIES
 from repro.adversary.registry import names as adversary_names
 from repro.adversary.registry import resolve as resolve_adversary
 from repro.exceptions import ConfigurationError
+from repro.faults.plan import ChurnEvent, CorruptionEvent, FaultPlan
 from repro.params import ModelParameters
 
 
@@ -184,10 +185,49 @@ class PolicyGenome(StrategyGenome):
         return f"reactive policy ({self.phase_period} phases)"
 
 
+@dataclass(frozen=True)
+class FaultGenome(StrategyGenome):
+    """A fault-injection plan as a searchable strategy.
+
+    The fourth family attacks *node state* instead of the spectrum: its plan
+    (churn, Byzantine forgers, transient corruption — see
+    :class:`~repro.faults.plan.FaultPlan`) is injected through
+    ``SimulationConfig.faults`` by
+    :meth:`~repro.search.objective.SearchObjective.config_for`, and
+    :meth:`decode` yields the quiet ``none`` adversary so the radio layer is
+    undisturbed.  Not part of the default :meth:`StrategySpace.sample` mix —
+    fault search is opt-in via :attr:`StrategySpace.include_faults` because a
+    fault plan sidesteps the disruption budget the paper's adversary model
+    bounds.
+    """
+
+    kind: ClassVar[str] = "faults"
+
+    plan: FaultPlan
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.plan, FaultPlan):
+            raise ConfigurationError(
+                f"a fault genome wraps a FaultPlan, got {type(self.plan).__name__}"
+            )
+        if self.plan.empty:
+            raise ConfigurationError("a fault genome needs a non-empty fault plan")
+
+    def decode(self, params: ModelParameters) -> InterferenceAdversary:
+        return resolve_adversary("none")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "plan": self.plan.to_dict()}
+
+    def describe(self) -> str:
+        return self.plan.describe()
+
+
 _GENOME_CLASSES: dict[str, type[StrategyGenome]] = {
     ObliviousGenome.kind: ObliviousGenome,
     ParametricGenome.kind: ParametricGenome,
     PolicyGenome.kind: PolicyGenome,
+    FaultGenome.kind: FaultGenome,
 }
 
 
@@ -203,6 +243,8 @@ def genome_from_dict(data: Mapping[str, Any]) -> StrategyGenome:
         return ParametricGenome(
             name=data["name"], overrides=tuple(tuple(pair) for pair in data["overrides"])
         )
+    if kind == FaultGenome.kind:
+        return FaultGenome(plan=FaultPlan.from_dict(data["plan"]))
     return PolicyGenome(table=tuple(data["table"]), phase_period=data["phase_period"])
 
 
@@ -225,16 +267,33 @@ class StrategySpace:
         The fixed period the cross-entropy optimizer's oblivious genomes use.
     phase_period:
         The phase period of sampled policy genomes.
+    include_faults:
+        When True, :meth:`sample` draws :class:`FaultGenome` candidates
+        alongside the three adversary families.  Off by default: the default
+        mix — and therefore every existing master-seeded search trajectory —
+        is unchanged, and fault plans sidestep the paper's disruption budget,
+        so mixing them into an adversary search must be a deliberate choice.
+    fault_nodes:
+        Node-id range sampled fault events target (ids at or above the
+        evaluated workload's node count are silently inert, so one space can
+        serve several node counts).
+    fault_horizon:
+        Latest round a sampled fault event may fire in.
     """
 
     params: ModelParameters
     max_period: int = 12
     cem_period: int = 8
     phase_period: int = 4
+    include_faults: bool = False
+    fault_nodes: int = 8
+    fault_horizon: int = 80
 
     def __post_init__(self) -> None:
         if self.max_period < 1 or self.cem_period < 1 or self.phase_period < 1:
             raise ConfigurationError("space periods must all be positive")
+        if self.fault_nodes < 1 or self.fault_horizon < 2:
+            raise ConfigurationError("fault_nodes must be >= 1 and fault_horizon >= 2")
 
     # -- sampling ---------------------------------------------------------
 
@@ -248,11 +307,16 @@ class StrategySpace:
 
     def sample(self, rng: random.Random) -> StrategyGenome:
         """Draw one genome uniformly across the enabled families."""
-        family = rng.choice(("oblivious", "parametric", "policy"))
+        families = ("oblivious", "parametric", "policy")
+        if self.include_faults:
+            families = families + ("faults",)
+        family = rng.choice(families)
         if family == "oblivious":
             return self.sample_oblivious(rng)
         if family == "parametric":
             return self.sample_parametric(rng)
+        if family == "faults":
+            return self.sample_faults(rng)
         return self.sample_policy(rng)
 
     def sample_oblivious(self, rng: random.Random, period: int | None = None) -> ObliviousGenome:
@@ -282,6 +346,41 @@ class StrategySpace:
         )
         return PolicyGenome(table=table, phase_period=self.phase_period)
 
+    def sample_faults(self, rng: random.Random) -> FaultGenome:
+        """A random non-empty fault plan over the space's node-id range.
+
+        Every draw enables at least one fault family; churn events get
+        distinct node ids (plans reject overlapping per-node windows).
+        """
+        horizon = self.fault_horizon
+        while True:
+            churn: list[ChurnEvent] = []
+            churn_count = rng.randint(0, min(2, self.fault_nodes))
+            for node_id in rng.sample(range(self.fault_nodes), churn_count):
+                leave = rng.randint(2, horizon)
+                rejoin = leave + rng.randint(2, horizon // 2) if rng.random() < 0.7 else None
+                churn.append(ChurnEvent(node_id=node_id, leave_round=leave, rejoin_round=rejoin))
+            byzantine_count = rng.choice((0, 0, 1))
+            # Pinned to 1 for count 0, so an inactive Byzantine setting never
+            # perturbs the plan's content hash.
+            byzantine_start = rng.randint(1, horizon) if byzantine_count else 1
+            corruption: list[CorruptionEvent] = []
+            if rng.random() < 0.5:
+                nodes = tuple(
+                    sorted(rng.sample(range(self.fault_nodes), rng.randint(1, 2)))
+                )
+                corruption.append(
+                    CorruptionEvent(round_index=rng.randint(2, horizon), node_ids=nodes)
+                )
+            plan = FaultPlan(
+                churn=tuple(churn),
+                byzantine_count=byzantine_count,
+                byzantine_start_round=byzantine_start,
+                corruption=tuple(corruption),
+            )
+            if not plan.empty:
+                return FaultGenome(plan=plan)
+
     def _parameter_ranges(self, name: str) -> dict[str, tuple[int, int, int]]:
         """``field -> (low, high, default)`` for each tunable field of a jammer.
 
@@ -309,6 +408,8 @@ class StrategySpace:
             return self._mutate_parametric(genome, rng)
         if isinstance(genome, PolicyGenome):
             return self._mutate_policy(genome, rng)
+        if isinstance(genome, FaultGenome):
+            return self._mutate_faults(genome, rng)
         raise ConfigurationError(f"cannot mutate genome of type {type(genome).__name__}")
 
     def _mutate_oblivious(self, genome: ObliviousGenome, rng: random.Random) -> ObliviousGenome:
@@ -341,3 +442,60 @@ class StrategySpace:
         alternatives = [action for action in POLICY_ACTIONS if action != table[index]]
         table[index] = rng.choice(alternatives)
         return PolicyGenome(table=tuple(table), phase_period=genome.phase_period)
+
+    def _mutate_faults(self, genome: FaultGenome, rng: random.Random) -> StrategyGenome:
+        """Nudge one timing field of the plan; resample if the nudge is invalid."""
+        plan = genome.plan
+        choices = []
+        if plan.churn:
+            choices.append("churn")
+        if plan.byzantine_count:
+            choices.append("byzantine")
+        if plan.corruption:
+            choices.append("corruption")
+        what = rng.choice(choices)
+        step = rng.choice((-4, -1, 1, 4))
+        try:
+            if what == "byzantine":
+                start = min(self.fault_horizon, max(1, plan.byzantine_start_round + step))
+                mutated = FaultPlan(
+                    churn=plan.churn,
+                    byzantine_count=plan.byzantine_count,
+                    byzantine_start_round=start,
+                    corruption=plan.corruption,
+                )
+            elif what == "churn":
+                events = list(plan.churn)
+                index = rng.randrange(len(events))
+                event = events[index]
+                leave = max(1, event.leave_round + step)
+                rejoin = event.rejoin_round
+                if rejoin is not None:
+                    rejoin = max(leave + 1, rejoin + step)
+                events[index] = ChurnEvent(
+                    node_id=event.node_id, leave_round=leave, rejoin_round=rejoin
+                )
+                mutated = FaultPlan(
+                    churn=tuple(events),
+                    byzantine_count=plan.byzantine_count,
+                    byzantine_start_round=plan.byzantine_start_round,
+                    corruption=plan.corruption,
+                )
+            else:
+                events2 = list(plan.corruption)
+                index = rng.randrange(len(events2))
+                event2 = events2[index]
+                events2[index] = CorruptionEvent(
+                    round_index=max(1, event2.round_index + step), node_ids=event2.node_ids
+                )
+                mutated = FaultPlan(
+                    churn=plan.churn,
+                    byzantine_count=plan.byzantine_count,
+                    byzantine_start_round=plan.byzantine_start_round,
+                    corruption=tuple(events2),
+                )
+        except ConfigurationError:
+            # The nudge produced an invalid plan (e.g. overlapping churn
+            # windows) — hop to a fresh sample instead.
+            return self.sample_faults(rng)
+        return FaultGenome(plan=mutated)

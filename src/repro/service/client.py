@@ -14,6 +14,7 @@ writes — see :func:`connect_from_announce`.
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from pathlib import Path
@@ -41,11 +42,49 @@ class ServiceClient:
 
     Usable as a context manager; the connection is one socket reused across
     requests, so a client sees its own requests answered in order.
+
+    ``connect_retries`` re-attempts the initial TCP connect with jittered
+    exponential backoff (base ``connect_backoff`` seconds, doubling per
+    attempt), absorbing the race where the service process is up but has not
+    bound its port yet.  The default of zero keeps connect failures
+    immediate for interactive use.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        *,
+        connect_retries: int = 0,
+        connect_backoff: float = 0.2,
+    ) -> None:
+        if connect_retries < 0:
+            raise ConfigurationError(
+                f"connect_retries must be non-negative, got {connect_retries}"
+            )
+        if connect_backoff <= 0:
+            raise ConfigurationError(
+                f"connect_backoff must be positive, got {connect_backoff:g}"
+            )
+        self._sock = self._connect(host, port, timeout, connect_retries, connect_backoff)
         self._file = self._sock.makefile("rwb")
+
+    @staticmethod
+    def _connect(
+        host: str, port: int, timeout: float, retries: int, backoff: float
+    ) -> socket.socket:
+        for attempt in range(retries + 1):
+            try:
+                return socket.create_connection((host, port), timeout=timeout)
+            except OSError:
+                if attempt >= retries:
+                    raise
+                # Full jitter keeps a stampede of clients from re-knocking in
+                # lockstep; the cap only bounds the *base*, not total wait.
+                delay = backoff * (2**attempt)
+                time.sleep(delay * (0.5 + random.random() / 2))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -177,7 +216,18 @@ def read_announce(path: str | Path, timeout: float = 10.0) -> dict[str, Any]:
         time.sleep(0.05)
 
 
-def connect_from_announce(path: str | Path, timeout: float = 10.0) -> ServiceClient:
+def connect_from_announce(
+    path: str | Path,
+    timeout: float = 10.0,
+    *,
+    connect_retries: int = 0,
+    connect_backoff: float = 0.2,
+) -> ServiceClient:
     """A connected client from an announce file (the ``--connect`` path)."""
     doc = read_announce(path, timeout=timeout)
-    return ServiceClient(str(doc.get("host", "127.0.0.1")), int(doc["port"]))
+    return ServiceClient(
+        str(doc.get("host", "127.0.0.1")),
+        int(doc["port"]),
+        connect_retries=connect_retries,
+        connect_backoff=connect_backoff,
+    )

@@ -217,6 +217,38 @@ class WorkerCrashRecovered(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class ChunkRetried(TelemetryEvent):
+    """Crashed chunks were re-dispatched on a fresh executor.
+
+    One event per retry round: ``chunks`` counts how many chunks went back
+    out together (a crash kills the whole executor, so every in-flight chunk
+    fails and retries as a group), and ``attempt`` is the highest re-dispatch
+    count among them (1 = first retry).
+    """
+
+    kind: ClassVar[str] = "chunk-retried"
+    detail: str
+    chunks: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class FaultInjected(TelemetryEvent):
+    """A fault-injection epoch was observed in one trial.
+
+    Emitted per injection epoch when full per-round data is available
+    (``round_index`` set, ``recovery_rounds`` for that epoch), or once per
+    fault-injected trial in reduced paths (``round_index`` ``None``,
+    ``recovery_rounds`` the trial's worst epoch).
+    """
+
+    kind: ClassVar[str] = "fault-injected"
+    seed: int
+    recovery_rounds: Optional[int]
+    round_index: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class SerialFallback(TelemetryEvent):
     """Unpicklable work degraded to in-process serial execution."""
 
@@ -262,6 +294,8 @@ EVENT_TYPES: dict[str, type[TelemetryEvent]] = {
         BestCandidateImproved,
         SearchCompleted,
         ChunkDispatched,
+        ChunkRetried,
+        FaultInjected,
         WorkerCrashRecovered,
         SerialFallback,
         BatchFallback,

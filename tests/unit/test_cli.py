@@ -252,3 +252,78 @@ class TestCampaignCommands:
     def test_status_on_empty_store_fails(self, tmp_path, capsys):
         assert main(["campaign", "status", "--store", str(tmp_path / "empty.db")]) == 1
         assert "no campaigns" in capsys.readouterr().out
+
+
+class TestFaultsFlag:
+    def _plan_file(self, tmp_path):
+        from repro.faults import ChurnEvent, FaultPlan
+
+        plan = FaultPlan(
+            churn=(ChurnEvent(node_id=1, leave_round=30, rejoin_round=60),),
+            byzantine_count=1,
+            byzantine_start_round=20,
+        )
+        target = tmp_path / "plan.json"
+        target.write_text(plan.to_json())
+        return target
+
+    def test_trials_reports_the_plan_and_stabilization(self, tmp_path, capsys):
+        main(
+            [
+                "trials",
+                "--protocol", "fault-tolerant-trapdoor",
+                "-F", "4", "-t", "1", "-N", "8",
+                "--nodes", "6",
+                "--workload", "quiet_start",
+                "--max-rounds", "1500",
+                "--trials", "2",
+                "--faults", str(self._plan_file(tmp_path)),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "faults    : faults(churn=1, byz=1@r20)" in output
+        assert "stabilization" in output
+
+    def test_campaign_run_sweeps_the_plan_axis(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "campaign", "run",
+                "--store", str(tmp_path / "s.db"),
+                "--name", "faulted",
+                "--protocols", "trapdoor",
+                "--workloads", "quiet_start",
+                "-F", "4", "-t", "1", "-N", "8",
+                "--node-counts", "6",
+                "--seeds", "2",
+                "--max-rounds", "1500",
+                "--faults", str(self._plan_file(tmp_path)),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "faults    : faults(churn=1, byz=1@r20)" in output
+        from repro.campaigns.store import ResultStore
+
+        with ResultStore(tmp_path / "s.db") as store:
+            records = [
+                record
+                for _key, _desc, cell_records in store.iter_cells("faulted")
+                for record in cell_records
+            ]
+        assert records
+        assert all(record.stabilization_rounds is not None for record in records)
+
+    def test_bad_plan_file_is_a_configuration_error(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "fault-plan", "bogus": 1}')
+        with pytest.raises(ConfigurationError, match="unknown fault plan keys"):
+            main(
+                [
+                    "trials",
+                    "--workload", "quiet_start",
+                    "--trials", "1",
+                    "--faults", str(bad),
+                ]
+            )

@@ -1,0 +1,323 @@
+"""Fault-injection suite: plans, injection determinism, and stabilization.
+
+Three legs, mirroring the engine's own golden-equivalence contract:
+
+* **plan identity** — :class:`~repro.faults.plan.FaultPlan` is declarative,
+  JSON-round-trippable, and content-hashed; the hash is pinned here so a
+  schema drift cannot slip through silently;
+* **golden digests** — fault-injected executions (churn × Byzantine ×
+  corruption on trapdoor + good-samaritan) are pinned as full execution
+  digests and must be byte-identical across serial, pooled, and
+  interrupt-resumed campaign execution;
+* **refusal** — the vectorized kernel refuses fault-injected templates with
+  exactly one warning per batch and degrades to the scalar loop.
+
+Regenerate the goldens after an intentional behaviour change::
+
+    PYTHONPATH=src python tests/unit/test_faults.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.adversary.activation import SimultaneousActivation
+from repro.adversary.jammers import NoInterference
+from repro.engine.observers import TraceLevel
+from repro.engine.plan import ExecutionPlan
+from repro.engine.pool import ExecutionPool
+from repro.engine.runner import run_reduced_trials, run_trials
+from repro.engine.serialization import execution_digest
+from repro.engine.simulator import SimulationConfig, simulate
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    ChurnEvent,
+    CorruptionEvent,
+    FaultPlan,
+    StabilizationReport,
+    load_fault_plan,
+)
+from repro.params import ModelParameters
+from repro.protocols.registry import protocol_factory
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "golden" / "fault_equivalence.json"
+
+PARAMS = ModelParameters(frequencies=4, disruption_budget=1, participant_bound=8)
+MAX_ROUNDS = 1_500
+SEED = 11
+NODES = 6
+
+#: The fault scenarios crossed with every pinned protocol.
+FAULT_PLANS: dict[str, FaultPlan] = {
+    "churn": FaultPlan(
+        churn=(
+            ChurnEvent(node_id=1, leave_round=40, rejoin_round=80),
+            ChurnEvent(node_id=2, leave_round=100, rejoin_round=None),
+        ),
+    ),
+    "byzantine": FaultPlan(byzantine_count=1, byzantine_start_round=30),
+    "corruption": FaultPlan(
+        corruption=(
+            CorruptionEvent(round_index=60, node_ids=(0, 3)),
+            CorruptionEvent(round_index=120, node_ids=(2,)),
+        ),
+    ),
+    "combined": FaultPlan(
+        churn=(ChurnEvent(node_id=1, leave_round=40, rejoin_round=80),),
+        byzantine_count=1,
+        byzantine_start_round=30,
+        corruption=(CorruptionEvent(round_index=60, node_ids=(3,)),),
+    ),
+}
+
+PROTOCOLS = ("trapdoor", "good-samaritan", "fault-tolerant-trapdoor")
+
+
+def matrix_keys() -> list[str]:
+    return [
+        f"{protocol}|{scenario}"
+        for protocol in sorted(PROTOCOLS)
+        for scenario in sorted(FAULT_PLANS)
+    ]
+
+
+def config_for(key: str, trace_level: TraceLevel = TraceLevel.FULL) -> SimulationConfig:
+    protocol, scenario = key.split("|")
+    return SimulationConfig(
+        params=PARAMS,
+        protocol_factory=protocol_factory(protocol),
+        activation=SimultaneousActivation(count=NODES),
+        adversary=NoInterference(),
+        max_rounds=MAX_ROUNDS,
+        seed=SEED,
+        trace_level=trace_level,
+        faults=FAULT_PLANS[scenario],
+    )
+
+
+def compute_digest(key: str) -> str:
+    return execution_digest(simulate(config_for(key)))
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict[str, str]:
+    assert GOLDEN_PATH.exists(), (
+        f"golden file {GOLDEN_PATH} is missing; regenerate with "
+        "`PYTHONPATH=src python tests/unit/test_faults.py --regen`"
+    )
+    with GOLDEN_PATH.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestFaultPlanIdentity:
+    def test_round_trips_through_json(self):
+        for plan in FAULT_PLANS.values():
+            assert FaultPlan.from_json(plan.to_json()) == plan
+            assert FaultPlan.from_dict(plan.to_dict()).key() == plan.key()
+
+    def test_content_hashes_are_pinned(self):
+        """The hash covers the canonical dict — schema drift changes it."""
+        assert {name: plan.key() for name, plan in FAULT_PLANS.items()} == {
+            "churn": "8e0aee652f092e8d",
+            "byzantine": "9cb290a3c6bb421c",
+            "corruption": "158dda31ea03c5b0",
+            "combined": "65838d4a4d3160ab",
+        }
+
+    def test_describe_names_the_active_families(self):
+        assert FAULT_PLANS["combined"].describe() == "faults(churn=1, byz=1@r30, corrupt=1)"
+        assert FaultPlan().describe() == "faults(none)"
+
+    def test_rejects_unknown_document_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"kind": "fault-plan", "byzantine_count": 1})
+
+    def test_rejects_overlapping_churn_windows_for_one_node(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            FaultPlan(
+                churn=(
+                    ChurnEvent(node_id=1, leave_round=10, rejoin_round=50),
+                    ChurnEvent(node_id=1, leave_round=30, rejoin_round=70),
+                )
+            )
+
+    def test_load_fault_plan_reads_a_file(self, tmp_path):
+        target = tmp_path / "plan.json"
+        target.write_text(FAULT_PLANS["combined"].to_json())
+        assert load_fault_plan(target) == FAULT_PLANS["combined"]
+
+    def test_empty_plan_normalizes_to_fault_free(self):
+        config = SimulationConfig(
+            params=PARAMS,
+            protocol_factory=protocol_factory("trapdoor"),
+            activation=SimultaneousActivation(count=NODES),
+            adversary=NoInterference(),
+            max_rounds=MAX_ROUNDS,
+            seed=SEED,
+            faults=FaultPlan(),
+        )
+        assert config.faults is None
+        result = simulate(config)
+        assert result.stabilization is None
+        assert result.stabilization_rounds is None
+
+
+class TestGoldenDigests:
+    def test_golden_matrix_covers_every_pinned_combination(self, goldens):
+        assert sorted(goldens) == matrix_keys()
+
+    @pytest.mark.parametrize("key", matrix_keys())
+    def test_serial_execution_matches_golden(self, key, goldens):
+        assert compute_digest(key) == goldens[key], (
+            f"fault-injected execution digest changed for {key}: injection "
+            "order, fault randomness, or the stabilization metric drifted"
+        )
+
+    def test_pooled_execution_matches_goldens(self, goldens):
+        with ExecutionPool(workers=2, chunk_size=1) as pool:
+            for key in matrix_keys():
+                [result] = pool.run_seeds(config_for(key), [SEED])
+                assert execution_digest(result) == goldens[key], (
+                    f"pooled fault-injected digest changed for {key}"
+                )
+
+    def test_reduced_rows_match_serial_reduction(self):
+        for key in matrix_keys():
+            config = config_for(key, trace_level=TraceLevel.NONE)
+            with ExecutionPool(workers=2, chunk_size=1) as pool:
+                pooled = run_reduced_trials(config, seeds=(SEED, SEED + 1), pool=pool)
+            assert pooled == run_reduced_trials(config, seeds=(SEED, SEED + 1))
+
+    def test_stabilization_metric_is_reported(self):
+        """Every fault-injected execution carries a stabilization report."""
+        for key in matrix_keys():
+            result = simulate(config_for(key, trace_level=TraceLevel.NONE))
+            report = result.stabilization
+            assert isinstance(report, StabilizationReport)
+            assert len(report.epochs) == len(report.recovery_rounds) > 0
+            assert result.stabilization_rounds == report.max_recovery_rounds
+            assert StabilizationReport.from_dict(report.to_dict()) == report
+
+    def test_summary_carries_stabilization_statistics(self):
+        config = config_for("trapdoor|churn", trace_level=TraceLevel.NONE)
+        summary = run_trials(config, seeds=3)
+        rounds = summary.stabilization_rounds()
+        assert len(rounds) == 3
+        assert summary.max_stabilization_rounds == max(rounds)
+        assert "stabilization" in summary.describe()
+
+
+class TestCampaignResume:
+    def _spec(self, store_name):
+        from repro.campaigns.spec import CampaignSpec
+
+        return CampaignSpec(
+            name=store_name,
+            protocols=("trapdoor", "fault-tolerant-trapdoor"),
+            workloads=("quiet_start",),
+            frequencies=(4,),
+            budgets=(1,),
+            participants=(8,),
+            node_counts=(NODES,),
+            seeds=(0, 1),
+            max_rounds=MAX_ROUNDS,
+            fault_plans=(FAULT_PLANS["combined"],),
+        )
+
+    def test_interrupted_resume_matches_one_shot_rows(self, tmp_path):
+        """Stop a fault campaign mid-grid, resume it, compare every store row."""
+        from repro.campaigns.runner import CampaignRunner
+        from repro.campaigns.store import ResultStore
+
+        spec = self._spec("faults")
+        with ResultStore(tmp_path / "interrupted.db") as store:
+            with CampaignRunner(spec, store) as runner:
+                progress = runner.run(max_cells=1)
+                assert not progress.complete
+                runner.run()
+            resumed = {
+                key: store.trial_records(key) for key, _, _ in store.iter_cells("faults")
+            }
+        with ResultStore(tmp_path / "oneshot.db") as store:
+            with CampaignRunner(spec, store) as runner:
+                assert runner.run().complete
+            oneshot = {
+                key: store.trial_records(key) for key, _, _ in store.iter_cells("faults")
+            }
+        assert resumed == oneshot
+        assert all(
+            record.stabilization_rounds is not None
+            for records in oneshot.values()
+            for record in records
+        )
+
+    def test_fault_plan_is_part_of_the_cell_identity(self):
+        spec = self._spec("faults")
+        fault_free = self._spec("faults")
+        fault_free = type(spec)(
+            **{
+                **{k: getattr(spec, k) for k in (
+                    "name", "protocols", "workloads", "frequencies", "budgets",
+                    "participants", "node_counts", "seeds", "max_rounds",
+                )},
+            }
+        )
+        keys = {cell.key for cell in spec.cells()}
+        free_keys = {cell.key for cell in fault_free.cells()}
+        assert keys.isdisjoint(free_keys)
+
+
+class TestBatchRefusal:
+    def test_batchable_refuses_fault_configs(self):
+        from repro.engine.batch import batchable
+
+        config = config_for("trapdoor|churn", trace_level=TraceLevel.NONE)
+        assert not batchable(config)
+
+    def test_batch_plan_degrades_with_exactly_one_warning(self):
+        config = config_for("trapdoor|churn", trace_level=TraceLevel.NONE)
+        serial = run_trials(config, seeds=3)
+        with pytest.warns(RuntimeWarning, match="lockstep") as record:
+            batched = run_trials(config, seeds=3, plan=ExecutionPlan(batch=True))
+        fallback_warnings = [
+            w for w in record
+            if issubclass(w.category, RuntimeWarning) and "lockstep" in str(w.message)
+        ]
+        assert len(fallback_warnings) == 1
+        assert batched.latencies() == serial.latencies()
+        assert batched.stabilization_rounds() == serial.stabilization_rounds()
+
+    def test_pooled_batch_plan_also_warns_once(self):
+        config = config_for("trapdoor|churn", trace_level=TraceLevel.NONE)
+        with ExecutionPool(workers=2, chunk_size=1) as pool:
+            with pytest.warns(RuntimeWarning, match="lockstep") as record:
+                pooled = run_trials(
+                    config, seeds=3, pool=pool, plan=ExecutionPlan(batch=True)
+                )
+        fallback_warnings = [
+            w for w in record
+            if issubclass(w.category, RuntimeWarning) and "lockstep" in str(w.message)
+        ]
+        assert len(fallback_warnings) == 1
+        assert pooled.latencies() == run_trials(config, seeds=3).latencies()
+
+
+def regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    goldens = {key: compute_digest(key) for key in matrix_keys()}
+    with GOLDEN_PATH.open("w", encoding="utf-8") as handle:
+        json.dump(goldens, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(goldens)} fault golden digests to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        sys.exit(2)

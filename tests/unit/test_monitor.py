@@ -262,7 +262,11 @@ class TestCrashAttribution:
         telemetry = Telemetry()
         events = []
         telemetry.add_event_tap(events.append)
-        with ExecutionPool(workers=2, chunk_size=1, telemetry=telemetry) as pool:
+        # crash_retries=0 keeps this a single-crash scenario: the subject
+        # here is attribution, not the retry budget (test_pool covers that).
+        with ExecutionPool(
+            workers=2, chunk_size=1, crash_retries=0, telemetry=telemetry
+        ) as pool:
             with pytest.raises(WorkerCrashError) as excinfo:
                 pool.run_seeds(template, range(2), reduce=True)
         crashes = [event for event in events if event.kind == "worker-crash-recovered"]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from pathlib import Path
 
 import pytest
 
@@ -55,6 +56,10 @@ class TestValidation:
     def test_rejects_non_positive_chunk(self):
         with pytest.raises(ConfigurationError):
             ExecutionPool(workers=2, chunk_size=0)
+
+    def test_rejects_negative_crash_retries(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPool(workers=2, crash_retries=-1)
 
     def test_construction_is_lazy(self):
         pool = ExecutionPool(workers=2)
@@ -170,6 +175,26 @@ class PoisonAdversary(InterferenceAdversary):
         os._exit(1)
 
 
+@dataclass(frozen=True)
+class CrashOnceAdversary(InterferenceAdversary):
+    """Kills the first worker to run it, then behaves like no interference.
+
+    The sentinel file is created *before* ``os._exit``, so every later
+    attempt — the pool's automatic retry, or a serial comparison run — sees
+    it and chooses no disruption: one deterministic crash, then a clean
+    deterministic execution, which is exactly what the retry budget exists
+    to absorb.
+    """
+
+    sentinel: str
+
+    def choose_disruption(self, context: AdversaryContext) -> frozenset:
+        if not os.path.exists(self.sentinel):
+            Path(self.sentinel).touch()
+            os._exit(1)
+        return frozenset()
+
+
 class TestCrashRecovery:
     def _poison_config(self, params):
         return SimulationConfig(
@@ -187,16 +212,72 @@ class TestCrashRecovery:
             assert pool.starts == 1
             with pytest.raises(WorkerCrashError, match="crashed mid-batch"):
                 run_trials(self._poison_config(params), seeds=3, pool=pool)
-            # The broken executor was discarded; the same pool object works
+            # An always-crashing batch burns the full default retry budget:
+            # one executor restart per retry round (starts 2 and 3), then the
+            # third crash exhausts the budget and raises.  The broken
+            # executor was discarded either way; the same pool object works
             # again on fresh workers, bit-identically.
             assert not pool.running
             again = run_trials(batch_config, seeds=3, pool=pool)
-            assert pool.starts == 2
+            assert pool.starts == 4
             assert again.latencies() == healthy.latencies()
 
     def test_crash_during_reduction_recovers_too(self, params, batch_config):
-        with ExecutionPool(workers=2, chunk_size=1) as pool:
+        with ExecutionPool(workers=2, chunk_size=1, crash_retries=0) as pool:
             with pytest.raises(WorkerCrashError):
                 run_reduced_trials(self._poison_config(params), seeds=2, pool=pool)
             reduced = run_reduced_trials(batch_config, seeds=2, pool=pool)
             assert reduced == run_reduced_trials(batch_config, seeds=2)
+
+
+class TestCrashRetry:
+    def _crash_once_config(self, params, tmp_path):
+        return SimulationConfig(
+            params=params,
+            protocol_factory=TrapdoorProtocol.factory(),
+            activation=StaggeredActivation(count=3, spacing=2),
+            adversary=CrashOnceAdversary(sentinel=str(tmp_path / "crashed-once")),
+            max_rounds=5_000,
+            trace_level=TraceLevel.NONE,
+        )
+
+    def test_retry_completes_the_batch_after_a_single_crash(self, params, tmp_path):
+        config = self._crash_once_config(params, tmp_path)
+        with ExecutionPool(workers=2, chunk_size=1) as pool:
+            summary = run_trials(config, seeds=3, pool=pool)
+            # One crash, one retry round, no error surfaced to the caller.
+            assert pool.starts == 2
+        assert summary.trials == 3
+        # The sentinel exists now, so a serial run takes the quiet branch —
+        # the retried batch must match it bit-for-bit.
+        serial = run_trials(config, seeds=3)
+        assert summary.latencies() == serial.latencies()
+        for pooled_result, serial_result in zip(summary.results, serial.results):
+            assert pooled_result.metrics == serial_result.metrics
+
+    def test_zero_retries_restores_fail_fast(self, params, tmp_path):
+        config = self._crash_once_config(params, tmp_path)
+        with ExecutionPool(workers=2, chunk_size=1, crash_retries=0) as pool:
+            with pytest.raises(WorkerCrashError):
+                run_trials(config, seeds=3, pool=pool)
+            assert pool.starts == 1
+
+    def test_retry_counts_land_in_telemetry(self, params, tmp_path):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        config = self._crash_once_config(params, tmp_path)
+        with ExecutionPool(workers=2, chunk_size=1, telemetry=telemetry) as pool:
+            run_trials(config, seeds=3, pool=pool)
+        snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["pool.worker_restarts"] == 1
+        # The crash broke the whole executor, so every not-yet-consumed chunk
+        # of the batch was re-dispatched together.
+        assert snapshot["counters"]["pool.chunk_retries"] >= 1
+        assert snapshot["counters"]["events.chunk-retried"] >= 1
+
+    def test_reduced_rows_survive_a_retry(self, params, tmp_path):
+        config = self._crash_once_config(params, tmp_path)
+        with ExecutionPool(workers=2, chunk_size=1) as pool:
+            reduced = run_reduced_trials(config, seeds=2, pool=pool)
+        assert reduced == run_reduced_trials(config, seeds=2)

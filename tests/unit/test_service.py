@@ -469,3 +469,87 @@ class TestJobRequestValidation:
     def test_missing_fields_are_named(self):
         with pytest.raises(ConfigurationError, match="missing fields: kind, spec"):
             JobRequest.from_dict({"store": "s.sqlite"})
+
+
+class _FakeSocket:
+    """Just enough socket for ServiceClient.__init__ to finish."""
+
+    def makefile(self, mode):
+        import io
+
+        return io.BytesIO()
+
+    def close(self):
+        pass
+
+
+class TestConnectBackoff:
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ConfigurationError, match="connect_retries"):
+            ServiceClient("127.0.0.1", 1, connect_retries=-1)
+
+    def test_rejects_non_positive_backoff(self):
+        with pytest.raises(ConfigurationError, match="connect_backoff"):
+            ServiceClient("127.0.0.1", 1, connect_backoff=0.0)
+
+    def test_zero_retries_fails_immediately(self, monkeypatch):
+        attempts = []
+
+        def refuse(address, timeout=None):
+            attempts.append(address)
+            raise ConnectionRefusedError("service not up")
+
+        monkeypatch.setattr("repro.service.client.socket.create_connection", refuse)
+        with pytest.raises(OSError):
+            ServiceClient("127.0.0.1", 1)
+        assert len(attempts) == 1
+
+    def test_retries_until_the_service_comes_up(self, monkeypatch):
+        attempts = []
+        sleeps = []
+
+        def flaky(address, timeout=None):
+            attempts.append(address)
+            if len(attempts) < 3:
+                raise ConnectionRefusedError("service not up yet")
+            return _FakeSocket()
+
+        monkeypatch.setattr("repro.service.client.socket.create_connection", flaky)
+        monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+        client = ServiceClient("127.0.0.1", 1, connect_retries=5, connect_backoff=0.2)
+        client.close()
+        assert len(attempts) == 3  # two refusals absorbed, no error surfaced
+        # Jittered exponential backoff: attempt k waits in [base*2^k/2, base*2^k].
+        assert len(sleeps) == 2
+        assert 0.1 <= sleeps[0] <= 0.2
+        assert 0.2 <= sleeps[1] <= 0.4
+
+    def test_budget_exhaustion_raises_the_last_error(self, monkeypatch):
+        attempts = []
+
+        def refuse(address, timeout=None):
+            attempts.append(address)
+            raise ConnectionRefusedError("service never came up")
+
+        monkeypatch.setattr("repro.service.client.socket.create_connection", refuse)
+        monkeypatch.setattr("repro.service.client.time.sleep", lambda _s: None)
+        with pytest.raises(ConnectionRefusedError, match="never came up"):
+            ServiceClient("127.0.0.1", 1, connect_retries=2, connect_backoff=0.01)
+        assert len(attempts) == 3
+
+    def test_connect_from_announce_forwards_the_budget(self, tmp_path, monkeypatch):
+        announce = tmp_path / "svc.json"
+        announce.write_text(json.dumps({"host": "127.0.0.1", "port": 1}))
+        seen = {}
+        real_init = ServiceClient.__init__
+
+        def spy(self, host, port, timeout=60.0, *, connect_retries=0, connect_backoff=0.2):
+            seen["retries"] = connect_retries
+            seen["backoff"] = connect_backoff
+            self._sock = _FakeSocket()
+            self._file = self._sock.makefile("rwb")
+
+        monkeypatch.setattr(ServiceClient, "__init__", spy)
+        connect_from_announce(announce, connect_retries=4, connect_backoff=0.5).close()
+        assert seen == {"retries": 4, "backoff": 0.5}
+        monkeypatch.setattr(ServiceClient, "__init__", real_init)
